@@ -1,0 +1,124 @@
+// Command pardbench regenerates every table and figure of the paper's
+// evaluation section from the PARD reproduction.
+//
+// Usage:
+//
+//	pardbench [-run all|table2|table3|fig7|fig8|fig9|fig10|fig11|fig12|llclat|ablations] [-scale quick|full]
+//
+// Quick scale keeps each experiment inside seconds-to-minutes of wall
+// time; full scale stretches the simulated windows for the numbers
+// recorded in EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/exp"
+)
+
+func main() {
+	runFlag := flag.String("run", "all", "experiment to run")
+	scaleFlag := flag.String("scale", "quick", "quick or full")
+	csvDir := flag.String("csv", "", "directory to export figure CSVs into")
+	flag.Parse()
+
+	scale, err := exp.ParseScale(*scaleFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	experiments := []struct {
+		name string
+		run  func(exp.Scale) exp.Printable
+	}{
+		{"table2", func(exp.Scale) exp.Printable { return exp.Table2() }},
+		{"table3", func(exp.Scale) exp.Printable { return exp.Table3() }},
+		{"fig7", func(s exp.Scale) exp.Printable { return exp.Fig7(exp.DefaultFig7Config(s)) }},
+		{"fig8", func(s exp.Scale) exp.Printable { return exp.Fig8(exp.DefaultFig8Config(s)) }},
+		{"fig9", func(s exp.Scale) exp.Printable { return exp.Fig9(exp.DefaultFig9Config(s)) }},
+		{"fig10", func(s exp.Scale) exp.Printable { return exp.Fig10(exp.DefaultFig10Config(s)) }},
+		{"fig11", func(s exp.Scale) exp.Printable { return exp.Fig11(exp.DefaultFig11Config(s)) }},
+		{"fig12", func(exp.Scale) exp.Printable { return exp.Fig12() }},
+		{"llclat", func(exp.Scale) exp.Printable { return exp.LLCLatency(1000) }},
+		{"ablations", runAblations},
+		{"extensions", runExtensions},
+	}
+
+	ran := false
+	for _, e := range experiments {
+		if *runFlag != "all" && *runFlag != e.name {
+			continue
+		}
+		ran = true
+		start := time.Now()
+		fmt.Printf("==== %s (scale=%s) ====\n", e.name, *scaleFlag)
+		res := e.run(scale)
+		res.Print(os.Stdout)
+		if *csvDir != "" {
+			if err := exp.ExportCSV(res, *csvDir); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		fmt.Printf("---- %s done in %v ----\n\n", e.name, time.Since(start).Round(time.Millisecond))
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "pardbench: unknown experiment %q\n", *runFlag)
+		os.Exit(2)
+	}
+}
+
+// ablationSet bundles the ablation studies into one Printable.
+type ablationSet struct {
+	wb  *exp.AblationWritebackResult
+	rb  *exp.AblationRowBufferResult
+	par *exp.AblationPartitionResult
+	rep *exp.AblationReplacementResult
+}
+
+func runAblations(s exp.Scale) exp.Printable {
+	return &ablationSet{
+		wb:  exp.AblationWriteback(),
+		rb:  exp.AblationRowBuffer(s),
+		par: exp.AblationPartition(),
+		rep: exp.AblationReplacement(),
+	}
+}
+
+func (a *ablationSet) Print(w io.Writer) {
+	a.wb.Print(w)
+	fmt.Fprintln(w)
+	a.rb.Print(w)
+	fmt.Fprintln(w)
+	a.par.Print(w)
+	fmt.Fprintln(w)
+	a.rep.Print(w)
+}
+
+// extensionSet bundles the §8 extension demonstrations.
+type extensionSet struct {
+	comp *exp.CompressionResult
+	flow *exp.FlowSteeringResult
+}
+
+func runExtensions(s exp.Scale) exp.Printable {
+	n := 500
+	if s == exp.Full {
+		n = 5000
+	}
+	return &extensionSet{
+		comp: exp.Compression(n),
+		flow: exp.FlowSteering(n),
+	}
+}
+
+func (x *extensionSet) Print(w io.Writer) {
+	x.comp.Print(w)
+	fmt.Fprintln(w)
+	x.flow.Print(w)
+}

@@ -1,0 +1,65 @@
+// Command pardctl boots a PARD server and exposes the PRM firmware's
+// operator console on stdin — the paper's §5 interface. Beyond the
+// firmware commands (cat, echo, ls, tree, pardtrigger, ldoms, log) it
+// adds platform commands:
+//
+//	create <name> <coreID> [priority]   create an LDom on a core
+//	workload <coreID> stream|flush|memcached|dd|lbm|leslie3d
+//	run <milliseconds>                  advance simulated time
+//	stats                               per-LDom LLC/memory summary
+//	trace                               memory-path packet probe
+//	help
+//	exit
+//
+// Example session:
+//
+//	create web 0 1
+//	create batch 1
+//	workload 0 memcached
+//	workload 1 flush
+//	pardtrigger cpa0 -ldom=0 -stats=miss_rate -cond=gt,300 -action=llc_grow_to_half
+//	run 20
+//	cat /sys/cpa/cpa0/ldoms/ldom0/parameters/waymask
+//
+// For remote operation over the management network, see cmd/pardd.
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/pard"
+)
+
+func main() {
+	cfg := pard.DefaultConfig()
+	cfg.ProbeMemory = true
+	sys := pard.NewSystem(cfg)
+	fmt.Println("PARD server booted: 4 cores, 4MB LLC, DDR3-1600, 5 control planes.")
+	fmt.Println("Type 'help' for commands.")
+
+	sc := bufio.NewScanner(os.Stdin)
+	for {
+		fmt.Print("prm> ")
+		if !sc.Scan() {
+			break
+		}
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if line == "exit" || line == "quit" {
+			break
+		}
+		out, err := pard.Dispatch(sys, line)
+		if err != nil {
+			fmt.Println("error:", err)
+			continue
+		}
+		if out != "" {
+			fmt.Println(out)
+		}
+	}
+}

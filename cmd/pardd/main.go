@@ -1,0 +1,44 @@
+// Command pardd boots a PARD server and serves the PRM operator console
+// over TCP — the management-network path of the paper's IPMI-like
+// platform resource manager. Connect with any line client:
+//
+//	pardd -listen 127.0.0.1:9090 &
+//	nc 127.0.0.1 9090
+//	create web 0 1
+//	workload 0 memcached
+//	run 20
+//	cat /sys/cpa/cpa0/ldoms/ldom0/statistics/miss_rate
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+
+	"repro/pard"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:9090", "address for the management console")
+	probe := flag.Bool("probe", true, "enable the memory trace probe")
+	flag.Parse()
+
+	cfg := pard.DefaultConfig()
+	cfg.ProbeMemory = *probe
+	sys := pard.NewSystem(cfg)
+
+	console, err := pard.NewConsole(sys, *listen)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pardd:", err)
+		os.Exit(1)
+	}
+	defer console.Close()
+	fmt.Printf("pardd: PRM console on %v (nc %v; 'help' for commands)\n",
+		console.Addr(), console.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	fmt.Println("pardd: shutting down")
+}

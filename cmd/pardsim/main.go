@@ -1,0 +1,121 @@
+// Command pardsim runs a canned full-system scenario and prints the
+// resulting control-plane statistics — a one-shot, non-interactive
+// counterpart to pardctl.
+//
+// Usage:
+//
+//	pardsim [-scenario colocate|virt|disk] [-ms 30]
+//
+// Scenarios:
+//
+//	colocate  memcached + 3x STREAM with the miss-rate trigger (§7.1.2)
+//	virt      3 LDoms with overlapping guest-physical address spaces (§7.1.1)
+//	disk      2 LDoms running dd with a mid-run quota change (§7.1.3)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/workload"
+	"repro/pard"
+)
+
+func main() {
+	scenario := flag.String("scenario", "colocate", "colocate, virt or disk")
+	ms := flag.Uint64("ms", 30, "simulated milliseconds")
+	flag.Parse()
+
+	switch *scenario {
+	case "colocate":
+		colocate(*ms)
+	case "virt":
+		virt(*ms)
+	case "disk":
+		disk(*ms)
+	default:
+		fmt.Fprintf(os.Stderr, "pardsim: unknown scenario %q\n", *scenario)
+		os.Exit(2)
+	}
+}
+
+func report(sys *pard.System) {
+	fmt.Println("\n== final state ==")
+	fmt.Print(sys.Firmware.MustSh("ldoms"))
+	for ds := range sys.Firmware.LDoms() {
+		fmt.Printf("ldom%d: LLC %.2f MB, mem %d MB/s, LLC miss %d.%d%%\n",
+			ds, float64(sys.LLCOccupancyBytes(ds))/(1<<20),
+			sys.MemBandwidthMBs(ds), sys.LLC.MissRate(ds)/10, sys.LLC.MissRate(ds)%10)
+	}
+	fmt.Printf("server CPU utilization: %.0f%%\n", 100*sys.CPUUtilization())
+	fmt.Println("\n== firmware log ==")
+	fmt.Println(sys.Firmware.MustSh("log"))
+}
+
+func colocate(ms uint64) {
+	sys := pard.NewSystem(pard.DefaultConfig())
+	sys.CreateLDom(pard.LDomConfig{Name: "memcached", Cores: []int{0}, MemBase: 0, Priority: 1, RowBuf: 1})
+	fmt.Println(sys.Firmware.MustSh(
+		"pardtrigger cpa0 -ldom=0 -stats=miss_rate -cond=gt,300 -action=llc_grow_to_half"))
+	mc := pard.NewMemcached(pard.MemcachedConfig{
+		RPS: 20000, ComputeCycles: 66000, Accesses: 800, FootprintBytes: 2304 << 10, Seed: 42,
+	})
+	sys.RunWorkload(0, mc)
+	for i := 1; i <= 3; i++ {
+		sys.CreateLDom(pard.LDomConfig{Name: "stream", Cores: []int{i}, MemBase: uint64(i) * (2 << 30)})
+		sys.RunWorkload(i, pard.NewSTREAM(0))
+	}
+	sys.Run(pard.Millisecond * pard.Tick(ms))
+	fmt.Printf("memcached: %d requests, p95 %.2f ms, mean %.2f ms\n",
+		mc.Completed, mc.TailLatencyMs(0.95), mc.MeanLatencyMs())
+	report(sys)
+}
+
+func virt(ms uint64) {
+	sys := pard.NewSystem(pard.DefaultConfig())
+	gens := []pard.Workload{
+		pard.NewLeslie3d(0),
+		pard.NewLBM(0),
+		&workload.CacheFlush{Base: 0, Footprint: 16 << 20, Seed: 3},
+	}
+	for i, g := range gens {
+		sys.CreateLDom(pard.LDomConfig{
+			Name: fmt.Sprintf("ldom%d", i), Cores: []int{i}, MemBase: uint64(i) * (2 << 30),
+		})
+		sys.RunWorkload(i, g)
+	}
+	sys.Run(pard.Millisecond * pard.Tick(ms) / 2)
+	fmt.Println("repartitioning:")
+	fmt.Println("  echo 0xFF00 > /sys/cpa/cpa0/ldoms/ldom0/parameters/waymask")
+	sys.Firmware.MustSh("echo 0xFF00 > /sys/cpa/cpa0/ldoms/ldom0/parameters/waymask")
+	sys.Firmware.MustSh("echo 0x00FF > /sys/cpa/cpa0/ldoms/ldom1/parameters/waymask")
+	sys.Firmware.MustSh("echo 0x00FF > /sys/cpa/cpa0/ldoms/ldom2/parameters/waymask")
+	sys.Run(pard.Millisecond * pard.Tick(ms) / 2)
+	report(sys)
+}
+
+func disk(ms uint64) {
+	cfg := pard.DefaultConfig()
+	cfg.IDE.QueueDepth = 4
+	sys := pard.NewSystem(cfg)
+	for i := 0; i < 2; i++ {
+		sys.CreateLDom(pard.LDomConfig{Name: fmt.Sprintf("dd%d", i), Cores: []int{i}, MemBase: uint64(i) * (2 << 30)})
+		sys.RunWorkload(i, &workload.DiskCopy{
+			TotalBytes: 512 << 20, ChunkBytes: 64 << 10, Write: true, Loop: true, Compute: 200,
+		})
+	}
+	sys.Run(pard.Millisecond * pard.Tick(ms) / 2)
+	before0 := sys.IDE.Plane().Stat(0, "serv_bytes")
+	before1 := sys.IDE.Plane().Stat(1, "serv_bytes")
+	fmt.Printf("first half: ldom0 %d MB, ldom1 %d MB\n", before0>>20, before1>>20)
+	fmt.Println("echo 80 > /sys/cpa/cpa3/ldoms/ldom0/parameters/bandwidth")
+	sys.Firmware.MustSh("echo 80 > /sys/cpa/cpa3/ldoms/ldom0/parameters/bandwidth")
+	sys.Run(pard.Millisecond * pard.Tick(ms) / 2)
+	after0 := sys.IDE.Plane().Stat(0, "serv_bytes") - before0
+	after1 := sys.IDE.Plane().Stat(1, "serv_bytes") - before1
+	fmt.Printf("second half: ldom0 %d MB, ldom1 %d MB (shares %.0f%% / %.0f%%)\n",
+		after0>>20, after1>>20,
+		100*float64(after0)/float64(after0+after1), 100*float64(after1)/float64(after0+after1))
+	report(sys)
+}

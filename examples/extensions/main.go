@@ -1,0 +1,73 @@
+// Extensions: the paper's §8 "functionality extension" directions, live.
+//
+//  1. An MXT-style compression engine in the memory controller,
+//     programmed to compress traffic for designated DS-id sets only.
+//  2. An OpenFlow-style flow table on the NIC, so an SDN controller can
+//     steer a network flow to an LDom independently of MAC addressing —
+//     the paper's "integrate PARD and SDN so DS-id can be propagated
+//     data-center wide".
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/workload"
+	"repro/pard"
+)
+
+func main() {
+	cfg := pard.DefaultConfig()
+	cfg.Mem.CompressionEngine = true
+	sys := pard.NewSystem(cfg)
+
+	sys.CreateLDom(pard.LDomConfig{
+		Name: "archive", Cores: []int{0}, MemBase: 0, MAC: 0xAA, NICBuf: 0x10000,
+	})
+	sys.CreateLDom(pard.LDomConfig{
+		Name: "serving", Cores: []int{1}, MemBase: 2 << 30, MAC: 0xBB, NICBuf: 0x20000,
+	})
+
+	// --- 1. Per-DS-id memory compression ------------------------------
+	// The archive LDom trades access latency for channel bandwidth; the
+	// serving LDom is untouched. One echo into the memory control plane:
+	cmd := "echo 1 > /sys/cpa/cpa1/ldoms/ldom0/parameters/compress"
+	fmt.Println("$", cmd)
+	sys.Firmware.MustSh(cmd)
+
+	// Measure each LDom alone so the engine's latency is not hidden
+	// behind cross-LDom bank contention.
+	stallPerLoad := func(core int) float64 {
+		c := sys.Cores[core]
+		return float64(c.StallTicks) / float64(c.Loads+c.Stores) / 1000 // ns
+	}
+	sys.RunWorkload(1, &workload.Stream{Base: 0, Footprint: 8 << 20, Compute: 1})
+	sys.Run(2 * pard.Millisecond)
+	sys.Cores[1].Stop()
+	sys.Run(pard.Millisecond)
+	sys.RunWorkload(0, &workload.Stream{Base: 0, Footprint: 8 << 20, Compute: 1})
+	sys.Run(2 * pard.Millisecond)
+	fmt.Printf("serving (plain):      %5.1f ns mean memory stall (untouched)\n", stallPerLoad(1))
+	fmt.Printf("archive (compressed): %5.1f ns mean memory stall (pays the engine)\n", stallPerLoad(0))
+	fmt.Println("under channel saturation the compressed set gains ~2x bandwidth:")
+	fmt.Println("  go run ./cmd/pardbench -run extensions")
+
+	// --- 2. SDN flow steering ------------------------------------------
+	// Flow 42 arrives addressed to the archive LDom's MAC...
+	for i := 0; i < 100; i++ {
+		sys.NIC.ReceiveFlow(42, 0xAA, 1500)
+	}
+	sys.Run(pard.Millisecond)
+	rx := func(ds pard.DSID) uint64 { return sys.NIC.Plane().Stat(ds, "rx_bytes") }
+	fmt.Printf("\nbefore flow rule: archive rx=%d B, serving rx=%d B\n", rx(0), rx(1))
+
+	// ...then the SDN controller migrates the flow to the serving LDom.
+	if err := sys.NIC.BindFlow(42, 1); err != nil {
+		panic(err)
+	}
+	fmt.Println("SDN controller: flow 42 -> serving LDom (no MAC change)")
+	for i := 0; i < 100; i++ {
+		sys.NIC.ReceiveFlow(42, 0xAA, 1500)
+	}
+	sys.Run(pard.Millisecond)
+	fmt.Printf("after flow rule:  archive rx=%d B, serving rx=%d B\n", rx(0), rx(1))
+}

@@ -1,0 +1,521 @@
+// Package cache models PARD's cache hierarchy: a generic set-associative
+// write-back cache used for private L1s and for the shared last-level
+// cache (LLC). The LLC variant stores an owner DS-id per block, applies
+// per-DS-id way-mask partitioning to victim selection, and carries the
+// LLC control plane (paper §4.2, Figure 4).
+package cache
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/metric"
+	"repro/internal/sim"
+)
+
+// Policy selects the replacement policy. All policies honor PARD's
+// way-mask constraint on victim selection.
+type Policy uint8
+
+// Replacement policies.
+const (
+	PolicyPLRU   Policy = iota // tree pseudo-LRU (the paper's design)
+	PolicyLRU                  // true LRU via per-line access stamps
+	PolicyRandom               // seeded random among allowed ways
+)
+
+func (p Policy) String() string {
+	switch p {
+	case PolicyPLRU:
+		return "plru"
+	case PolicyLRU:
+		return "lru"
+	case PolicyRandom:
+		return "random"
+	}
+	return "policy?"
+}
+
+// Config describes one cache instance.
+type Config struct {
+	Name       string
+	SizeBytes  int
+	Ways       int
+	BlockSize  int
+	HitLatency uint64 // cycles in the cache's clock domain
+
+	// Policy is the replacement policy; zero value is PolicyPLRU.
+	Policy Policy
+	// Seed drives PolicyRandom.
+	Seed int64
+
+	// MSHRs bounds outstanding misses; further misses queue behind a
+	// structural stall. 0 means a generous default.
+	MSHRs int
+
+	// ControlPlane instantiates the LLC control plane (way partitioning,
+	// statistics, triggers). L1s leave it false.
+	ControlPlane bool
+	TriggerSlots int
+	// SampleInterval is the statistics window for miss-rate/capacity
+	// publication and trigger evaluation. 0 means 100 µs.
+	SampleInterval sim.Tick
+}
+
+type line struct {
+	tag   uint64
+	valid bool
+	dirty bool
+	owner core.DSID
+}
+
+type mshrKey struct {
+	block uint64
+	ds    core.DSID
+}
+
+type mshrEntry struct {
+	waiters []*core.Packet
+	way     int
+	set     uint64
+	victim  line // evicted line (for accounting already applied)
+}
+
+// Cache is one cache level. It accepts KindMemRead / KindMemWrite /
+// KindWriteback packets and forwards misses to the next level.
+type Cache struct {
+	cfg    Config
+	engine *sim.Engine
+	clock  *sim.Clock
+	ids    *core.IDSource
+	next   core.Target
+
+	sets      int
+	numBlocks int
+	lines     [][]line
+	trees     []plru
+	// lastUse stamps each line's most recent access (PolicyLRU).
+	lastUse [][]uint64
+	useTick uint64
+	rng     uint64 // xorshift state for PolicyRandom
+	// reserved marks ways with an in-flight fill, per set; they must
+	// not be chosen as victims until the fill lands.
+	reserved []uint64
+
+	mshrs   map[mshrKey]*mshrEntry
+	stalled []*core.Packet // misses waiting for a free MSHR
+
+	plane *core.Plane // nil without a control plane
+
+	// Per-DS-id measurement state.
+	missRatio map[core.DSID]*metric.Ratio
+	occupancy map[core.DSID]uint64
+	bytesIn   map[core.DSID]*metric.Rate
+
+	// Aggregate counters (all DS-ids), for tests and reports.
+	Hits, Misses, Writebacks, Fills uint64
+	MSHRStalls                      uint64
+
+	// Writeback attribution, for the paper's §4.1 design-choice
+	// ablation: PARD tags a writeback with the evicted block's owner;
+	// a naive design would tag it with the evicting requester.
+	WritebacksByOwner     map[core.DSID]uint64
+	WritebacksByRequester map[core.DSID]uint64
+}
+
+// Statistic and parameter column names of the LLC control plane (Table 3).
+const (
+	ParamWayMask = "waymask"
+
+	StatHitCnt   = "hit_cnt"
+	StatMissCnt  = "miss_cnt"
+	StatMissRate = "miss_rate" // 0.1% units, windowed
+	StatCapacity = "capacity"  // blocks currently owned
+)
+
+// New builds a cache. next receives fill reads and writebacks.
+func New(e *sim.Engine, clock *sim.Clock, ids *core.IDSource, cfg Config, next core.Target) *Cache {
+	if !isPow2(cfg.Ways) || cfg.Ways > 64 {
+		panic(fmt.Sprintf("cache %s: ways must be a power of two <= 64, got %d", cfg.Name, cfg.Ways))
+	}
+	if cfg.BlockSize <= 0 || cfg.SizeBytes%(cfg.BlockSize*cfg.Ways) != 0 {
+		panic(fmt.Sprintf("cache %s: size %d not divisible by ways*block", cfg.Name, cfg.SizeBytes))
+	}
+	if cfg.MSHRs == 0 {
+		cfg.MSHRs = 64
+	}
+	if cfg.SampleInterval == 0 {
+		cfg.SampleInterval = 100 * sim.Microsecond
+	}
+	if cfg.TriggerSlots == 0 {
+		cfg.TriggerSlots = 64
+	}
+	sets := cfg.SizeBytes / (cfg.BlockSize * cfg.Ways)
+	c := &Cache{
+		cfg:       cfg,
+		engine:    e,
+		clock:     clock,
+		ids:       ids,
+		next:      next,
+		sets:      sets,
+		numBlocks: sets * cfg.Ways,
+		lines:     make([][]line, sets),
+		trees:     make([]plru, sets),
+		reserved:  make([]uint64, sets),
+		mshrs:     make(map[mshrKey]*mshrEntry),
+		missRatio: make(map[core.DSID]*metric.Ratio),
+		occupancy: make(map[core.DSID]uint64),
+		bytesIn:   make(map[core.DSID]*metric.Rate),
+
+		WritebacksByOwner:     make(map[core.DSID]uint64),
+		WritebacksByRequester: make(map[core.DSID]uint64),
+	}
+	for i := range c.lines {
+		c.lines[i] = make([]line, cfg.Ways)
+	}
+	if cfg.Policy == PolicyLRU {
+		c.lastUse = make([][]uint64, sets)
+		for i := range c.lastUse {
+			c.lastUse[i] = make([]uint64, cfg.Ways)
+		}
+	}
+	c.rng = uint64(cfg.Seed)
+	if c.rng == 0 {
+		c.rng = 0x9E3779B97F4A7C15
+	}
+	if cfg.ControlPlane {
+		params := core.NewTable(
+			core.Column{Name: ParamWayMask, Writable: true, Default: 1<<uint(cfg.Ways) - 1},
+		)
+		stats := core.NewTable(
+			core.Column{Name: StatHitCnt},
+			core.Column{Name: StatMissCnt},
+			core.Column{Name: StatMissRate},
+			core.Column{Name: StatCapacity},
+		)
+		c.plane = core.NewPlane(e, "CACHE_CP", core.PlaneTypeCache, params, stats, cfg.TriggerSlots)
+		e.Schedule(cfg.SampleInterval, c.sample)
+	}
+	return c
+}
+
+// Plane returns the control plane, or nil for planeless caches.
+func (c *Cache) Plane() *core.Plane { return c.plane }
+
+// Config returns the cache configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// NumBlocks returns total block capacity.
+func (c *Cache) NumBlocks() int { return c.numBlocks }
+
+// Occupancy returns the number of blocks currently owned by ds.
+func (c *Cache) Occupancy(ds core.DSID) uint64 { return c.occupancy[ds] }
+
+// OccupancyBytes returns ds's occupancy in bytes (Figure 7's y-axis).
+func (c *Cache) OccupancyBytes(ds core.DSID) uint64 {
+	return c.occupancy[ds] * uint64(c.cfg.BlockSize)
+}
+
+func (c *Cache) blockAddr(addr uint64) uint64 { return addr &^ uint64(c.cfg.BlockSize-1) }
+func (c *Cache) setIndex(block uint64) uint64 {
+	return block / uint64(c.cfg.BlockSize) % uint64(c.sets)
+}
+func (c *Cache) tagOf(block uint64) uint64 {
+	return block / uint64(c.cfg.BlockSize) / uint64(c.sets)
+}
+
+// Request accepts a packet. Lookup completes HitLatency cycles later;
+// the control-plane parameter lookup overlaps the tag pipeline and adds
+// no cycles (verified by BenchmarkLLCControlPlaneLatency).
+func (c *Cache) Request(p *core.Packet) {
+	c.clock.ScheduleCycles(c.cfg.HitLatency, func() { c.lookup(p) })
+}
+
+func (c *Cache) lookup(p *core.Packet) {
+	block := c.blockAddr(p.Addr)
+	si := c.setIndex(block)
+	tag := c.tagOf(block)
+	set := c.lines[si]
+
+	// An LLC hit requires both the address tag and the owner DS-id to
+	// match: LDoms have overlapping guest-physical spaces (paper §4.2
+	// footnote 4).
+	for w := range set {
+		ln := &set[w]
+		if ln.valid && ln.tag == tag && ln.owner == p.DSID {
+			c.hit(p, si, w)
+			return
+		}
+	}
+	c.miss(p, block, si, tag)
+}
+
+func (c *Cache) hit(p *core.Packet, si uint64, w int) {
+	c.Hits++
+	c.touch(si, w)
+	if p.Kind.IsWrite() {
+		c.lines[si][w].dirty = true
+	}
+	c.account(p.DSID, true)
+	p.Complete(c.engine.Now())
+}
+
+func (c *Cache) miss(p *core.Packet, block, si, tag uint64) {
+	c.Misses++
+	c.account(p.DSID, false)
+
+	key := mshrKey{block: block, ds: p.DSID}
+	if e, ok := c.mshrs[key]; ok {
+		e.waiters = append(e.waiters, p)
+		return
+	}
+	if len(c.mshrs) >= c.cfg.MSHRs {
+		c.MSHRStalls++
+		c.stalled = append(c.stalled, p)
+		return
+	}
+	c.allocateMiss(p, key, si, tag)
+}
+
+func (c *Cache) allocateMiss(p *core.Packet, key mshrKey, si, tag uint64) {
+	w, ok := c.evict(si, p.DSID)
+	if !ok {
+		// Every allowed way has a fill in flight: structural stall
+		// until one lands.
+		c.MSHRStalls++
+		c.stalled = append(c.stalled, p)
+		return
+	}
+	set := c.lines[si]
+	victim := set[w]
+	set[w] = line{}
+	c.reserved[si] |= 1 << uint(w) // hold the way until the fill lands
+
+	e := &mshrEntry{waiters: []*core.Packet{p}, way: w, set: si, victim: victim}
+	c.mshrs[key] = e
+
+	if victim.valid && victim.dirty {
+		c.WritebacksByOwner[victim.owner]++
+		c.WritebacksByRequester[p.DSID]++
+		c.writeback(si, victim)
+	}
+
+	if p.Kind == core.KindWriteback {
+		// A writeback carries the whole block: install directly without
+		// fetching from the next level.
+		c.fill(key, true)
+		return
+	}
+	fill := core.NewPacket(c.ids, core.KindMemRead, p.DSID, key.block, uint32(c.cfg.BlockSize), c.engine.Now())
+	fill.OnDone = func(*core.Packet) { c.fill(key, false) }
+	c.next.Request(fill)
+}
+
+// evict picks a victim way for ds, constrained by its way mask when a
+// control plane is present and excluding ways with in-flight fills.
+// ok is false when every allowed way is reserved.
+func (c *Cache) evict(si uint64, ds core.DSID) (w int, ok bool) {
+	mask := uint64(1)<<uint(c.cfg.Ways) - 1
+	if c.plane != nil {
+		m := c.plane.Param(ds, ParamWayMask) & mask
+		if m != 0 {
+			mask = m
+		}
+	}
+	mask &^= c.reserved[si]
+	if mask == 0 {
+		return 0, false
+	}
+	// Prefer an invalid allowed way.
+	for w := 0; w < c.cfg.Ways; w++ {
+		if mask&(1<<uint(w)) != 0 && !c.lines[si][w].valid {
+			return w, true
+		}
+	}
+	switch c.cfg.Policy {
+	case PolicyLRU:
+		best, bestUse := -1, uint64(0)
+		for w := 0; w < c.cfg.Ways; w++ {
+			if mask&(1<<uint(w)) == 0 {
+				continue
+			}
+			if best == -1 || c.lastUse[si][w] < bestUse {
+				best, bestUse = w, c.lastUse[si][w]
+			}
+		}
+		return best, true
+	case PolicyRandom:
+		// xorshift64*, then pick the n-th set bit of the mask.
+		c.rng ^= c.rng >> 12
+		c.rng ^= c.rng << 25
+		c.rng ^= c.rng >> 27
+		n := int(c.rng * 0x2545F4914F6CDD1D % uint64(popcount(mask)))
+		for w := 0; w < c.cfg.Ways; w++ {
+			if mask&(1<<uint(w)) == 0 {
+				continue
+			}
+			if n == 0 {
+				return w, true
+			}
+			n--
+		}
+		return 0, false // unreachable: mask is nonzero
+	default:
+		return c.trees[si].victim(c.cfg.Ways, mask), true
+	}
+}
+
+// touch records an access for the replacement policy.
+func (c *Cache) touch(si uint64, w int) {
+	switch c.cfg.Policy {
+	case PolicyLRU:
+		c.useTick++
+		c.lastUse[si][w] = c.useTick
+	case PolicyRandom:
+		// stateless
+	default:
+		c.trees[si] = c.trees[si].touch(c.cfg.Ways, w)
+	}
+}
+
+// popcount counts set bits.
+func popcount(v uint64) int {
+	n := 0
+	for v != 0 {
+		v &= v - 1
+		n++
+	}
+	return n
+}
+
+func (c *Cache) writeback(si uint64, victim line) {
+	c.Writebacks++
+	addr := (victim.tag*uint64(c.sets) + si) * uint64(c.cfg.BlockSize)
+	// The writeback is tagged with the block's owner DS-id, not the
+	// requester that forced the eviction (paper §4.1).
+	wb := core.NewPacket(c.ids, core.KindWriteback, victim.owner, addr, uint32(c.cfg.BlockSize), c.engine.Now())
+	c.next.Request(wb)
+}
+
+func (c *Cache) fill(key mshrKey, fromWriteback bool) {
+	e, ok := c.mshrs[key]
+	if !ok {
+		return
+	}
+	delete(c.mshrs, key)
+	c.Fills++
+
+	dirty := fromWriteback
+	for _, w := range e.waiters {
+		if w.Kind.IsWrite() {
+			dirty = true
+		}
+	}
+	si := e.set
+	c.reserved[si] &^= 1 << uint(e.way)
+	c.lines[si][e.way] = line{tag: c.tagOf(key.block), valid: true, dirty: dirty, owner: key.ds}
+	c.touch(si, e.way)
+
+	// Occupancy accounting: the victim's owner loses a block, the
+	// requester gains one (paper footnote 6).
+	if e.victim.valid {
+		c.decOccupancy(e.victim.owner)
+	}
+	c.incOccupancy(key.ds)
+
+	now := c.engine.Now()
+	for _, w := range e.waiters {
+		w.Complete(now)
+	}
+
+	// Retry structurally-stalled misses now that an MSHR freed up.
+	if len(c.stalled) > 0 {
+		p := c.stalled[0]
+		c.stalled = c.stalled[1:]
+		c.clock.ScheduleCycles(1, func() { c.lookup(p) })
+	}
+}
+
+func (c *Cache) incOccupancy(ds core.DSID) {
+	c.occupancy[ds]++
+	if c.plane != nil {
+		c.plane.SetStat(ds, StatCapacity, c.occupancy[ds])
+	}
+}
+
+func (c *Cache) decOccupancy(ds core.DSID) {
+	if c.occupancy[ds] > 0 {
+		c.occupancy[ds]--
+	}
+	if c.plane != nil {
+		c.plane.SetStat(ds, StatCapacity, c.occupancy[ds])
+	}
+}
+
+func (c *Cache) account(ds core.DSID, hit bool) {
+	r, ok := c.missRatio[ds]
+	if !ok {
+		r = &metric.Ratio{}
+		c.missRatio[ds] = r
+	}
+	if hit {
+		r.Add(0, 1)
+	} else {
+		r.Add(1, 1)
+	}
+	if c.plane != nil {
+		if hit {
+			c.plane.AddStat(ds, StatHitCnt, 1)
+		} else {
+			c.plane.AddStat(ds, StatMissCnt, 1)
+		}
+	}
+}
+
+// sample closes the statistics window: publishes per-DS-id miss rates to
+// the statistics table and evaluates triggers. It runs off the access
+// critical path (paper §4.2 step 5).
+func (c *Cache) sample() {
+	for ds, r := range c.missRatio {
+		rate := r.Roll()
+		if r.Valid() {
+			c.plane.SetStat(ds, StatMissRate, rate)
+		}
+	}
+	c.plane.EvaluateAll()
+	c.engine.Schedule(c.cfg.SampleInterval, c.sample)
+}
+
+// InvalidateDSID evicts every block owned by ds, writing dirty blocks
+// back to the next level with the owner tag. The firmware calls this
+// during LDom teardown so a recycled DS-id can never hit stale data.
+// It returns the number of blocks invalidated.
+func (c *Cache) InvalidateDSID(ds core.DSID) uint64 {
+	var n uint64
+	for si := range c.lines {
+		for w := range c.lines[si] {
+			ln := &c.lines[si][w]
+			if !ln.valid || ln.owner != ds {
+				continue
+			}
+			if ln.dirty {
+				c.WritebacksByOwner[ds]++
+				c.WritebacksByRequester[ds]++
+				c.writeback(uint64(si), *ln)
+			}
+			*ln = line{}
+			n++
+			c.decOccupancy(ds)
+		}
+	}
+	return n
+}
+
+// MissRate returns ds's last-window miss rate in 0.1% units (for tests
+// and reports; the firmware reads the same value through the file tree).
+func (c *Cache) MissRate(ds core.DSID) uint64 {
+	if r, ok := c.missRatio[ds]; ok {
+		return r.Last()
+	}
+	return 0
+}

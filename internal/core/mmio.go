@@ -1,0 +1,236 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// The control-plane programming interface (paper §5.1, Figure 6): the PRM
+// reserves a 64 KB I/O window; each control-plane adaptor (CPA) occupies
+// a 32-byte register file:
+//
+//	offset  size  register
+//	0x00    8     IDENT       (ASCII, low 8 bytes)
+//	0x08    4     IDENT_HIGH  (ASCII, bytes 8..11)
+//	0x0C    4     type        ('C' cache, 'M' memory, 'B' bridge, ...)
+//	0x10    4     addr        [31:16] DS-id (or trigger slot)
+//	                          [15:2]  offset = column index
+//	                          [1:0]   table select
+//	0x14    4     cmd         command, see Cmd*
+//	0x18    8     data        read result / write operand
+//
+// Drivers program addr, then either write data + CmdWrite, or write
+// CmdRead and read data back.
+const (
+	RegIdent     = 0x00
+	RegIdentHigh = 0x08
+	RegType      = 0x0C
+	RegAddr      = 0x10
+	RegCmd       = 0x14
+	RegData      = 0x18
+	CPASize      = 0x20
+)
+
+// Table-select values in addr[1:0].
+const (
+	SelParameter uint32 = 0
+	SelStatistic uint32 = 1
+	SelTrigger   uint32 = 2
+)
+
+// Commands.
+const (
+	CmdNop       uint32 = 0
+	CmdRead      uint32 = 1
+	CmdWrite     uint32 = 2
+	CmdCreateRow uint32 = 3 // allocate table rows for addr's DS-id (LDom create)
+	CmdDeleteRow uint32 = 4 // tear the rows down (LDom destroy)
+)
+
+// EncodeAddr packs an addr-register value.
+func EncodeAddr(ds DSID, col int, sel uint32) uint32 {
+	return uint32(ds)<<16 | uint32(col&0x3FFF)<<2 | sel&0x3
+}
+
+// DecodeAddr unpacks an addr-register value.
+func DecodeAddr(a uint32) (ds DSID, col int, sel uint32) {
+	return DSID(a >> 16), int(a >> 2 & 0x3FFF), a & 0x3
+}
+
+// CPA is a control-plane adaptor: the MMIO register file through which
+// the PRM firmware programs one control plane. All firmware file-tree
+// traffic funnels through Read32/Write32 on this window, exactly like
+// the paper's driver.
+type CPA struct {
+	Plane *Plane
+	Index int // cpaN index in the device file tree
+
+	addr uint32
+	data uint64
+	err  error // last command error, readable by tests
+}
+
+// NewCPA wraps a plane.
+func NewCPA(plane *Plane, index int) *CPA {
+	return &CPA{Plane: plane, Index: index}
+}
+
+// Err returns the error from the last command, if any.
+func (c *CPA) Err() error { return c.err }
+
+// Read32 reads a 32-bit register at the given byte offset.
+func (c *CPA) Read32(off uint32) uint32 {
+	switch off {
+	case RegIdent:
+		return identWord(c.Plane.Ident(), 0)
+	case RegIdent + 4:
+		return identWord(c.Plane.Ident(), 4)
+	case RegIdentHigh:
+		return identWord(c.Plane.Ident(), 8)
+	case RegType:
+		return uint32(c.Plane.Type())
+	case RegAddr:
+		return c.addr
+	case RegCmd:
+		return CmdNop
+	case RegData:
+		return uint32(c.data)
+	case RegData + 4:
+		return uint32(c.data >> 32)
+	}
+	return 0
+}
+
+// Write32 writes a 32-bit register. Writing RegCmd executes the command.
+func (c *CPA) Write32(off uint32, v uint32) {
+	switch off {
+	case RegAddr:
+		c.addr = v
+	case RegData:
+		c.data = c.data&^uint64(0xFFFFFFFF) | uint64(v)
+	case RegData + 4:
+		c.data = c.data&0xFFFFFFFF | uint64(v)<<32
+	case RegCmd:
+		c.exec(v)
+	}
+}
+
+// ReadData reads the full 64-bit data register.
+func (c *CPA) ReadData() uint64 { return c.data }
+
+// WriteData writes the full 64-bit data register.
+func (c *CPA) WriteData(v uint64) { c.data = v }
+
+func (c *CPA) exec(cmd uint32) {
+	ds, col, sel := DecodeAddr(c.addr)
+	c.err = nil
+	switch cmd {
+	case CmdNop:
+	case CmdRead:
+		c.data, c.err = c.read(ds, col, sel)
+	case CmdWrite:
+		c.err = c.write(ds, col, sel, c.data)
+	case CmdCreateRow:
+		c.Plane.CreateRow(ds)
+	case CmdDeleteRow:
+		c.Plane.DeleteRow(ds)
+	default:
+		c.err = fmt.Errorf("core: cpa%d: unknown command %d", c.Index, cmd)
+	}
+}
+
+func (c *CPA) read(ds DSID, col int, sel uint32) (uint64, error) {
+	switch sel {
+	case SelParameter:
+		return c.Plane.Params().Get(ds, col)
+	case SelStatistic:
+		return c.Plane.Stats().Get(ds, col)
+	case SelTrigger:
+		// For the trigger table, the addr DS-id field selects the slot.
+		tr, err := c.Plane.Trigger(int(ds))
+		if err != nil {
+			return 0, err
+		}
+		return tr.Encode(col)
+	}
+	return 0, fmt.Errorf("core: cpa%d: bad table select %d", c.Index, sel)
+}
+
+func (c *CPA) write(ds DSID, col int, sel uint32, v uint64) error {
+	switch sel {
+	case SelParameter:
+		cols := c.Plane.Params().Columns()
+		if col < 0 || col >= len(cols) {
+			return fmt.Errorf("core: cpa%d: parameter column %d out of range", c.Index, col)
+		}
+		if !cols[col].Writable {
+			return fmt.Errorf("core: cpa%d: parameter %q is read-only", c.Index, cols[col].Name)
+		}
+		return c.Plane.Params().Set(ds, col, v)
+	case SelStatistic:
+		return fmt.Errorf("core: cpa%d: statistics table is read-only", c.Index)
+	case SelTrigger:
+		tr, err := c.Plane.Trigger(int(ds))
+		if err != nil {
+			return err
+		}
+		return tr.Decode(col, v)
+	}
+	return fmt.Errorf("core: cpa%d: bad table select %d", c.Index, sel)
+}
+
+func identWord(ident string, start int) uint32 {
+	var b [4]byte
+	for i := 0; i < 4; i++ {
+		if start+i < len(ident) {
+			b[i] = ident[start+i]
+		}
+	}
+	return binary.LittleEndian.Uint32(b[:])
+}
+
+// IdentString reconstructs the identity string from the three ident
+// registers, as a driver would.
+func (c *CPA) IdentString() string {
+	var raw [12]byte
+	binary.LittleEndian.PutUint32(raw[0:], c.Read32(RegIdent))
+	binary.LittleEndian.PutUint32(raw[4:], c.Read32(RegIdent+4))
+	binary.LittleEndian.PutUint32(raw[8:], c.Read32(RegIdentHigh))
+	n := 0
+	for n < len(raw) && raw[n] != 0 {
+		n++
+	}
+	return string(raw[:n])
+}
+
+// Convenience driver operations used by the firmware.
+
+// ReadEntry performs an addr+CmdRead sequence and returns the data.
+func (c *CPA) ReadEntry(ds DSID, col int, sel uint32) (uint64, error) {
+	c.Write32(RegAddr, EncodeAddr(ds, col, sel))
+	c.Write32(RegCmd, CmdRead)
+	if c.err != nil {
+		return 0, c.err
+	}
+	return c.data, nil
+}
+
+// WriteEntry performs an addr+data+CmdWrite sequence.
+func (c *CPA) WriteEntry(ds DSID, col int, sel uint32, v uint64) error {
+	c.Write32(RegAddr, EncodeAddr(ds, col, sel))
+	c.WriteData(v)
+	c.Write32(RegCmd, CmdWrite)
+	return c.err
+}
+
+// CreateRow issues CmdCreateRow for ds.
+func (c *CPA) CreateRow(ds DSID) {
+	c.Write32(RegAddr, EncodeAddr(ds, 0, SelParameter))
+	c.Write32(RegCmd, CmdCreateRow)
+}
+
+// DeleteRow issues CmdDeleteRow for ds.
+func (c *CPA) DeleteRow(ds DSID) {
+	c.Write32(RegAddr, EncodeAddr(ds, 0, SelParameter))
+	c.Write32(RegCmd, CmdDeleteRow)
+}

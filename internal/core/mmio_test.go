@@ -1,0 +1,186 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestAddrEncodeDecodeRoundtrip(t *testing.T) {
+	f := func(ds uint16, col uint16, sel uint8) bool {
+		c := int(col & 0x3FFF)
+		s := uint32(sel & 0x3)
+		gds, gcol, gsel := DecodeAddr(EncodeAddr(DSID(ds), c, s))
+		return gds == DSID(ds) && gcol == c && gsel == s
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCPAIdentRegisters(t *testing.T) {
+	cpa := NewCPA(newTestPlane(sim.NewEngine()), 0)
+	if got := cpa.IdentString(); got != "CACHE_CP" {
+		t.Fatalf("IdentString = %q, want CACHE_CP", got)
+	}
+	if got := cpa.Read32(RegType); got != uint32('C') {
+		t.Fatalf("type reg = %d, want 'C'", got)
+	}
+}
+
+func TestCPAReadWriteParameter(t *testing.T) {
+	cpa := NewCPA(newTestPlane(sim.NewEngine()), 0)
+	// Driver sequence: addr, data, CmdWrite.
+	if err := cpa.WriteEntry(3, 0, SelParameter, 0xFF00); err != nil {
+		t.Fatal(err)
+	}
+	got, err := cpa.ReadEntry(3, 0, SelParameter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0xFF00 {
+		t.Fatalf("read back %#x, want 0xFF00", got)
+	}
+	// The write landed in the real table.
+	if v := cpa.Plane.Param(3, "waymask"); v != 0xFF00 {
+		t.Fatalf("plane sees %#x", v)
+	}
+}
+
+func TestCPADataRegisterHalves(t *testing.T) {
+	cpa := NewCPA(newTestPlane(sim.NewEngine()), 0)
+	cpa.Write32(RegData, 0xDEADBEEF)
+	cpa.Write32(RegData+4, 0x01234567)
+	if cpa.ReadData() != 0x01234567DEADBEEF {
+		t.Fatalf("data = %#x", cpa.ReadData())
+	}
+	if cpa.Read32(RegData) != 0xDEADBEEF || cpa.Read32(RegData+4) != 0x01234567 {
+		t.Fatal("32-bit data reads wrong")
+	}
+}
+
+func TestCPAStatisticsReadOnly(t *testing.T) {
+	cpa := NewCPA(newTestPlane(sim.NewEngine()), 0)
+	if err := cpa.WriteEntry(1, 0, SelStatistic, 5); err == nil {
+		t.Fatal("statistics write accepted")
+	}
+	cpa.Plane.SetStat(1, "miss_rate", 123)
+	got, err := cpa.ReadEntry(1, 0, SelStatistic)
+	if err != nil || got != 123 {
+		t.Fatalf("stat read = %d, %v", got, err)
+	}
+}
+
+func TestCPAReadOnlyParameterRejected(t *testing.T) {
+	params := NewTable(Column{Name: "fixed", Writable: false, Default: 9})
+	p := NewPlane(sim.NewEngine(), "X_CP", PlaneTypeBridge, params, NewTable(Column{Name: "s"}), 4)
+	cpa := NewCPA(p, 1)
+	if err := cpa.WriteEntry(0, 0, SelParameter, 1); err == nil {
+		t.Fatal("read-only parameter write accepted")
+	}
+}
+
+func TestCPATriggerProgramming(t *testing.T) {
+	cpa := NewCPA(newTestPlane(sim.NewEngine()), 0)
+	// Program slot 5 field by field, as pardtrigger's driver would.
+	slot := DSID(5)
+	fields := map[int]uint64{
+		TrigColDSID:    2,
+		TrigColStat:    0, // miss_rate
+		TrigColOp:      uint64(OpGT),
+		TrigColValue:   300,
+		TrigColAction:  1,
+		TrigColEnabled: 1,
+	}
+	for col, v := range fields {
+		if err := cpa.WriteEntry(slot, col, SelTrigger, v); err != nil {
+			t.Fatalf("write trigger col %d: %v", col, err)
+		}
+	}
+	tr, _ := cpa.Plane.Trigger(5)
+	if tr.DSID != 2 || tr.Op != OpGT || tr.Value != 300 || tr.Action != 1 || !tr.Enabled {
+		t.Fatalf("programmed trigger = %+v", tr)
+	}
+	// Read back through MMIO.
+	for col, want := range fields {
+		got, err := cpa.ReadEntry(slot, col, SelTrigger)
+		if err != nil || got != want {
+			t.Fatalf("trigger col %d read = %d (%v), want %d", col, got, err, want)
+		}
+	}
+	// It actually fires.
+	var fired int
+	cpa.Plane.SetInterrupt(func(Notification) { fired++ })
+	cpa.Plane.SetStat(2, "miss_rate", 400)
+	cpa.Plane.Evaluate(2)
+	if fired != 1 {
+		t.Fatalf("MMIO-programmed trigger fired %d times", fired)
+	}
+}
+
+func TestCPAInvalidTriggerOpRejected(t *testing.T) {
+	cpa := NewCPA(newTestPlane(sim.NewEngine()), 0)
+	if err := cpa.WriteEntry(0, TrigColOp, SelTrigger, 99); err == nil {
+		t.Fatal("invalid op accepted")
+	}
+}
+
+func TestCPARowLifecycle(t *testing.T) {
+	cpa := NewCPA(newTestPlane(sim.NewEngine()), 0)
+	cpa.CreateRow(8)
+	if !cpa.Plane.Params().HasRow(8) || !cpa.Plane.Stats().HasRow(8) {
+		t.Fatal("CmdCreateRow did not allocate rows")
+	}
+	cpa.DeleteRow(8)
+	if cpa.Plane.Params().HasRow(8) || cpa.Plane.Stats().HasRow(8) {
+		t.Fatal("CmdDeleteRow did not free rows")
+	}
+}
+
+func TestCPAUnknownCommand(t *testing.T) {
+	cpa := NewCPA(newTestPlane(sim.NewEngine()), 0)
+	cpa.Write32(RegCmd, 77)
+	if cpa.Err() == nil {
+		t.Fatal("unknown command silently accepted")
+	}
+}
+
+func TestTriggerEncodeDecodeRoundtrip(t *testing.T) {
+	f := func(ds uint16, stat uint8, op uint8, val uint64, action uint8, en bool) bool {
+		var tr Trigger
+		if tr.Decode(TrigColDSID, uint64(ds)) != nil {
+			return false
+		}
+		tr.Decode(TrigColStat, uint64(stat))
+		if err := tr.Decode(TrigColOp, uint64(op%uint8(numOps))); err != nil {
+			return false
+		}
+		tr.Decode(TrigColValue, val)
+		tr.Decode(TrigColAction, uint64(action))
+		var e uint64
+		if en {
+			e = 1
+		}
+		tr.Decode(TrigColEnabled, e)
+		for col := 0; col < NumTrigCols; col++ {
+			v, err := tr.Encode(col)
+			if err != nil {
+				return false
+			}
+			var tr2 Trigger
+			tr2 = tr
+			if err := tr2.Decode(col, v); err != nil {
+				return false
+			}
+			v2, _ := tr2.Encode(col)
+			if v2 != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

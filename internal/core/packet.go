@@ -1,0 +1,148 @@
+// Package core implements PARD's primary contribution: DS-id tagging of
+// intra-computer-network (ICN) packets and the programmable control-plane
+// framework (parameter / statistics / trigger tables plus the CPA
+// register-level programming interface) that shared hardware resources
+// instantiate.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// DSID is a differentiated-service id: the tag attached to every ICN
+// packet identifying the high-level entity (logical domain, container,
+// process...) the packet belongs to. The paper's RTL uses 8-bit tags and
+// the programming interface reserves 16 bits; we use 16.
+type DSID uint16
+
+// DSIDDefault is the tag used by requests that predate LDom assignment
+// (e.g. platform bring-up traffic). Control-plane tables keep a default
+// row for it.
+const DSIDDefault DSID = 0
+
+func (d DSID) String() string { return fmt.Sprintf("ds%d", uint16(d)) }
+
+// Kind classifies ICN packets. A traditional computer is a network in
+// which components exchange exactly these packet classes (paper §2.1).
+type Kind uint8
+
+// Packet kinds.
+const (
+	KindMemRead   Kind = iota // cache/memory read request
+	KindMemWrite              // cache/memory write request
+	KindWriteback             // dirty-block eviction (tagged with owner DS-id)
+	KindPIORead               // programmed I/O read
+	KindPIOWrite              // programmed I/O write
+	KindDMARead               // device-initiated memory read
+	KindDMAWrite              // device-initiated memory write
+	KindInterrupt             // interrupt message toward the APIC
+)
+
+var kindNames = [...]string{
+	"MemRead", "MemWrite", "Writeback", "PIORead", "PIOWrite",
+	"DMARead", "DMAWrite", "Interrupt",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// IsWrite reports whether the packet moves data toward the target.
+func (k Kind) IsWrite() bool {
+	switch k {
+	case KindMemWrite, KindWriteback, KindPIOWrite, KindDMAWrite:
+		return true
+	}
+	return false
+}
+
+// Packet is one ICN message. The DS-id travels with the request for its
+// whole lifetime (paper §3 mechanism 1); completion flows back through
+// the OnDone callback.
+type Packet struct {
+	ID    uint64
+	Kind  Kind
+	DSID  DSID
+	Addr  uint64
+	Size  uint32
+	Issue sim.Tick // when the source issued the request
+
+	// Vector is the interrupt vector for KindInterrupt packets.
+	Vector uint8
+
+	// OnDone, if non-nil, is invoked exactly once when the request
+	// completes. Done holds the completion time.
+	OnDone func(*Packet)
+	Done   sim.Tick
+
+	completed bool
+}
+
+func (p *Packet) String() string {
+	return fmt.Sprintf("pkt#%d %s %s addr=%#x size=%d", p.ID, p.Kind, p.DSID, p.Addr, p.Size)
+}
+
+// Complete marks the packet finished at time now and fires OnDone.
+// Completing a packet twice panics: it would corrupt latency accounting.
+func (p *Packet) Complete(now sim.Tick) {
+	if p.completed {
+		panic("core: packet completed twice: " + p.String())
+	}
+	p.completed = true
+	p.Done = now
+	if p.OnDone != nil {
+		p.OnDone(p)
+	}
+}
+
+// Completed reports whether Complete has run.
+func (p *Packet) Completed() bool { return p.completed }
+
+// Latency returns completion latency; valid only after Complete.
+func (p *Packet) Latency() sim.Tick { return p.Done - p.Issue }
+
+// Target is anything that accepts ICN packets: caches, memory
+// controllers, I/O bridges, devices. Request is asynchronous; the target
+// eventually calls pkt.Complete.
+type Target interface {
+	Request(p *Packet)
+}
+
+// IDSource hands out unique packet IDs. One per system keeps runs
+// deterministic and independent.
+type IDSource struct{ next uint64 }
+
+// Next returns a fresh packet id.
+func (s *IDSource) Next() uint64 {
+	s.next++
+	return s.next
+}
+
+// TagRegister is the per-source DS-id register PARD adds to every
+// request generator: CPU cores, DMA engines and vNICs (paper §4.1).
+type TagRegister struct {
+	ds DSID
+}
+
+// Set programs the register; Get reads it.
+func (r *TagRegister) Set(d DSID) { r.ds = d }
+
+// Get returns the currently programmed DS-id.
+func (r *TagRegister) Get() DSID { return r.ds }
+
+// NewPacket is a convenience constructor stamping issue time and id.
+func NewPacket(ids *IDSource, kind Kind, ds DSID, addr uint64, size uint32, now sim.Tick) *Packet {
+	return &Packet{
+		ID:    ids.Next(),
+		Kind:  kind,
+		DSID:  ds,
+		Addr:  addr,
+		Size:  size,
+		Issue: now,
+	}
+}

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestPacketCompleteFiresCallbackOnce(t *testing.T) {
+	var ids IDSource
+	p := NewPacket(&ids, KindMemRead, 3, 0x1000, 64, 100)
+	var calls int
+	p.OnDone = func(q *Packet) {
+		calls++
+		if q != p {
+			t.Error("callback got a different packet")
+		}
+	}
+	p.Complete(350)
+	if calls != 1 {
+		t.Fatalf("OnDone ran %d times", calls)
+	}
+	if p.Latency() != 250 {
+		t.Fatalf("Latency = %d, want 250", p.Latency())
+	}
+	if !p.Completed() {
+		t.Fatal("Completed() = false after Complete")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double Complete did not panic")
+		}
+	}()
+	p.Complete(400)
+}
+
+func TestIDSourceUnique(t *testing.T) {
+	var ids IDSource
+	seen := map[uint64]bool{}
+	for i := 0; i < 1000; i++ {
+		id := ids.Next()
+		if seen[id] {
+			t.Fatalf("duplicate id %d", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestTagRegister(t *testing.T) {
+	var r TagRegister
+	if r.Get() != DSIDDefault {
+		t.Fatalf("fresh tag register = %v, want default", r.Get())
+	}
+	r.Set(42)
+	if r.Get() != 42 {
+		t.Fatalf("Get = %v after Set(42)", r.Get())
+	}
+}
+
+func TestKindIsWrite(t *testing.T) {
+	writes := map[Kind]bool{
+		KindMemRead: false, KindMemWrite: true, KindWriteback: true,
+		KindPIORead: false, KindPIOWrite: true, KindDMARead: false,
+		KindDMAWrite: true, KindInterrupt: false,
+	}
+	for k, want := range writes {
+		if k.IsWrite() != want {
+			t.Errorf("%v.IsWrite() = %v, want %v", k, k.IsWrite(), want)
+		}
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	if KindWriteback.String() != "Writeback" {
+		t.Fatalf("Kind string = %q", KindWriteback.String())
+	}
+	if DSID(7).String() != "ds7" {
+		t.Fatalf("DSID string = %q", DSID(7).String())
+	}
+}
+
+func TestNewPacketStampsFields(t *testing.T) {
+	var ids IDSource
+	e := sim.NewEngine()
+	e.Schedule(500, func() {
+		p := NewPacket(&ids, KindDMAWrite, 9, 0xABC, 4096, e.Now())
+		if p.Issue != 500 || p.DSID != 9 || p.Kind != KindDMAWrite || p.Size != 4096 {
+			t.Errorf("bad packet: %+v", p)
+		}
+	})
+	e.Drain(0)
+}

@@ -1,0 +1,220 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// PlaneType bytes, matching the paper's device-file "type" node:
+// cache ('C'), memory ('M'), I/O bridge ('B'), plus IDE ('I') and
+// NIC ('N') for the additional device control planes.
+const (
+	PlaneTypeCache  byte = 'C'
+	PlaneTypeMemory byte = 'M'
+	PlaneTypeBridge byte = 'B'
+	PlaneTypeIDE    byte = 'I'
+	PlaneTypeNIC    byte = 'N'
+)
+
+// Notification is the payload carried on a control plane's interrupt
+// line when a trigger fires. The PRM firmware uses it to locate and run
+// the bound action.
+type Notification struct {
+	Plane  *Plane
+	Slot   int    // trigger table slot that fired
+	DSID   DSID   // DS-id the trigger watched
+	Stat   string // statistics column name
+	Value  uint64 // observed value at fire time
+	Action int    // action id bound to the trigger
+	When   sim.Tick
+}
+
+// InterruptLine delivers trigger notifications to the PRM.
+type InterruptLine func(n Notification)
+
+// Plane is PARD's basic programmable control-plane structure (paper §3,
+// mechanism 2): a parameter table, a statistics table and a trigger
+// table, all DS-id indexed, plus a programming interface (see mmio.go)
+// and an interrupt line to the platform resource manager.
+//
+// Hardware components embed a Plane and consult the parameter table on
+// the data path (way masks, priorities, address maps, quotas) while
+// updating the statistics table off the critical path.
+type Plane struct {
+	ident  string
+	typ    byte
+	engine *sim.Engine
+
+	params   *Table
+	stats    *Table
+	triggers []Trigger
+
+	intr InterruptLine
+
+	// TriggersFired counts interrupts raised, for tests and reports.
+	TriggersFired uint64
+}
+
+// NewPlane constructs a control plane. ident is the 12-byte identity
+// string exposed through the IDENT registers (e.g. "CACHE_CP"),
+// triggerSlots the trigger-table capacity (the paper's RTL uses 64).
+func NewPlane(e *sim.Engine, ident string, typ byte, params, stats *Table, triggerSlots int) *Plane {
+	if len(ident) > 12 {
+		panic("core: plane ident exceeds 12 bytes: " + ident)
+	}
+	return &Plane{
+		ident:    ident,
+		typ:      typ,
+		engine:   e,
+		params:   params,
+		stats:    stats,
+		triggers: make([]Trigger, triggerSlots),
+	}
+}
+
+// Ident returns the plane identity string.
+func (p *Plane) Ident() string { return p.ident }
+
+// Type returns the plane type byte.
+func (p *Plane) Type() byte { return p.typ }
+
+// Params returns the parameter table.
+func (p *Plane) Params() *Table { return p.params }
+
+// Stats returns the statistics table.
+func (p *Plane) Stats() *Table { return p.stats }
+
+// TriggerSlots returns the trigger-table capacity.
+func (p *Plane) TriggerSlots() int { return len(p.triggers) }
+
+// Trigger returns a pointer to the trigger in the given slot.
+func (p *Plane) Trigger(slot int) (*Trigger, error) {
+	if slot < 0 || slot >= len(p.triggers) {
+		return nil, fmt.Errorf("core: trigger slot %d out of range (%d slots)", slot, len(p.triggers))
+	}
+	return &p.triggers[slot], nil
+}
+
+// SetInterrupt wires the interrupt line to the PRM.
+func (p *Plane) SetInterrupt(fn InterruptLine) { p.intr = fn }
+
+// CreateRow allocates parameter and statistics rows for a new LDom's
+// DS-id, with column defaults.
+func (p *Plane) CreateRow(ds DSID) {
+	p.params.EnsureRow(ds)
+	p.stats.EnsureRow(ds)
+}
+
+// DeleteRow tears down an LDom's rows and disables its triggers.
+func (p *Plane) DeleteRow(ds DSID) {
+	p.params.DeleteRow(ds)
+	p.stats.DeleteRow(ds)
+	for i := range p.triggers {
+		if p.triggers[i].DSID == ds {
+			p.triggers[i] = Trigger{}
+		}
+	}
+}
+
+// Param reads a parameter on the data path. Unknown columns panic:
+// component code referencing a missing column is a programming error.
+func (p *Plane) Param(ds DSID, name string) uint64 {
+	v, err := p.params.GetName(ds, name)
+	if err != nil {
+		panic("core: " + p.ident + ": " + err.Error())
+	}
+	return v
+}
+
+// SetStat stores a statistics value.
+func (p *Plane) SetStat(ds DSID, name string, v uint64) {
+	if err := p.stats.SetName(ds, name, v); err != nil {
+		panic("core: " + p.ident + ": " + err.Error())
+	}
+}
+
+// AddStat increments a statistics counter.
+func (p *Plane) AddStat(ds DSID, name string, delta uint64) {
+	i, ok := p.stats.ColumnIndex(name)
+	if !ok {
+		panic("core: " + p.ident + ": no stat column " + name)
+	}
+	p.stats.Add(ds, i, delta)
+}
+
+// SubStat decrements a statistics counter, clamped at zero.
+func (p *Plane) SubStat(ds DSID, name string, delta uint64) {
+	i, ok := p.stats.ColumnIndex(name)
+	if !ok {
+		panic("core: " + p.ident + ": no stat column " + name)
+	}
+	p.stats.Sub(ds, i, delta)
+}
+
+// Stat reads a statistics value.
+func (p *Plane) Stat(ds DSID, name string) uint64 {
+	v, err := p.stats.GetName(ds, name)
+	if err != nil {
+		panic("core: " + p.ident + ": " + err.Error())
+	}
+	return v
+}
+
+// Evaluate scans the trigger table for the given DS-id against current
+// statistics and raises interrupts for newly-true conditions. Components
+// call it at their statistics sampling cadence, never on the access
+// critical path (paper §4.2 step 5).
+func (p *Plane) Evaluate(ds DSID) {
+	for slot := range p.triggers {
+		tr := &p.triggers[slot]
+		if !tr.Enabled || tr.DSID != ds {
+			continue
+		}
+		val, err := p.stats.Get(ds, tr.StatCol)
+		if err != nil {
+			continue
+		}
+		cond := tr.Op.Eval(val, tr.Value)
+		switch {
+		case cond && !tr.fired:
+			tr.fired = true
+			p.TriggersFired++
+			if p.intr != nil {
+				p.intr(Notification{
+					Plane:  p,
+					Slot:   slot,
+					DSID:   ds,
+					Stat:   p.stats.Columns()[tr.StatCol].Name,
+					Value:  val,
+					Action: tr.Action,
+					When:   p.engine.Now(),
+				})
+			}
+		case !cond:
+			tr.fired = false
+		}
+	}
+}
+
+// EvaluateAll runs Evaluate for every DS-id with a statistics row.
+func (p *Plane) EvaluateAll() {
+	for _, ds := range p.stats.Rows() {
+		p.Evaluate(ds)
+	}
+}
+
+// InstallTrigger programs a trigger slot directly (the firmware's
+// pardtrigger path ultimately lands here via MMIO).
+func (p *Plane) InstallTrigger(slot int, tr Trigger) error {
+	dst, err := p.Trigger(slot)
+	if err != nil {
+		return err
+	}
+	if tr.StatCol < 0 || tr.StatCol >= p.stats.NumColumns() {
+		return fmt.Errorf("core: trigger stat column %d out of range", tr.StatCol)
+	}
+	tr.fired = false
+	*dst = tr
+	return nil
+}

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func newTestTable() *Table {
+	return NewTable(
+		Column{Name: "waymask", Writable: true, Default: 0xFFFF},
+		Column{Name: "priority", Writable: true, Default: 0},
+	)
+}
+
+func TestTableDefaults(t *testing.T) {
+	tb := newTestTable()
+	v, err := tb.Get(7, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0xFFFF {
+		t.Fatalf("default waymask = %#x, want 0xFFFF", v)
+	}
+	if tb.HasRow(7) {
+		t.Fatal("Get must not materialize a row")
+	}
+}
+
+func TestTableSetGetRoundtrip(t *testing.T) {
+	tb := newTestTable()
+	if err := tb.Set(3, 0, 0x00FF); err != nil {
+		t.Fatal(err)
+	}
+	v, err := tb.Get(3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0x00FF {
+		t.Fatalf("Get = %#x, want 0x00FF", v)
+	}
+	// Other column of the new row carries its default.
+	v, _ = tb.Get(3, 1)
+	if v != 0 {
+		t.Fatalf("priority default = %d, want 0", v)
+	}
+}
+
+func TestTableColumnIndex(t *testing.T) {
+	tb := newTestTable()
+	i, ok := tb.ColumnIndex("priority")
+	if !ok || i != 1 {
+		t.Fatalf("ColumnIndex(priority) = %d,%v", i, ok)
+	}
+	if _, ok := tb.ColumnIndex("nope"); ok {
+		t.Fatal("found nonexistent column")
+	}
+}
+
+func TestTableOutOfRange(t *testing.T) {
+	tb := newTestTable()
+	if _, err := tb.Get(1, 5); err == nil {
+		t.Fatal("Get out-of-range column succeeded")
+	}
+	if err := tb.Set(1, -1, 0); err == nil {
+		t.Fatal("Set negative column succeeded")
+	}
+	if _, err := tb.GetName(1, "zzz"); err == nil {
+		t.Fatal("GetName unknown column succeeded")
+	}
+}
+
+func TestTableDeleteRow(t *testing.T) {
+	tb := newTestTable()
+	tb.Set(9, 0, 1)
+	tb.DeleteRow(9)
+	if tb.HasRow(9) {
+		t.Fatal("row survived DeleteRow")
+	}
+	v, _ := tb.Get(9, 0)
+	if v != 0xFFFF {
+		t.Fatalf("deleted row reads %#x, want default", v)
+	}
+}
+
+func TestTableRowsSorted(t *testing.T) {
+	tb := newTestTable()
+	for _, ds := range []DSID{5, 1, 3} {
+		tb.EnsureRow(ds)
+	}
+	rows := tb.Rows()
+	want := []DSID{1, 3, 5}
+	for i, ds := range rows {
+		if ds != want[i] {
+			t.Fatalf("Rows() = %v, want %v", rows, want)
+		}
+	}
+}
+
+func TestTableSubClampsAtZero(t *testing.T) {
+	tb := newTestTable()
+	tb.Add(2, 1, 5)
+	tb.Sub(2, 1, 10)
+	v, _ := tb.Get(2, 1)
+	if v != 0 {
+		t.Fatalf("Sub below zero = %d, want clamp to 0", v)
+	}
+}
+
+func TestTableDuplicateColumnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate column did not panic")
+		}
+	}()
+	NewTable(Column{Name: "a"}, Column{Name: "a"})
+}
+
+// Property: Set then Get returns the written value, for any ds/value,
+// and never disturbs other rows.
+func TestPropertyTableRoundtrip(t *testing.T) {
+	f := func(ds1, ds2 uint16, v1, v2 uint64) bool {
+		if ds1 == ds2 {
+			return true
+		}
+		tb := newTestTable()
+		tb.Set(DSID(ds1), 0, v1)
+		tb.Set(DSID(ds2), 0, v2)
+		a, _ := tb.Get(DSID(ds1), 0)
+		b, _ := tb.Get(DSID(ds2), 0)
+		return a == v1 && b == v2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Add accumulates exactly.
+func TestPropertyTableAdd(t *testing.T) {
+	f := func(deltas []uint16) bool {
+		tb := newTestTable()
+		var sum uint64
+		for _, d := range deltas {
+			tb.Add(1, 1, uint64(d))
+			sum += uint64(d)
+		}
+		v, _ := tb.Get(1, 1)
+		return v == sum
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,153 @@
+package core
+
+import "fmt"
+
+// CmpOp is a trigger comparison operator.
+type CmpOp uint8
+
+// Comparison operators for trigger conditions.
+const (
+	OpGT CmpOp = iota // >
+	OpGE              // >=
+	OpLT              // <
+	OpLE              // <=
+	OpEQ              // ==
+	OpNE              // !=
+	numOps
+)
+
+var opNames = [...]string{"gt", "ge", "lt", "le", "eq", "ne"}
+
+func (o CmpOp) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// ParseCmpOp parses the textual operator names used by the firmware
+// (`-cond=gt,30` in the paper's pardtrigger example).
+func ParseCmpOp(s string) (CmpOp, error) {
+	for i, n := range opNames {
+		if n == s {
+			return CmpOp(i), nil
+		}
+	}
+	switch s {
+	case ">":
+		return OpGT, nil
+	case ">=":
+		return OpGE, nil
+	case "<":
+		return OpLT, nil
+	case "<=":
+		return OpLE, nil
+	case "==":
+		return OpEQ, nil
+	case "!=":
+		return OpNE, nil
+	}
+	return 0, fmt.Errorf("core: unknown comparison op %q", s)
+}
+
+// Eval applies the operator.
+func (o CmpOp) Eval(lhs, rhs uint64) bool {
+	switch o {
+	case OpGT:
+		return lhs > rhs
+	case OpGE:
+		return lhs >= rhs
+	case OpLT:
+		return lhs < rhs
+	case OpLE:
+		return lhs <= rhs
+	case OpEQ:
+		return lhs == rhs
+	case OpNE:
+		return lhs != rhs
+	}
+	return false
+}
+
+// Trigger is one row of a control-plane trigger table: a condition over a
+// statistics column for one DS-id, bound to an action id. The trigger is
+// edge-sensitive: it fires when the condition becomes true and re-arms
+// when the condition becomes false, so a persistently-bad metric raises
+// one interrupt, not an interrupt storm.
+type Trigger struct {
+	DSID    DSID
+	StatCol int // index into the statistics table
+	Op      CmpOp
+	Value   uint64
+	Action  int
+	Enabled bool
+
+	fired bool
+}
+
+// Armed reports whether the trigger can fire on its next true condition.
+func (tr *Trigger) Armed() bool { return tr.Enabled && !tr.fired }
+
+// trigger table column layout used by the MMIO programming interface.
+// A trigger row serializes to these uint64 columns.
+const (
+	TrigColDSID = iota
+	TrigColStat
+	TrigColOp
+	TrigColValue
+	TrigColAction
+	TrigColEnabled
+	NumTrigCols
+)
+
+// TrigColumns names the trigger-table columns for the device file tree.
+var TrigColumns = []string{"dsid", "stat", "op", "value", "action", "enabled"}
+
+// Encode serializes a trigger field for MMIO reads.
+func (tr *Trigger) Encode(col int) (uint64, error) {
+	switch col {
+	case TrigColDSID:
+		return uint64(tr.DSID), nil
+	case TrigColStat:
+		return uint64(tr.StatCol), nil
+	case TrigColOp:
+		return uint64(tr.Op), nil
+	case TrigColValue:
+		return tr.Value, nil
+	case TrigColAction:
+		return uint64(tr.Action), nil
+	case TrigColEnabled:
+		if tr.Enabled {
+			return 1, nil
+		}
+		return 0, nil
+	}
+	return 0, fmt.Errorf("core: trigger column %d out of range", col)
+}
+
+// Decode deserializes a trigger field for MMIO writes.
+func (tr *Trigger) Decode(col int, v uint64) error {
+	switch col {
+	case TrigColDSID:
+		tr.DSID = DSID(v)
+	case TrigColStat:
+		tr.StatCol = int(v)
+	case TrigColOp:
+		if v >= uint64(numOps) {
+			return fmt.Errorf("core: invalid trigger op %d", v)
+		}
+		tr.Op = CmpOp(v)
+	case TrigColValue:
+		tr.Value = v
+	case TrigColAction:
+		tr.Action = int(v)
+	case TrigColEnabled:
+		tr.Enabled = v != 0
+		if !tr.Enabled {
+			tr.fired = false // disabling re-arms
+		}
+	default:
+		return fmt.Errorf("core: trigger column %d out of range", col)
+	}
+	return nil
+}

@@ -1,0 +1,97 @@
+package dram
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+func newCompCtrl() (*sim.Engine, *Controller, *core.IDSource) {
+	e := sim.NewEngine()
+	ids := &core.IDSource{}
+	cfg := DefaultConfig()
+	cfg.CompressionEngine = true
+	return e, New(e, ids, cfg), ids
+}
+
+func TestCompressionParamPresentOnlyWhenEnabled(t *testing.T) {
+	_, c, _ := newCompCtrl()
+	if _, ok := c.Plane().Params().ColumnIndex(ParamCompress); !ok {
+		t.Fatal("compress parameter missing with engine enabled")
+	}
+	_, plain, _ := newCtrl(true)
+	if _, ok := plain.Plane().Params().ColumnIndex(ParamCompress); ok {
+		t.Fatal("compress parameter present without the engine")
+	}
+}
+
+func TestCompressionAddsEngineLatency(t *testing.T) {
+	e, c, ids := newCompCtrl()
+	// Uncompressed access first.
+	p1 := read(e, c, ids, 1, 0x1000)
+	waitAll(e, p1)
+
+	e2, c2, ids2 := newCompCtrl()
+	c2.Plane().Params().SetName(1, ParamCompress, 1)
+	p2 := read(e2, c2, ids2, 1, 0x1000)
+	waitAll(e2, p2)
+
+	// Compressed: -2 burst cycles on the channel, +8 engine cycles.
+	want := p1.Latency() + sim.Tick(8-2)*c.cfg.TCK
+	if p2.Latency() != want {
+		t.Fatalf("compressed latency %v, want %v (plain %v)", p2.Latency(), want, p1.Latency())
+	}
+}
+
+func TestCompressionHalvesChannelOccupancy(t *testing.T) {
+	// Saturate the channel with row hits from one bank so the data bus
+	// is the bottleneck; the compressed stream must finish in roughly
+	// half the time.
+	run := func(compress bool) sim.Tick {
+		e, c, ids := newCompCtrl()
+		if compress {
+			c.Plane().Params().SetName(1, ParamCompress, 1)
+		}
+		var pkts []*core.Packet
+		for i := 0; i < 200; i++ {
+			pkts = append(pkts, read(e, c, ids, 1, uint64(i)*64)) // one row
+		}
+		waitAll(e, pkts...)
+		return e.Now()
+	}
+	plain := run(false)
+	comp := run(true)
+	ratio := float64(comp) / float64(plain)
+	if ratio > 0.7 {
+		t.Fatalf("compressed stream took %.2fx of plain under channel saturation, want ~0.5", ratio)
+	}
+}
+
+func TestCompressionPerDSID(t *testing.T) {
+	// Only the designated DS-id set is compressed (paper §8: "compress
+	// memory-access packets for only designated DS-id sets").
+	e, c, ids := newCompCtrl()
+	c.Plane().Params().SetName(1, ParamCompress, 1)
+	p1 := read(e, c, ids, 1, 0)
+	waitAll(e, p1)
+	p2 := read(e, c, ids, 2, 1<<20)
+	waitAll(e, p2)
+	if p1.Latency() == p2.Latency() {
+		t.Fatal("compressed and plain DS-ids saw identical latency on identical access patterns")
+	}
+}
+
+func TestCompressedBurstsCoexistWithPlain(t *testing.T) {
+	e, c, ids := newCompCtrl()
+	c.Plane().Params().SetName(1, ParamCompress, 1)
+	var pkts []*core.Packet
+	for i := 0; i < 100; i++ {
+		ds := core.DSID(1 + i%2)
+		pkts = append(pkts, read(e, c, ids, ds, uint64(i)*4096))
+	}
+	waitAll(e, pkts...)
+	if c.Served != 100 {
+		t.Fatalf("Served = %d", c.Served)
+	}
+}

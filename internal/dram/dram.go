@@ -1,0 +1,536 @@
+// Package dram models a DDR3 memory controller with PARD's memory
+// control plane (paper §4.2, Figure 5): per-DS-id address mapping (LDom
+// physical → DRAM physical), two-level priority queueing in front of an
+// FR-FCFS scheduler, per-DS-id row-buffer ids (an extra row buffer per
+// bank for high-priority requests, in the style of NEC's virtual-channel
+// memory), and the usual parameter/statistics/trigger tables.
+package dram
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/metric"
+	"repro/internal/sim"
+)
+
+// Config describes the controller and the attached DDR3 devices.
+// Defaults (via DefaultConfig) follow Table 2: DDR3-1600 11-11-11,
+// 1 channel, 2 ranks, 8 banks/rank, 1 KB row buffer, BL8.
+type Config struct {
+	Name string
+
+	TCK sim.Tick // memory clock period in ticks
+
+	// Timing in memory cycles.
+	TRCD  uint64 // activate -> column command
+	TCL   uint64 // column command -> data
+	TRP   uint64 // precharge
+	TRAS  uint64 // activate -> precharge minimum
+	TRRD  uint64 // activate -> activate, different banks
+	Burst uint64 // data burst length in cycles (BL8 = 4 on DDR)
+
+	Ranks        int
+	BanksPerRank int
+	RowBytes     int
+
+	// Priorities is the number of priority queues (the paper's design
+	// supports two). With ControlPlane false a single FR-FCFS queue is
+	// used regardless — the paper's baseline memory controller.
+	Priorities   int
+	ControlPlane bool
+	TriggerSlots int
+
+	// RowBuffers per bank: 1 standard + extras selectable per DS-id via
+	// the rowbuf parameter.
+	RowBuffers int
+
+	// CompressionEngine enables the paper's §8 functionality extension:
+	// an IBM-MXT-style engine at the controller that compresses memory
+	// traffic for designated DS-id sets (parameter "compress"). A
+	// compressed access moves half the data over the channel (Burst/2
+	// cycles) but pays CompressLatency extra cycles in the engine.
+	CompressionEngine bool
+	CompressLatency   uint64 // engine cycles; 0 means 8
+
+	SampleInterval sim.Tick
+}
+
+// DefaultConfig returns Table 2's memory system.
+func DefaultConfig() Config {
+	return Config{
+		Name: "mem",
+		TCK:  1250, // 1.25 ns
+		TRCD: 11, TCL: 11, TRP: 11, TRAS: 28, TRRD: 5,
+		Burst:          4,
+		Ranks:          2,
+		BanksPerRank:   8,
+		RowBytes:       1024,
+		Priorities:     2,
+		ControlPlane:   true,
+		RowBuffers:     2,
+		SampleInterval: 100 * sim.Microsecond,
+	}
+}
+
+// Parameter and statistics column names (Table 3).
+const (
+	ParamAddrBase  = "addr_base"  // LDom-phys -> DRAM-phys offset in bytes
+	ParamPriority  = "priority"   // larger = higher priority
+	ParamRowBuf    = "rowbuf"     // row-buffer id used by this DS-id
+	ParamCompress  = "compress"   // nonzero: route through the compression engine
+	ParamAddrLimit = "addr_limit" // LDom-physical size; accesses beyond fault (0 = unlimited)
+
+	StatServCnt    = "serv_cnt"   // requests served
+	StatAvgQLat    = "avg_qlat"   // windowed mean queueing delay, 0.1-cycle units
+	StatBandwidth  = "bandwidth"  // windowed bandwidth, MB/s
+	StatViolations = "violations" // out-of-bounds accesses faulted
+)
+
+type request struct {
+	pkt        *core.Packet
+	bank       int
+	row        uint64
+	rbuf       int
+	compressed bool
+	enq        sim.Tick
+}
+
+type bank struct {
+	rows     []int64 // open row per row buffer; -1 closed
+	busyTill sim.Tick
+	lastAct  sim.Tick
+}
+
+// Controller is the DDR3 memory controller.
+type Controller struct {
+	cfg    Config
+	engine *sim.Engine
+	clock  *sim.Clock
+	ids    *core.IDSource
+
+	queues [][]*request // index 0 = highest priority
+	banks  []bank
+	// bursts holds the scheduled data-burst windows on the shared
+	// channel. Kept small by pruning: at most one outstanding burst
+	// per bank.
+	bursts []burstWin
+
+	plane *core.Plane
+
+	pumping bool // an issue event is scheduled
+
+	// Measurement.
+	QueueDelay   []*metric.Histogram // per priority level, in memory cycles
+	qlatWin      map[core.DSID]*qlatWindow
+	bytesWin     map[core.DSID]*metric.Rate
+	Served       uint64
+	Violations   uint64 // out-of-bounds accesses faulted
+	Compressed   uint64 // requests routed through the compression engine
+	RowHits      uint64
+	RowConflicts uint64
+	HighWater    int
+}
+
+type qlatWindow struct {
+	sum   uint64
+	count uint64
+}
+
+// burstWin is one reserved data-burst window [End-Width, End].
+type burstWin struct {
+	End   sim.Tick
+	Width sim.Tick
+}
+
+// New builds a controller.
+func New(e *sim.Engine, ids *core.IDSource, cfg Config) *Controller {
+	if cfg.Priorities <= 0 {
+		cfg.Priorities = 1
+	}
+	if cfg.RowBuffers <= 0 {
+		cfg.RowBuffers = 1
+	}
+	if cfg.TriggerSlots == 0 {
+		cfg.TriggerSlots = 64
+	}
+	if cfg.SampleInterval == 0 {
+		cfg.SampleInterval = 100 * sim.Microsecond
+	}
+	if cfg.CompressLatency == 0 {
+		cfg.CompressLatency = 8
+	}
+	levels := cfg.Priorities
+	if !cfg.ControlPlane {
+		levels = 1
+	}
+	c := &Controller{
+		cfg:      cfg,
+		engine:   e,
+		clock:    sim.NewClock(e, cfg.TCK),
+		ids:      ids,
+		queues:   make([][]*request, levels),
+		banks:    make([]bank, cfg.Ranks*cfg.BanksPerRank),
+		qlatWin:  make(map[core.DSID]*qlatWindow),
+		bytesWin: make(map[core.DSID]*metric.Rate),
+	}
+	for i := range c.banks {
+		rows := make([]int64, cfg.RowBuffers)
+		for j := range rows {
+			rows[j] = -1
+		}
+		c.banks[i] = bank{rows: rows}
+	}
+	c.QueueDelay = make([]*metric.Histogram, levels)
+	for i := range c.QueueDelay {
+		c.QueueDelay[i] = metric.NewHistogram()
+	}
+	if cfg.ControlPlane {
+		cols := []core.Column{
+			{Name: ParamAddrBase, Writable: true, Default: 0},
+			{Name: ParamPriority, Writable: true, Default: 0},
+			{Name: ParamRowBuf, Writable: true, Default: 0},
+			{Name: ParamAddrLimit, Writable: true, Default: 0},
+		}
+		if cfg.CompressionEngine {
+			cols = append(cols, core.Column{Name: ParamCompress, Writable: true, Default: 0})
+		}
+		params := core.NewTable(cols...)
+		stats := core.NewTable(
+			core.Column{Name: StatServCnt},
+			core.Column{Name: StatAvgQLat},
+			core.Column{Name: StatBandwidth},
+			core.Column{Name: StatViolations},
+		)
+		c.plane = core.NewPlane(e, "MEM_CP", core.PlaneTypeMemory, params, stats, cfg.TriggerSlots)
+		e.Schedule(cfg.SampleInterval, c.sample)
+	}
+	return c
+}
+
+// Plane returns the memory control plane (nil in baseline mode).
+func (c *Controller) Plane() *core.Plane { return c.plane }
+
+// Config returns the configuration.
+func (c *Controller) Config() Config { return c.cfg }
+
+func (c *Controller) totalBanks() int { return c.cfg.Ranks * c.cfg.BanksPerRank }
+
+// translate applies the per-DS-id address map and decomposes the DRAM
+// address into (bank, row). Rows interleave across banks so sequential
+// streams spread bank load.
+func (c *Controller) translate(ds core.DSID, addr uint64) (bankIdx int, row uint64) {
+	if c.plane != nil {
+		addr += c.plane.Param(ds, ParamAddrBase)
+	}
+	rowIdx := addr / uint64(c.cfg.RowBytes)
+	return int(rowIdx % uint64(c.totalBanks())), rowIdx / uint64(c.totalBanks())
+}
+
+// priorityOf maps a DS-id to a queue index (0 = highest).
+func (c *Controller) priorityOf(ds core.DSID) int {
+	if c.plane == nil {
+		return 0
+	}
+	p := int(c.plane.Param(ds, ParamPriority))
+	top := len(c.queues) - 1
+	if p > top {
+		p = top
+	}
+	return top - p // parameter: larger = higher priority
+}
+
+func (c *Controller) rowBufOf(ds core.DSID) int {
+	if c.plane == nil {
+		return 0
+	}
+	rb := int(c.plane.Param(ds, ParamRowBuf))
+	if rb >= c.cfg.RowBuffers {
+		rb = c.cfg.RowBuffers - 1
+	}
+	return rb
+}
+
+// compressedOf reports whether ds's traffic routes through the
+// compression engine.
+func (c *Controller) compressedOf(ds core.DSID) bool {
+	if !c.cfg.CompressionEngine || c.plane == nil {
+		return false
+	}
+	return c.plane.Param(ds, ParamCompress) != 0
+}
+
+// burstCyclesOf returns the channel occupancy of r's data burst.
+func (c *Controller) burstCyclesOf(r *request) uint64 {
+	if r.compressed {
+		half := c.cfg.Burst / 2
+		if half == 0 {
+			half = 1
+		}
+		return half
+	}
+	return c.cfg.Burst
+}
+
+// Request enqueues a memory access (paper Figure 5 steps 1–3). When the
+// LDom has an address limit programmed, accesses beyond it fault: the
+// control plane counts a violation, evaluates security triggers
+// immediately, and the request completes without touching DRAM — the
+// containment half of the paper's "security policy" open problem.
+func (c *Controller) Request(p *core.Packet) {
+	if c.plane != nil {
+		if limit := c.plane.Param(p.DSID, ParamAddrLimit); limit > 0 && p.Addr >= limit {
+			c.Violations++
+			c.plane.AddStat(p.DSID, StatViolations, 1)
+			c.plane.Evaluate(p.DSID)
+			p.Complete(c.engine.Now())
+			return
+		}
+	}
+	bankIdx, row := c.translate(p.DSID, p.Addr)
+	r := &request{
+		pkt: p, bank: bankIdx, row: row,
+		rbuf:       c.rowBufOf(p.DSID),
+		compressed: c.compressedOf(p.DSID),
+		enq:        c.engine.Now(),
+	}
+	q := c.priorityOf(p.DSID)
+	c.queues[q] = append(c.queues[q], r)
+	if n := c.pendingCount(); n > c.HighWater {
+		c.HighWater = n
+	}
+	c.pump()
+}
+
+func (c *Controller) pendingCount() int {
+	n := 0
+	for _, q := range c.queues {
+		n += len(q)
+	}
+	return n
+}
+
+// pump ensures an issue attempt is scheduled.
+func (c *Controller) pump() {
+	if c.pumping || c.pendingCount() == 0 {
+		return
+	}
+	c.pumping = true
+	c.engine.At(c.clock.NextEdge(), c.issue)
+}
+
+// issue runs the DRAM scheduler for one command slot: high-priority
+// queues first, FR-FCFS (row hit first, then oldest) within a queue
+// (paper Figure 5 step 4).
+func (c *Controller) issue() {
+	c.pumping = false
+	now := c.engine.Now()
+
+	for qi := range c.queues {
+		if r, idx := c.pick(c.queues[qi], now); r != nil {
+			c.queues[qi] = append(c.queues[qi][:idx], c.queues[qi][idx+1:]...)
+			c.service(r, qi, now)
+			// Another command next cycle if work remains.
+			if c.pendingCount() > 0 {
+				c.pumping = true
+				c.clock.ScheduleCycles(1, c.issue)
+			}
+			return
+		}
+	}
+	// Nothing issuable: wake when the earliest resource frees.
+	if c.pendingCount() > 0 {
+		wake := c.earliestFree(now)
+		c.pumping = true
+		c.engine.At(wake, c.issue)
+	}
+}
+
+// latencyOf computes the access latency r would see if issued now,
+// without mutating bank state.
+func (c *Controller) latencyOf(r *request, now sim.Tick) sim.Tick {
+	b := &c.banks[r.bank]
+	cyc := func(n uint64) sim.Tick { return sim.Tick(n) * c.cfg.TCK }
+	burst := c.burstCyclesOf(r)
+	switch {
+	case b.rows[r.rbuf] == int64(r.row):
+		return cyc(c.cfg.TCL + burst)
+	case b.rows[r.rbuf] == -1:
+		return cyc(c.cfg.TRCD + c.cfg.TCL + burst)
+	default:
+		start := now
+		if min := b.lastAct + cyc(c.cfg.TRAS); min > start {
+			start = min
+		}
+		return (start - now) + cyc(c.cfg.TRP+c.cfg.TRCD+c.cfg.TCL+burst)
+	}
+}
+
+// busConflicts reports whether a data burst with window [end-width, end]
+// would overlap an already-scheduled burst on the shared channel, and
+// prunes windows that ended in the past.
+func (c *Controller) busConflicts(end, width, now sim.Tick) bool {
+	live := c.bursts[:0]
+	conflict := false
+	for _, w := range c.bursts {
+		if w.End <= now {
+			continue // burst fully drained; forget it
+		}
+		live = append(live, w)
+		// [end-width, end] and [w.End-w.Width, w.End] overlap?
+		if end > w.End-w.Width && w.End > end-width {
+			conflict = true
+		}
+	}
+	c.bursts = live
+	return conflict
+}
+
+// pick applies FR-FCFS over one queue: first ready row-hit, else the
+// oldest request whose bank is free and whose data burst would not
+// collide with another on the shared channel. Only the burst occupies
+// the channel; activate/precharge time is bank-private, so banks
+// overlap their accesses and a short access may return before an
+// earlier long one.
+func (c *Controller) pick(q []*request, now sim.Tick) (*request, int) {
+	bestIdx := -1
+	bestHit := false
+	for i, r := range q {
+		b := &c.banks[r.bank]
+		if b.busyTill > now {
+			continue
+		}
+		lat := c.latencyOf(r, now)
+		width := sim.Tick(c.burstCyclesOf(r)) * c.cfg.TCK
+		if c.busConflicts(now+lat, width, now) {
+			continue // data burst would overlap the channel
+		}
+		hit := b.rows[r.rbuf] == int64(r.row)
+		if bestIdx == -1 || (hit && !bestHit) {
+			bestIdx, bestHit = i, hit
+			if hit {
+				break // first row hit in FCFS order wins
+			}
+		}
+	}
+	if bestIdx == -1 {
+		return nil, -1
+	}
+	return q[bestIdx], bestIdx
+}
+
+func (c *Controller) earliestFree(now sim.Tick) sim.Tick {
+	wake := sim.Tick(math.MaxUint64)
+	for _, w := range c.bursts {
+		if w.End > now && w.End < wake {
+			wake = w.End
+		}
+	}
+	for i := range c.banks {
+		if t := c.banks[i].busyTill; t > now && t < wake {
+			wake = t
+		}
+	}
+	next := c.clock.NextEdge() + c.cfg.TCK
+	if wake == sim.Tick(math.MaxUint64) || wake <= now {
+		// Blocked only by the bus-overlap window: retry next cycle.
+		return next
+	}
+	if next < wake {
+		// The bus constraint may clear before any resource fully
+		// frees; probing each cycle keeps the channel busy.
+		return next
+	}
+	return wake
+}
+
+// service issues the DRAM command sequence for r at time now.
+func (c *Controller) service(r *request, level int, now sim.Tick) {
+	b := &c.banks[r.bank]
+	cyc := func(n uint64) sim.Tick { return sim.Tick(n) * c.cfg.TCK }
+
+	latency := c.latencyOf(r, now)
+	switch {
+	case b.rows[r.rbuf] == int64(r.row): // row hit
+		c.RowHits++
+	case b.rows[r.rbuf] == -1: // closed: activate
+		b.lastAct = now
+	default: // conflict: precharge (after tRAS) + activate
+		c.RowConflicts++
+		start := now
+		if min := b.lastAct + cyc(c.cfg.TRAS); min > start {
+			start = min
+		}
+		b.lastAct = start + cyc(c.cfg.TRP)
+	}
+	b.rows[r.rbuf] = int64(r.row)
+	b.busyTill = now + latency
+	c.bursts = append(c.bursts, burstWin{
+		End:   now + latency,
+		Width: sim.Tick(c.burstCyclesOf(r)) * c.cfg.TCK,
+	})
+	// The compression engine adds its pipeline latency outside the
+	// bank/channel path.
+	if r.compressed {
+		latency += sim.Tick(c.cfg.CompressLatency) * c.cfg.TCK
+		c.Compressed++
+	}
+	c.Served++
+
+	// Queueing delay in memory cycles (Figure 11's metric).
+	delay := uint64((now - r.enq) / c.cfg.TCK)
+	c.QueueDelay[level].Observe(delay)
+
+	ds := r.pkt.DSID
+	w, ok := c.qlatWin[ds]
+	if !ok {
+		w = &qlatWindow{}
+		c.qlatWin[ds] = w
+	}
+	w.sum += delay
+	w.count++
+	rate, ok := c.bytesWin[ds]
+	if !ok {
+		rate = &metric.Rate{}
+		c.bytesWin[ds] = rate
+	}
+	rate.Add(uint64(r.pkt.Size))
+	if c.plane != nil {
+		c.plane.AddStat(ds, StatServCnt, 1)
+	}
+
+	pkt := r.pkt
+	c.engine.At(now+latency, func() { pkt.Complete(c.engine.Now()) })
+}
+
+// sample publishes windowed statistics and evaluates triggers.
+func (c *Controller) sample() {
+	winSec := float64(c.cfg.SampleInterval) / float64(sim.Second)
+	for ds, w := range c.qlatWin {
+		if w.count > 0 {
+			c.plane.SetStat(ds, StatAvgQLat, w.sum*10/w.count)
+		}
+		w.sum, w.count = 0, 0
+		if rate, ok := c.bytesWin[ds]; ok {
+			bytes := rate.Roll()
+			mbs := float64(bytes) / 1e6 / winSec
+			c.plane.SetStat(ds, StatBandwidth, uint64(mbs))
+		}
+	}
+	c.plane.EvaluateAll()
+	c.engine.Schedule(c.cfg.SampleInterval, c.sample)
+}
+
+// BandwidthMBs reads ds's last-window bandwidth (for reports).
+func (c *Controller) BandwidthMBs(ds core.DSID) uint64 {
+	if c.plane == nil {
+		return 0
+	}
+	return c.plane.Stat(ds, StatBandwidth)
+}
+
+func (c *Controller) String() string {
+	return fmt.Sprintf("%s: served=%d rowhits=%d conflicts=%d highwater=%d",
+		c.cfg.Name, c.Served, c.RowHits, c.RowConflicts, c.HighWater)
+}

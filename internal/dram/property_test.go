@@ -1,0 +1,107 @@
+package dram
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// Property: for arbitrary traffic mixes and QoS settings, every request
+// completes, per-DS-id serv_cnt conservation holds, and the queue-delay
+// histograms account for exactly the served requests.
+func TestPropertyConservation(t *testing.T) {
+	f := func(seed int64, hiPrio, extraBuf bool) bool {
+		r := rand.New(rand.NewSource(seed))
+		e := sim.NewEngine()
+		ids := &core.IDSource{}
+		cfg := DefaultConfig()
+		c := New(e, ids, cfg)
+		if hiPrio {
+			c.Plane().Params().SetName(1, ParamPriority, 1)
+		}
+		if extraBuf {
+			c.Plane().Params().SetName(1, ParamRowBuf, 1)
+		}
+		issued := map[core.DSID]uint64{}
+		var pkts []*core.Packet
+		n := 200 + r.Intn(200)
+		for i := 0; i < n; i++ {
+			ds := core.DSID(r.Intn(3))
+			kind := core.KindMemRead
+			if r.Intn(3) == 0 {
+				kind = core.KindWriteback
+			}
+			p := core.NewPacket(ids, kind, ds, uint64(r.Intn(1<<22))&^63, 64, e.Now())
+			c.Request(p)
+			pkts = append(pkts, p)
+			issued[ds]++
+			if r.Intn(3) == 0 {
+				e.Run(e.Now() + sim.Tick(r.Intn(100))*sim.Nanosecond)
+			}
+		}
+		ok := e.StepUntil(func() bool {
+			for _, p := range pkts {
+				if !p.Completed() {
+					return false
+				}
+			}
+			return true
+		})
+		if !ok || c.Served != uint64(n) {
+			return false
+		}
+		for ds, want := range issued {
+			if c.Plane().Stat(ds, StatServCnt) != want {
+				return false
+			}
+		}
+		var recorded uint64
+		for _, h := range c.QueueDelay {
+			recorded += h.Count()
+		}
+		return recorded == uint64(n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: completion time is always at least the best-case access
+// latency after enqueue (no time travel, no zero-cost service).
+func TestPropertyMinimumServiceTime(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		e := sim.NewEngine()
+		ids := &core.IDSource{}
+		cfg := DefaultConfig()
+		c := New(e, ids, cfg)
+		minLat := sim.Tick(cfg.TCL+cfg.Burst) * cfg.TCK // row hit
+		var pkts []*core.Packet
+		for i := 0; i < 100; i++ {
+			p := core.NewPacket(ids, core.KindMemRead, core.DSID(r.Intn(2)), uint64(r.Intn(1<<20))&^63, 64, e.Now())
+			c.Request(p)
+			pkts = append(pkts, p)
+			e.Run(e.Now() + sim.Tick(r.Intn(50))*sim.Nanosecond)
+		}
+		e.StepUntil(func() bool {
+			for _, p := range pkts {
+				if !p.Completed() {
+					return false
+				}
+			}
+			return true
+		})
+		for _, p := range pkts {
+			if p.Latency() < minLat {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

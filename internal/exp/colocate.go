@@ -1,0 +1,102 @@
+package exp
+
+import (
+	"repro/internal/sim"
+	"repro/internal/workload"
+	"repro/pard"
+)
+
+// Arm selects a Figure 8/9 configuration.
+type Arm int
+
+// Arms of the memcached co-location experiment.
+const (
+	ArmSolo    Arm = iota // memcached alone (25% CPU utilization)
+	ArmShared             // + 3 STREAM LDoms, no QoS rules (100% util)
+	ArmTrigger            // + 3 STREAM LDoms, miss-rate trigger installed
+)
+
+func (a Arm) String() string {
+	switch a {
+	case ArmSolo:
+		return "solo"
+	case ArmShared:
+		return "shared"
+	case ArmTrigger:
+		return "w/ LLC Trigger"
+	}
+	return "?"
+}
+
+// memcachedModel returns the calibrated service model of §7.1.2: the
+// client+server pair sharing one core, with a footprint sized so the
+// LLC is the contended resource.
+func memcachedModel(rps float64) *workload.Memcached {
+	return workload.NewMemcached(workload.MemcachedConfig{
+		RPS:            rps,
+		ComputeCycles:  66000,      // 33 µs protocol work at 2 GHz
+		Accesses:       800,        // dependent probes over the value store
+		FootprintBytes: 2304 << 10, // slightly over half the LLC, like the paper (solo ~7%, partitioned ~10%)
+		Base:           0,
+		Seed:           42,
+	})
+}
+
+// colocation is one assembled Figure 8/9 run.
+type colocation struct {
+	Sys *pard.System
+	MC  *workload.Memcached
+}
+
+// newColocation builds the four-LDom server: memcached in LDom0 on
+// core 0, and (for non-solo arms) STREAM in LDom1–3 on cores 1–3,
+// started after streamDelay (Figure 9 staggers them so the miss-rate
+// climb is visible). For ArmTrigger the paper's rule is installed
+// first:
+//
+//	LLC.miss_rate > 30% => llc_grow_to_half
+func newColocation(rps float64, arm Arm, streamDelay sim.Tick) *colocation {
+	cfg := pard.DefaultConfig()
+	cfg.SampleInterval = 50 * sim.Microsecond
+	sys := pard.NewSystem(cfg)
+
+	sys.CreateLDom(pard.LDomConfig{
+		Name: "memcached", Cores: []int{0},
+		MemBase: 0, MemSize: 2 << 30, Priority: 1, RowBuf: 1,
+	})
+	if arm == ArmTrigger {
+		sys.Firmware.MustSh("pardtrigger cpa0 -ldom=0 -stats=miss_rate -cond=gt,300 -action=llc_grow_to_half")
+	}
+
+	mc := memcachedModel(rps)
+	sys.RunWorkload(0, mc)
+
+	if arm != ArmSolo {
+		start := func() {
+			for i := 1; i <= 3; i++ {
+				sys.CreateLDom(pard.LDomConfig{
+					Name: "stream", Cores: []int{i},
+					MemBase: uint64(i) * (2 << 30), MemSize: 2 << 30,
+				})
+				sys.RunWorkload(i, workload.NewSTREAM(0))
+			}
+		}
+		if streamDelay == 0 {
+			start()
+		} else {
+			sys.Engine.Schedule(streamDelay, start)
+		}
+	}
+	return &colocation{Sys: sys, MC: mc}
+}
+
+// run executes warmup (discarding its latency samples) then the
+// measurement window.
+func (c *colocation) run(warm, measure sim.Tick) {
+	c.Sys.Run(warm)
+	c.MC.ResetStats()
+	for _, core := range c.Sys.Cores {
+		core.BusyTicks, core.StallTicks, core.IdleTicks = 0, 0, 0
+	}
+	c.Sys.Run(measure)
+}

@@ -1,0 +1,78 @@
+package exp
+
+import (
+	"encoding/csv"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func readCSV(t *testing.T, path string) [][]string {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	rows, err := csv.NewReader(f).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rows
+}
+
+func TestFig11CSVExport(t *testing.T) {
+	dir := t.TempDir()
+	cfg := DefaultFig11Config(Quick)
+	cfg.Requests = 2000
+	r := Fig11(cfg)
+	if err := ExportCSV(r, dir); err != nil {
+		t.Fatal(err)
+	}
+	rows := readCSV(t, filepath.Join(dir, "fig11_queue_delay_cdf.csv"))
+	if len(rows) < 10 {
+		t.Fatalf("only %d CDF rows", len(rows))
+	}
+	if rows[0][0] != "arm" || rows[0][1] != "delay_cycles" {
+		t.Fatalf("header = %v", rows[0])
+	}
+	arms := map[string]bool{}
+	for _, row := range rows[1:] {
+		arms[row[0]] = true
+	}
+	for _, want := range []string{"baseline", "high", "low"} {
+		if !arms[want] {
+			t.Fatalf("missing arm %q", want)
+		}
+	}
+}
+
+func TestFig12CSVExport(t *testing.T) {
+	dir := t.TempDir()
+	if err := ExportCSV(Fig12(), dir); err != nil {
+		t.Fatal(err)
+	}
+	rows := readCSV(t, filepath.Join(dir, "fig12_fpga_cost.csv"))
+	if len(rows) != 1+12 { // header + 6 memory + 6 llc points
+		t.Fatalf("rows = %d", len(rows))
+	}
+}
+
+func TestFig10CSVExport(t *testing.T) {
+	dir := t.TempDir()
+	cfg := DefaultFig10Config(Quick)
+	r := Fig10(cfg)
+	if err := ExportCSV(r, dir); err != nil {
+		t.Fatal(err)
+	}
+	rows := readCSV(t, filepath.Join(dir, "fig10_disk_share_pct.csv"))
+	if len(rows) < 5 || len(rows[0]) != 3 {
+		t.Fatalf("fig10 csv shape: %d rows x %d cols", len(rows), len(rows[0]))
+	}
+}
+
+func TestExportCSVNoopForNonWriters(t *testing.T) {
+	if err := ExportCSV(Table2(), t.TempDir()); err != nil {
+		t.Fatalf("table export should be a no-op, got %v", err)
+	}
+}

@@ -1,0 +1,64 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/pard"
+)
+
+// FlowSteering runs the NIC flow-table extension on a full system: two
+// LDoms with vNICs receive the same MAC-addressed traffic stream before
+// and after an SDN controller installs a flow rule migrating flow 42 to
+// LDom1.
+func FlowSteering(frames int) *FlowSteeringResult {
+	if frames <= 0 {
+		frames = 200
+	}
+	res := &FlowSteeringResult{
+		ByMAC:  make(map[core.DSID]uint64),
+		ByFlow: make(map[core.DSID]uint64),
+	}
+
+	sys := pard.NewSystem(pard.DefaultConfig())
+	sys.CreateLDom(pard.LDomConfig{
+		Name: "front", Cores: []int{0}, MemBase: 0, MAC: 0xAA, NICBuf: 0x10000,
+	})
+	sys.CreateLDom(pard.LDomConfig{
+		Name: "back", Cores: []int{1}, MemBase: 2 << 30, MAC: 0xBB, NICBuf: 0x20000,
+	})
+
+	rx := func(ds core.DSID) uint64 { return sys.NIC.Plane().Stat(ds, "rx_bytes") }
+
+	// Phase 1: MAC classification only.
+	for i := 0; i < frames; i++ {
+		sys.NIC.ReceiveFlow(42, 0xAA, 1500)
+	}
+	sys.Run(sim.Millisecond)
+	res.ByMAC[0], res.ByMAC[1] = rx(0), rx(1)
+
+	// Phase 2: the SDN controller binds flow 42 to LDom1.
+	if err := sys.NIC.BindFlow(42, 1); err != nil {
+		panic("exp: " + err.Error())
+	}
+	for i := 0; i < frames; i++ {
+		sys.NIC.ReceiveFlow(42, 0xAA, 1500)
+	}
+	sys.Run(sim.Millisecond)
+	res.ByFlow[0], res.ByFlow[1] = rx(0)-res.ByMAC[0], rx(1)-res.ByMAC[1]
+	res.Migrated = res.ByFlow[1]
+	return res
+}
+
+// Print renders the comparison.
+func (r *FlowSteeringResult) Print(w io.Writer) {
+	fmt.Fprintln(w, "Extension (§8 / open problems): SDN flow-id -> DS-id steering on the NIC")
+	tw := newTable(w)
+	fmt.Fprintf(tw, "phase\tldom0 RX bytes\tldom1 RX bytes\n")
+	fmt.Fprintf(tw, "MAC classification\t%d\t%d\n", r.ByMAC[0], r.ByMAC[1])
+	fmt.Fprintf(tw, "flow rule installed\t%d\t%d\n", r.ByFlow[0], r.ByFlow[1])
+	tw.Flush()
+	fmt.Fprintf(w, "flow 42 migrated without re-addressing: %d bytes followed the DS-id rule\n", r.Migrated)
+}

@@ -1,0 +1,36 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCompressionExtension(t *testing.T) {
+	r := Compression(300)
+	if g := r.BandwidthGain(); g < 1.5 || g > 2.5 {
+		t.Fatalf("bandwidth gain %.2fx, want ~2x for 2:1 compression", g)
+	}
+	if r.CompressedLat <= r.PlainLat {
+		t.Fatal("compression engine added no latency")
+	}
+	var sb strings.Builder
+	r.Print(&sb)
+	if !strings.Contains(sb.String(), "compression engine") {
+		t.Fatal("report missing header")
+	}
+}
+
+func TestFlowSteeringExtension(t *testing.T) {
+	r := FlowSteering(100)
+	// Phase 1: MAC classification sends everything to ldom0.
+	if r.ByMAC[0] != 100*1500 || r.ByMAC[1] != 0 {
+		t.Fatalf("MAC phase: %v", r.ByMAC)
+	}
+	// Phase 2: the flow rule redirects everything to ldom1.
+	if r.ByFlow[1] != 100*1500 || r.ByFlow[0] != 0 {
+		t.Fatalf("flow phase: %v", r.ByFlow)
+	}
+	if r.Migrated != 100*1500 {
+		t.Fatalf("Migrated = %d", r.Migrated)
+	}
+}

@@ -1,0 +1,148 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+)
+
+// Figure 12 reports FPGA synthesis cost (LUT / LUTRAM / FF) of the LLC
+// and memory control planes as a function of table size. No FPGA
+// toolchain exists in this environment, so the harness is an analytical
+// cost model calibrated to the paper's reported synthesis anchors
+// (DESIGN.md §2):
+//
+//   - memory CP, 256-entry parameter+statistics tables: 220 LUT + 688 LUTRAM
+//   - memory CP, 64-entry trigger table: 582 LUT + 387 FF + 40 LUTRAM
+//   - two 16-deep priority queues: 324 LUT + 30 FF
+//   - memory CP total 1526 LUT/FF = 10.1% of the 15178 LUT/FF MIG controller
+//   - LLC CP, 256/256/64 entries: 2359 LUT/FF = 3.1% of the 75032 LUT/FF LLC
+//   - owner DS-id in the tag array: +8 bits on 28 -> blockRAM 12 -> 18
+//
+// Storage (LUTRAM) scales linearly with entries; comparator/decode logic
+// (LUT/FF) scales linearly in trigger count and sub-linearly (address
+// decode, ~entries/256 of the anchor with a fixed floor) for the
+// indexed tables.
+
+// FPGAAnchors are the paper-reported synthesis numbers the model is
+// calibrated against.
+type FPGAAnchors struct {
+	MemTableLUT, MemTableLUTRAM          float64 // 256-entry param+stats
+	MemTrigLUT, MemTrigFF, MemTrigLUTRAM float64 // 64-entry trigger
+	MemQueueLUT, MemQueueFF              float64 // two 16-deep queues
+	MemControllerLUTFF                   float64 // Xilinx MIGv7
+	LLCTotalLUTFF                        float64 // 256/256/64 LLC CP
+	LLCControllerLUTFF                   float64
+	TagBitsOriginal, TagBitsDSID         int
+	BlockRAMOriginal, BlockRAMWithOwner  int
+}
+
+// PaperAnchors returns the published values.
+func PaperAnchors() FPGAAnchors {
+	return FPGAAnchors{
+		MemTableLUT: 220, MemTableLUTRAM: 688,
+		MemTrigLUT: 582, MemTrigFF: 387, MemTrigLUTRAM: 40,
+		MemQueueLUT: 324, MemQueueFF: 30,
+		MemControllerLUTFF: 15178,
+		LLCTotalLUTFF:      2359,
+		LLCControllerLUTFF: 75032,
+		TagBitsOriginal:    28, TagBitsDSID: 8,
+		BlockRAMOriginal: 12, BlockRAMWithOwner: 18,
+	}
+}
+
+// FPGACost is one bar group of Figure 12.
+type FPGACost struct {
+	Component string // "param+stats" or "trigger" or "queues"
+	Entries   int
+	LUT       float64
+	LUTRAM    float64
+	FF        float64
+}
+
+// Total returns LUT+FF (the paper's headline resource unit).
+func (c FPGACost) Total() float64 { return c.LUT + c.FF }
+
+// Fig12Result carries the modeled series for both control planes.
+type Fig12Result struct {
+	Anchors FPGAAnchors
+	Memory  []FPGACost // param+stats at 64/128/256, trigger at 16/32/64
+	LLC     []FPGACost
+	// Overheads relative to the original controllers, at full size.
+	MemOverheadPct float64
+	LLCOverheadPct float64
+	// BlockRAM impact of storing owner DS-id in the LLC tag array.
+	BlockRAMBefore, BlockRAMAfter int
+}
+
+// tableCost models a DS-id-indexed table: LUTRAM linear in entries;
+// decode LUT with a floor of half the anchor (address decode does not
+// shrink linearly below ~128 entries).
+func tableCost(anchorLUT, anchorLUTRAM float64, entries int) FPGACost {
+	f := float64(entries) / 256.0
+	decode := anchorLUT * (0.5 + 0.5*f)
+	return FPGACost{Component: "param+stats", Entries: entries, LUT: decode, LUTRAM: anchorLUTRAM * f}
+}
+
+// triggerCost models the trigger table: comparators dominate and scale
+// linearly with slots.
+func triggerCost(a FPGAAnchors, slots int) FPGACost {
+	f := float64(slots) / 64.0
+	return FPGACost{
+		Component: "trigger", Entries: slots,
+		LUT: a.MemTrigLUT * f, FF: a.MemTrigFF * f, LUTRAM: a.MemTrigLUTRAM * f,
+	}
+}
+
+// Fig12 evaluates the model at the figure's sweep points.
+func Fig12() *Fig12Result {
+	a := PaperAnchors()
+	res := &Fig12Result{Anchors: a}
+	for _, entries := range []int{64, 128, 256} {
+		res.Memory = append(res.Memory, tableCost(a.MemTableLUT, a.MemTableLUTRAM, entries))
+	}
+	for _, slots := range []int{16, 32, 64} {
+		res.Memory = append(res.Memory, triggerCost(a, slots))
+	}
+	// The LLC CP shares the structure; scale its anchor total across
+	// the same components proportionally.
+	llcScale := a.LLCTotalLUTFF / (a.MemTableLUT + a.MemTableLUTRAM + a.MemTrigLUT + a.MemTrigFF + a.MemTrigLUTRAM)
+	for _, entries := range []int{64, 128, 256} {
+		c := tableCost(a.MemTableLUT*llcScale, a.MemTableLUTRAM*llcScale, entries)
+		res.LLC = append(res.LLC, c)
+	}
+	for _, slots := range []int{16, 32, 64} {
+		c := triggerCost(a, slots)
+		c.LUT *= llcScale
+		c.FF *= llcScale
+		c.LUTRAM *= llcScale
+		res.LLC = append(res.LLC, c)
+	}
+
+	memTotal := a.MemTableLUT + a.MemTrigLUT + a.MemTrigFF + a.MemQueueLUT + a.MemQueueFF
+	res.MemOverheadPct = 100 * memTotal / a.MemControllerLUTFF
+	res.LLCOverheadPct = 100 * a.LLCTotalLUTFF / a.LLCControllerLUTFF
+	res.BlockRAMBefore = a.BlockRAMOriginal
+	res.BlockRAMAfter = a.BlockRAMWithOwner
+	return res
+}
+
+// Print renders the Figure 12 series.
+func (r *Fig12Result) Print(w io.Writer) {
+	fmt.Fprintln(w, "Figure 12: FPGA resource usage of the LLC and memory control planes (modeled)")
+	for _, group := range []struct {
+		name  string
+		costs []FPGACost
+	}{{"Memory controller CP", r.Memory}, {"Last-level cache CP", r.LLC}} {
+		fmt.Fprintf(w, "\n%s:\n", group.name)
+		tw := newTable(w)
+		fmt.Fprintf(tw, "component\tentries\tLUT\tLUTRAM\tFF\n")
+		for _, c := range group.costs {
+			fmt.Fprintf(tw, "%s\t%d\t%.0f\t%.0f\t%.0f\n", c.Component, c.Entries, c.LUT, c.LUTRAM, c.FF)
+		}
+		tw.Flush()
+	}
+	fmt.Fprintf(w, "\nmemory CP overhead: %.1f%% of the original controller (paper: 10.1%%)\n", r.MemOverheadPct)
+	fmt.Fprintf(w, "LLC CP overhead: %.1f%% of the original LLC controller (paper: 3.1%%)\n", r.LLCOverheadPct)
+	fmt.Fprintf(w, "owner DS-id in tag array: blockRAM %d -> %d (paper: 12 -> 18)\n",
+		r.BlockRAMBefore, r.BlockRAMAfter)
+}

@@ -1,0 +1,102 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"repro/pard"
+)
+
+// Table2Result reports the simulated machine configuration (paper
+// Table 2), read back from a constructed system rather than restated,
+// so the report cannot drift from the code.
+type Table2Result struct {
+	Rows [][2]string
+}
+
+// Table2 builds a default system and extracts its parameters.
+func Table2() *Table2Result {
+	cfg := pard.DefaultConfig()
+	sys := pard.NewSystem(cfg)
+	ghz := 1000.0 / float64(cfg.CorePeriod)
+	mem := sys.Mem.Config()
+	llc := sys.LLC.Config()
+	l1 := sys.L1s[0].Config()
+	rows := [][2]string{
+		{"CPU", fmt.Sprintf("%d in-order x86-class cores, %.0f GHz (paper: 4-issue OoO)", len(sys.Cores), ghz)},
+		{"L1/core", fmt.Sprintf("%dKB %d-way, hit = %d cycles", l1.SizeBytes/1024, l1.Ways, l1.HitLatency)},
+		{"Shared LLC", fmt.Sprintf("%dMB %d-way, hit = %d cycles, %d trigger slots", llc.SizeBytes>>20, llc.Ways, llc.HitLatency, llc.TriggerSlots)},
+		{"DRAM", fmt.Sprintf("DDR3-1600 %d-%d-%d, tCK=%.2fns, %d channel, %d ranks, %d banks/rank, %dB rows, BL8",
+			mem.TRCD, mem.TCL, mem.TRP, float64(mem.TCK)/1000, 1, mem.Ranks, mem.BanksPerRank, mem.RowBytes)},
+		{"Memory QoS", fmt.Sprintf("%d priority queues, %d row buffers/bank, FR-FCFS", mem.Priorities, mem.RowBuffers)},
+		{"Disks", fmt.Sprintf("%d-channel IDE controller, %d disks, %d MB/s aggregate",
+			sys.IDE.Config().Channels, sys.IDE.Config().Disks, sys.IDE.Config().BytesPerSec>>20)},
+		{"PRM", "100 MHz firmware core, 5 control plane adaptors, device file tree at /sys/cpa"},
+		{"Workloads", "memcached model, STREAM, CacheFlush, DiskCopy, 437.leslie3d / 470.lbm proxies"},
+	}
+	return &Table2Result{Rows: rows}
+}
+
+// Print renders Table 2.
+func (t *Table2Result) Print(w io.Writer) {
+	fmt.Fprintln(w, "Table 2: Simulation parameters")
+	tw := newTable(w)
+	for _, r := range t.Rows {
+		fmt.Fprintf(tw, "%s\t%s\n", r[0], r[1])
+	}
+	tw.Flush()
+}
+
+// Table3Result enumerates the live control-plane tables (paper Table 3),
+// read from the mounted planes through the firmware.
+type Table3Result struct {
+	Planes []PlaneColumns
+}
+
+// PlaneColumns lists one plane's parameter and statistics columns.
+type PlaneColumns struct {
+	CPA        string
+	Ident      string
+	Type       byte
+	Parameters []string
+	Statistics []string
+	Triggers   int
+}
+
+// Table3 builds a system and walks its control planes.
+func Table3() *Table3Result {
+	sys := pard.NewSystem(pard.DefaultConfig())
+	res := &Table3Result{}
+	for i := 0; ; i++ {
+		cpa, err := sys.Firmware.CPA(i)
+		if err != nil {
+			break
+		}
+		pc := PlaneColumns{
+			CPA:      fmt.Sprintf("cpa%d", i),
+			Ident:    cpa.Plane.Ident(),
+			Type:     cpa.Plane.Type(),
+			Triggers: cpa.Plane.TriggerSlots(),
+		}
+		for _, c := range cpa.Plane.Params().Columns() {
+			pc.Parameters = append(pc.Parameters, c.Name)
+		}
+		for _, c := range cpa.Plane.Stats().Columns() {
+			pc.Statistics = append(pc.Statistics, c.Name)
+		}
+		res.Planes = append(res.Planes, pc)
+	}
+	return res
+}
+
+// Print renders Table 3.
+func (t *Table3Result) Print(w io.Writer) {
+	fmt.Fprintln(w, "Table 3: Control plane tables")
+	tw := newTable(w)
+	fmt.Fprintf(tw, "cpa\tident\ttype\tparameters\tstatistics\ttrigger slots\n")
+	for _, p := range t.Planes {
+		fmt.Fprintf(tw, "%s\t%s\t%c\t%v\t%v\t%d\n", p.CPA, p.Ident, p.Type, p.Parameters, p.Statistics, p.Triggers)
+	}
+	tw.Flush()
+	fmt.Fprintln(w, "example rules: LLC miss_rate => waymask; memory avg_qlat => priority/rowbuf; IDE => bandwidth")
+}

@@ -1,0 +1,87 @@
+package iodev
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// Property: under sustained demand from two LDoms with explicit quotas
+// qa and qb, served bytes split within 15% of qa:qb — deficit round
+// robin tracks arbitrary weight ratios, not just the 80/20 of Figure 10.
+func TestPropertyDRRTracksQuotas(t *testing.T) {
+	f := func(qaRaw, qbRaw uint8) bool {
+		qa := uint64(qaRaw%50) + 10 // 10..59
+		qb := uint64(qbRaw%50) + 10
+		e := sim.NewEngine()
+		cfg := DefaultIDEConfig()
+		cfg.InterruptVector = 0
+		cfg.QueueDepth = 4
+		ide := NewIDE(e, &core.IDSource{}, cfg, &sinkMem{e: e}, nil)
+		ide.Plane().Params().SetName(1, ParamBandwidth, qa)
+		ide.Plane().Params().SetName(2, ParamBandwidth, qb)
+
+		ids := &core.IDSource{}
+		var served [3]uint64
+		feed := func(ds core.DSID) {
+			var next func()
+			next = func() {
+				p := core.NewPacket(ids, core.KindPIOWrite, ds, 0, 32<<10, e.Now())
+				p.OnDone = func(*core.Packet) {
+					served[ds] += 32 << 10
+					next()
+				}
+				ide.Request(p)
+			}
+			next()
+		}
+		feed(1)
+		feed(2)
+		e.Run(80 * sim.Millisecond)
+
+		if served[1] == 0 || served[2] == 0 {
+			return false
+		}
+		got := float64(served[1]) / float64(served[2])
+		want := float64(qa) / float64(qb)
+		rel := got / want
+		return rel > 0.85 && rel < 1.18
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: total served bytes equal total requested bytes for any mix
+// of sizes — the scheduler neither loses nor duplicates transfers.
+func TestPropertyDRRConservation(t *testing.T) {
+	f := func(sizes []uint16) bool {
+		if len(sizes) == 0 {
+			return true
+		}
+		if len(sizes) > 64 {
+			sizes = sizes[:64]
+		}
+		e := sim.NewEngine()
+		cfg := DefaultIDEConfig()
+		cfg.InterruptVector = 0
+		ide := NewIDE(e, &core.IDSource{}, cfg, &sinkMem{e: e}, nil)
+		ids := &core.IDSource{}
+		var want uint64
+		done := 0
+		for i, sz := range sizes {
+			n := uint32(sz)%(256<<10) + 512
+			want += uint64(n)
+			p := core.NewPacket(ids, core.KindPIOWrite, core.DSID(i%4), 0, n, e.Now())
+			p.OnDone = func(*core.Packet) { done++ }
+			ide.Request(p)
+		}
+		e.StepUntil(func() bool { return done == len(sizes) })
+		return ide.ServedBytes == want && ide.ServedOps == uint64(len(sizes))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,276 @@
+package iodev
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/metric"
+	"repro/internal/sim"
+)
+
+// IDEConfig describes the disk controller. Table 2's server has a
+// 4-channel IDE controller with 8 disks; the model aggregates them into
+// one service queue with the combined raw bandwidth, which is the level
+// at which the paper's disk-isolation experiment (Figure 10) operates.
+type IDEConfig struct {
+	Name        string
+	BytesPerSec uint64 // aggregate raw disk bandwidth
+	Channels    int
+	Disks       int
+
+	TriggerSlots   int
+	SampleInterval sim.Tick
+
+	// InterruptVector, when nonzero, raises a tagged completion
+	// interrupt through the APIC after each transfer.
+	InterruptVector uint8
+
+	// QueueDepth > 0 models OS-buffered writes: a request is
+	// acknowledged to the issuing core as soon as it fits within the
+	// per-LDom buffer of QueueDepth outstanding transfers, while the
+	// physical transfer completes later under the DRR schedule. 0 is
+	// fully synchronous (the core blocks for the whole transfer).
+	QueueDepth int
+}
+
+// DefaultIDEConfig returns Table 2's disk subsystem.
+func DefaultIDEConfig() IDEConfig {
+	return IDEConfig{
+		Name:            "ide",
+		BytesPerSec:     200 << 20, // 8 disks x ~25 MB/s
+		Channels:        4,
+		Disks:           8,
+		InterruptVector: 14,
+	}
+}
+
+// IDE control-plane columns (Table 3: disk bandwidth).
+const (
+	ParamBandwidth = "bandwidth" // percent quota; 0 = fair share of residual
+
+	StatBandwidth = "bandwidth"  // windowed MB/s
+	StatServBytes = "serv_bytes" // total bytes served
+)
+
+// drrQuantumPerWeight is the deficit added per weight point per round.
+const drrQuantumPerWeight = 8 << 10
+
+// IDE is the disk controller. Requests are PIO packets whose Size is
+// the transfer length; completion follows the deficit-round-robin
+// schedule weighted by each DS-id's bandwidth quota, and data moves via
+// a tagged DMA engine.
+type IDE struct {
+	cfg    IDEConfig
+	engine *sim.Engine
+	ids    *core.IDSource
+	dma    *DMAEngine
+	apic   core.Target // may be nil
+
+	plane *core.Plane
+
+	queues  map[core.DSID][]*pendingReq
+	ring    []core.DSID
+	cursor  int
+	deficit map[core.DSID]uint64
+	busy    bool
+
+	bytesWin map[core.DSID]*metric.Rate
+
+	ServedBytes uint64
+	ServedOps   uint64
+}
+
+// NewIDE builds the controller. mem receives DMA traffic; apic (optional)
+// receives completion interrupts.
+func NewIDE(e *sim.Engine, ids *core.IDSource, cfg IDEConfig, mem core.Target, apic core.Target) *IDE {
+	if cfg.BytesPerSec == 0 {
+		panic("iodev: IDE bandwidth must be positive")
+	}
+	if cfg.TriggerSlots == 0 {
+		cfg.TriggerSlots = 64
+	}
+	if cfg.SampleInterval == 0 {
+		cfg.SampleInterval = 100 * sim.Microsecond
+	}
+	d := &IDE{
+		cfg:      cfg,
+		engine:   e,
+		ids:      ids,
+		dma:      NewDMAEngine(e, ids, mem),
+		apic:     apic,
+		queues:   make(map[core.DSID][]*pendingReq),
+		deficit:  make(map[core.DSID]uint64),
+		bytesWin: make(map[core.DSID]*metric.Rate),
+	}
+	params := core.NewTable(
+		core.Column{Name: ParamBandwidth, Writable: true, Default: 0},
+	)
+	stats := core.NewTable(
+		core.Column{Name: StatBandwidth},
+		core.Column{Name: StatServBytes},
+	)
+	d.plane = core.NewPlane(e, "IDE_CP", core.PlaneTypeIDE, params, stats, cfg.TriggerSlots)
+	e.Schedule(cfg.SampleInterval, d.sample)
+	return d
+}
+
+// Plane returns the IDE control plane.
+func (d *IDE) Plane() *core.Plane { return d.plane }
+
+// Config returns the controller configuration.
+func (d *IDE) Config() IDEConfig { return d.cfg }
+
+// pendingReq is one queued transfer; acked means the issuing core has
+// already been released (buffered write semantics).
+type pendingReq struct {
+	pkt   *core.Packet
+	acked bool
+}
+
+// Request enqueues a disk transfer.
+func (d *IDE) Request(p *core.Packet) {
+	if p.Kind != core.KindPIORead && p.Kind != core.KindPIOWrite {
+		panic(fmt.Sprintf("iodev: IDE received %v", p.Kind))
+	}
+	if _, ok := d.queues[p.DSID]; !ok {
+		d.ring = append(d.ring, p.DSID)
+	}
+	entry := &pendingReq{pkt: p}
+	d.queues[p.DSID] = append(d.queues[p.DSID], entry)
+	if d.cfg.QueueDepth > 0 && len(d.queues[p.DSID]) <= d.cfg.QueueDepth {
+		entry.acked = true
+		p.Complete(d.engine.Now())
+	}
+	d.serveNext()
+}
+
+// weight returns ds's DRR weight: its explicit quota, or a fair share
+// of the residual (100 - sum of explicit quotas) among unset DS-ids.
+// Two quota-less LDoms therefore split the disk 50/50, and
+// "echo 80 > .../ldom0/parameters/bandwidth" moves the split to 80/20
+// exactly as in Figure 10.
+func (d *IDE) weight(ds core.DSID) uint64 {
+	q := d.plane.Param(ds, ParamBandwidth)
+	if q > 0 {
+		return q
+	}
+	var explicit uint64
+	unset := 0
+	for _, other := range d.ring {
+		oq := d.plane.Param(other, ParamBandwidth)
+		if oq > 0 {
+			explicit += oq
+		} else {
+			unset++
+		}
+	}
+	residual := uint64(100)
+	if explicit < residual {
+		residual -= explicit
+	} else {
+		residual = 0
+	}
+	w := residual / uint64(unset)
+	if w < 5 {
+		w = 5 // never starve an unset LDom completely
+	}
+	return w
+}
+
+// serveNext runs the DRR scheduler when the disk is idle.
+func (d *IDE) serveNext() {
+	if d.busy || len(d.ring) == 0 {
+		return
+	}
+	// Bounded rounds: deficits grow every visit, so a head-of-line
+	// request is reachable within maxRounds of the largest chunk size.
+	for round := 0; round < 64*len(d.ring); round++ {
+		if len(d.ring) == 0 {
+			return
+		}
+		d.cursor %= len(d.ring)
+		ds := d.ring[d.cursor]
+		q := d.queues[ds]
+		if len(q) == 0 {
+			// Classic DRR: an idle flow forfeits its deficit.
+			d.deficit[ds] = 0
+			d.ring = append(d.ring[:d.cursor], d.ring[d.cursor+1:]...)
+			delete(d.queues, ds)
+			continue
+		}
+		head := q[0]
+		if d.deficit[ds] < uint64(head.pkt.Size) {
+			d.deficit[ds] += d.weight(ds) * drrQuantumPerWeight
+			d.cursor++
+			continue
+		}
+		d.queues[ds] = q[1:]
+		d.deficit[ds] -= uint64(head.pkt.Size)
+		d.serve(head)
+		return
+	}
+}
+
+// serve models the disk transfer itself, then DMAs the data and
+// releases the request.
+func (d *IDE) serve(entry *pendingReq) {
+	p := entry.pkt
+	d.busy = true
+	dur := sim.Tick(uint64(p.Size) * uint64(sim.Second) / d.cfg.BytesPerSec)
+	if dur == 0 {
+		dur = 1
+	}
+	d.engine.Schedule(dur, func() {
+		d.busy = false
+		d.ServedBytes += uint64(p.Size)
+		d.ServedOps++
+		d.plane.AddStat(p.DSID, StatServBytes, uint64(p.Size))
+		w, ok := d.bytesWin[p.DSID]
+		if !ok {
+			w = &metric.Rate{}
+			d.bytesWin[p.DSID] = w
+		}
+		w.Add(uint64(p.Size))
+
+		// Data movement: the DMA engine is programmed by this request's
+		// DS-id and issues tagged memory traffic (paper §4.1).
+		d.dma.Program(p.DSID)
+		d.dma.Transfer(p.Addr, p.Size, p.Kind == core.KindPIORead, nil)
+
+		if d.apic != nil && d.cfg.InterruptVector != 0 {
+			intr := core.NewPacket(d.ids, core.KindInterrupt, p.DSID, 0, 0, d.engine.Now())
+			intr.Vector = d.cfg.InterruptVector
+			d.apic.Request(intr)
+		}
+		if !entry.acked {
+			p.Complete(d.engine.Now())
+		}
+		// A buffer slot freed: release the next blocked submitter.
+		if d.cfg.QueueDepth > 0 {
+			q := d.queues[p.DSID]
+			n := len(q)
+			if n > d.cfg.QueueDepth {
+				n = d.cfg.QueueDepth
+			}
+			for i := 0; i < n; i++ {
+				if !q[i].acked {
+					q[i].acked = true
+					q[i].pkt.Complete(d.engine.Now())
+					break
+				}
+			}
+		}
+		d.serveNext()
+	})
+}
+
+// sample publishes windowed bandwidth and evaluates triggers.
+func (d *IDE) sample() {
+	winSec := float64(d.cfg.SampleInterval) / float64(sim.Second)
+	for ds, w := range d.bytesWin {
+		mbs := float64(w.Roll()) / 1e6 / winSec
+		d.plane.SetStat(ds, StatBandwidth, uint64(mbs))
+	}
+	d.plane.EvaluateAll()
+	d.engine.Schedule(d.cfg.SampleInterval, d.sample)
+}

@@ -1,0 +1,275 @@
+package iodev
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/metric"
+	"repro/internal/sim"
+)
+
+// NICConfig describes the multi-queue NIC.
+type NICConfig struct {
+	Name        string
+	BytesPerSec uint64 // line rate
+	VNICs       int    // virtual NIC slots
+
+	RxVector       uint8
+	TriggerSlots   int
+	SampleInterval sim.Tick
+}
+
+// DefaultNICConfig returns a 10 GbE-class adapter (the paper augments an
+// Intel 82599 multi-queue NIC).
+func DefaultNICConfig() NICConfig {
+	return NICConfig{
+		Name:        "nic",
+		BytesPerSec: 1250 << 20, // ~10 Gb/s
+		VNICs:       8,
+		RxVector:    11,
+	}
+}
+
+// NIC control-plane columns.
+const (
+	ParamVNICMac = "mac" // MAC address bound to the vNIC owning this DS-id
+
+	StatRxBytes = "rx_bytes"
+	StatTxBytes = "tx_bytes"
+	StatRxPkts  = "rx_pkts"
+	StatDropped = "dropped"
+)
+
+// NIC is the paper's control-plane-augmented multi-queue NIC: it is
+// virtualized into vNICs, each bound to a MAC address and holding an
+// LDom's DS-id in a tag register. Incoming frames are classified by
+// destination MAC and DMA'd with the owning vNIC's tag; unmatched frames
+// are dropped and counted (paper §4.1).
+type NIC struct {
+	cfg    NICConfig
+	engine *sim.Engine
+	ids    *core.IDSource
+	mem    core.Target
+	apic   core.Target
+
+	plane *core.Plane
+	vnics map[uint64]*vnic // MAC -> vNIC
+
+	// flows maps OpenFlow-style flow ids to DS-ids — the paper's §4.1
+	// alternative of integrating PARD with an SDN so a DS-id travels
+	// across servers correlated with the network flowid. Flow-table
+	// hits override MAC classification.
+	flows map[uint64]core.DSID
+
+	// peer, when connected, receives transmitted frames after the wire
+	// delay (a point-to-point rack link).
+	peer *NIC
+
+	rxWin map[core.DSID]*metric.Rate
+
+	RxFrames, TxFrames, DroppedFrames uint64
+}
+
+type vnic struct {
+	mac uint64
+	tag core.TagRegister
+	dma *DMAEngine
+	buf uint64 // next DMA buffer address within the LDom
+}
+
+// NewNIC builds the adapter. mem receives RX DMA; apic receives RX
+// interrupts.
+func NewNIC(e *sim.Engine, ids *core.IDSource, cfg NICConfig, mem core.Target, apic core.Target) *NIC {
+	if cfg.TriggerSlots == 0 {
+		cfg.TriggerSlots = 64
+	}
+	if cfg.SampleInterval == 0 {
+		cfg.SampleInterval = 100 * sim.Microsecond
+	}
+	n := &NIC{
+		cfg:    cfg,
+		engine: e,
+		ids:    ids,
+		mem:    mem,
+		apic:   apic,
+		vnics:  make(map[uint64]*vnic),
+		flows:  make(map[uint64]core.DSID),
+		rxWin:  make(map[core.DSID]*metric.Rate),
+	}
+	params := core.NewTable(
+		core.Column{Name: ParamVNICMac, Writable: true, Default: 0},
+	)
+	stats := core.NewTable(
+		core.Column{Name: StatRxBytes},
+		core.Column{Name: StatTxBytes},
+		core.Column{Name: StatRxPkts},
+		core.Column{Name: StatDropped},
+	)
+	n.plane = core.NewPlane(e, "NIC_CP", core.PlaneTypeNIC, params, stats, cfg.TriggerSlots)
+	return n
+}
+
+// Plane returns the NIC control plane.
+func (n *NIC) Plane() *core.Plane { return n.plane }
+
+// Config returns the adapter configuration.
+func (n *NIC) Config() NICConfig { return n.cfg }
+
+// BindVNIC allocates a vNIC: frames to mac are tagged ds. The firmware
+// calls this while building an LDom.
+func (n *NIC) BindVNIC(mac uint64, ds core.DSID, buf uint64) error {
+	if len(n.vnics) >= n.cfg.VNICs {
+		return fmt.Errorf("iodev: all %d vNICs in use", n.cfg.VNICs)
+	}
+	if _, dup := n.vnics[mac]; dup {
+		return fmt.Errorf("iodev: MAC %#x already bound", mac)
+	}
+	v := &vnic{mac: mac, dma: NewDMAEngine(n.engine, n.ids, n.mem), buf: buf}
+	v.tag.Set(ds)
+	v.dma.Program(ds)
+	n.vnics[mac] = v
+	n.plane.Params().SetName(ds, ParamVNICMac, mac)
+	return nil
+}
+
+// UnbindVNIC releases the vNIC bound to mac, along with any flow rules
+// pointing at its DS-id.
+func (n *NIC) UnbindVNIC(mac uint64) {
+	v, ok := n.vnics[mac]
+	if !ok {
+		return
+	}
+	ds := v.tag.Get()
+	for flow, fds := range n.flows {
+		if fds == ds {
+			delete(n.flows, flow)
+		}
+	}
+	n.plane.DeleteRow(ds)
+	delete(n.vnics, mac)
+}
+
+// ConnectPeer joins two NICs with a point-to-point link (both
+// directions): frames sent with SendFrame arrive at the peer's
+// classifier, so a flow id — and with it a DS-id — travels between
+// servers (paper §4.1 / §8: "integrate PARD and SDN so that DS-id can
+// be propagated in a data center wide").
+func (n *NIC) ConnectPeer(other *NIC) {
+	n.peer = other
+	other.peer = n
+}
+
+// SendFrame transmits a frame from an LDom: the payload is DMA-read
+// with the LDom's DS-id, and after the wire delay the frame arrives at
+// the peer NIC carrying (flowID, dstMAC) for classification there.
+func (n *NIC) SendFrame(ds core.DSID, dstMAC, flowID uint64, addr uint64, bytes uint32) {
+	n.TxFrames++
+	n.plane.AddStat(ds, StatTxBytes, uint64(bytes))
+	wireDelay := sim.Tick(uint64(bytes) * uint64(sim.Second) / n.cfg.BytesPerSec)
+	deliver := func() {
+		if n.peer != nil {
+			n.engine.Schedule(wireDelay, func() { n.peer.ReceiveFlow(flowID, dstMAC, bytes) })
+		}
+	}
+	if v := n.vnicByDS(ds); v != nil {
+		v.dma.Transfer(addr, bytes, false, deliver)
+		return
+	}
+	deliver()
+}
+
+// BindFlow programs a flow-table rule: frames carrying flowID are
+// tagged ds regardless of destination MAC, provided a vNIC owns ds.
+func (n *NIC) BindFlow(flowID uint64, ds core.DSID) error {
+	if n.vnicByDS(ds) == nil {
+		return fmt.Errorf("iodev: no vNIC owns %v", ds)
+	}
+	n.flows[flowID] = ds
+	return nil
+}
+
+// UnbindFlow removes a flow rule.
+func (n *NIC) UnbindFlow(flowID uint64) { delete(n.flows, flowID) }
+
+// Receive models a frame arriving from the wire: classify by destination
+// MAC, DMA into the owning LDom with its DS-id, raise a tagged RX
+// interrupt.
+func (n *NIC) Receive(dstMAC uint64, bytes uint32) {
+	n.ReceiveFlow(0, dstMAC, bytes)
+}
+
+// ReceiveFlow is Receive for frames carrying an SDN flow id: the flow
+// table is consulted first (flowID 0 means untagged traffic), falling
+// back to MAC classification.
+func (n *NIC) ReceiveFlow(flowID uint64, dstMAC uint64, bytes uint32) {
+	var v *vnic
+	if flowID != 0 {
+		if ds, ok := n.flows[flowID]; ok {
+			v = n.vnicByDS(ds)
+		}
+	}
+	if v == nil {
+		v = n.vnics[dstMAC]
+	}
+	if v == nil {
+		n.DroppedFrames++
+		n.plane.AddStat(core.DSIDDefault, StatDropped, 1)
+		return
+	}
+	ds := v.tag.Get()
+	n.RxFrames++
+	n.plane.AddStat(ds, StatRxBytes, uint64(bytes))
+	n.plane.AddStat(ds, StatRxPkts, 1)
+	if w, ok := n.rxWin[ds]; ok {
+		w.Add(uint64(bytes))
+	} else {
+		r := &metric.Rate{}
+		r.Add(uint64(bytes))
+		n.rxWin[ds] = r
+	}
+	wireDelay := sim.Tick(uint64(bytes) * uint64(sim.Second) / n.cfg.BytesPerSec)
+	addr := v.buf
+	v.buf += uint64(bytes)
+	n.engine.Schedule(wireDelay, func() {
+		v.dma.Transfer(addr, bytes, true, func() {
+			if n.apic != nil {
+				intr := core.NewPacket(n.ids, core.KindInterrupt, ds, 0, 0, n.engine.Now())
+				intr.Vector = n.cfg.RxVector
+				n.apic.Request(intr)
+			}
+		})
+	})
+}
+
+// Request accepts TX traffic: a PIO write whose Size is the frame
+// length. The NIC DMA-reads the payload from the LDom's memory and
+// transmits.
+func (n *NIC) Request(p *core.Packet) {
+	if p.Kind != core.KindPIOWrite {
+		panic(fmt.Sprintf("iodev: NIC received %v", p.Kind))
+	}
+	n.TxFrames++
+	n.plane.AddStat(p.DSID, StatTxBytes, uint64(p.Size))
+	v := n.vnicByDS(p.DSID)
+	wireDelay := sim.Tick(uint64(p.Size) * uint64(sim.Second) / n.cfg.BytesPerSec)
+	if v == nil {
+		// No vNIC: transmit without DMA modeling.
+		n.engine.Schedule(wireDelay, func() { p.Complete(n.engine.Now()) })
+		return
+	}
+	v.dma.Transfer(p.Addr, p.Size, false, func() {
+		n.engine.Schedule(wireDelay, func() { p.Complete(n.engine.Now()) })
+	})
+}
+
+func (n *NIC) vnicByDS(ds core.DSID) *vnic {
+	for _, v := range n.vnics {
+		if v.tag.Get() == ds {
+			return v
+		}
+	}
+	return nil
+}
+
+// DropCount returns frames dropped for lack of a matching vNIC.
+func (n *NIC) DropCount() uint64 { return n.DroppedFrames }

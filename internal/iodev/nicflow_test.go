@@ -1,0 +1,86 @@
+package iodev
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+func newFlowNIC(t *testing.T) (*sim.Engine, *NIC, *sinkMem) {
+	t.Helper()
+	e := sim.NewEngine()
+	mem := &sinkMem{e: e}
+	n := NewNIC(e, &core.IDSource{}, DefaultNICConfig(), mem, nil)
+	if err := n.BindVNIC(0xAA, 1, 0x1000); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.BindVNIC(0xBB, 2, 0x2000); err != nil {
+		t.Fatal(err)
+	}
+	return e, n, mem
+}
+
+func TestFlowTableOverridesMAC(t *testing.T) {
+	e, n, mem := newFlowNIC(t)
+	// Flow 77 belongs to LDom2 even when addressed to LDom1's MAC —
+	// the SDN controller migrated the flow.
+	if err := n.BindFlow(77, 2); err != nil {
+		t.Fatal(err)
+	}
+	n.ReceiveFlow(77, 0xAA, 1500)
+	e.Drain(0)
+	if len(mem.pkts) != 1 || mem.pkts[0].DSID != 2 {
+		t.Fatalf("flow-classified DMA: %v", mem.pkts)
+	}
+	if n.Plane().Stat(2, StatRxBytes) != 1500 || n.Plane().Stat(1, StatRxBytes) != 0 {
+		t.Fatal("rx accounting followed MAC, not flow")
+	}
+}
+
+func TestUnknownFlowFallsBackToMAC(t *testing.T) {
+	e, n, mem := newFlowNIC(t)
+	n.ReceiveFlow(9999, 0xAA, 1000)
+	e.Drain(0)
+	if len(mem.pkts) != 1 || mem.pkts[0].DSID != 1 {
+		t.Fatalf("fallback DMA: %v", mem.pkts)
+	}
+}
+
+func TestZeroFlowMeansUntagged(t *testing.T) {
+	e, n, mem := newFlowNIC(t)
+	n.BindFlow(77, 2)
+	n.ReceiveFlow(0, 0xAA, 500) // untagged: MAC decides
+	e.Drain(0)
+	if mem.pkts[0].DSID != 1 {
+		t.Fatalf("untagged frame classified as %v", mem.pkts[0].DSID)
+	}
+}
+
+func TestBindFlowRequiresVNIC(t *testing.T) {
+	_, n, _ := newFlowNIC(t)
+	if err := n.BindFlow(5, 9); err == nil {
+		t.Fatal("flow bound to a DS-id with no vNIC")
+	}
+}
+
+func TestUnbindFlowAndVNICCleanup(t *testing.T) {
+	e, n, mem := newFlowNIC(t)
+	n.BindFlow(77, 2)
+	n.UnbindFlow(77)
+	n.ReceiveFlow(77, 0xAA, 100) // rule gone: MAC decides
+	e.Drain(0)
+	if mem.pkts[0].DSID != 1 {
+		t.Fatal("unbound flow rule still active")
+	}
+	// Tearing down the vNIC clears its flow rules too.
+	n.BindFlow(88, 2)
+	n.UnbindVNIC(0xBB)
+	if len(n.flows) != 0 {
+		t.Fatalf("flow rules survived vNIC teardown: %v", n.flows)
+	}
+	n.ReceiveFlow(88, 0xCC, 100)
+	if n.DropCount() != 1 {
+		t.Fatal("frame for a torn-down LDom not dropped")
+	}
+}

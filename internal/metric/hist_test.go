@@ -1,0 +1,148 @@
+package metric
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram()
+	if h.Count() != 0 || h.Mean() != 0 || h.Percentile(0.5) != 0 || h.Min() != 0 {
+		t.Fatal("empty histogram not zeroed")
+	}
+	for _, v := range []uint64{10, 20, 30, 40, 50} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 || h.Sum() != 150 {
+		t.Fatalf("count/sum = %d/%d", h.Count(), h.Sum())
+	}
+	if h.Mean() != 30 {
+		t.Fatalf("mean = %f", h.Mean())
+	}
+	if h.Min() != 10 || h.Max() != 50 {
+		t.Fatalf("min/max = %d/%d", h.Min(), h.Max())
+	}
+}
+
+func TestHistogramExactSmallValues(t *testing.T) {
+	h := NewHistogram()
+	for v := uint64(0); v < 64; v++ {
+		h.Observe(v)
+	}
+	// Values below 64 are stored exactly: median of 0..63 at p50 is 31.
+	if got := h.Percentile(0.5); got != 31 {
+		t.Fatalf("p50 = %d, want 31", got)
+	}
+	if got := h.Percentile(1.0); got != 63 {
+		t.Fatalf("p100 = %d, want 63", got)
+	}
+	if got := h.Percentile(0.0); got != 0 {
+		t.Fatalf("p0 = %d, want 0", got)
+	}
+}
+
+func TestHistogramPercentileAccuracy(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	h := NewHistogram()
+	var raw []uint64
+	for i := 0; i < 10000; i++ {
+		v := uint64(r.Intn(1_000_000))
+		raw = append(raw, v)
+		h.Observe(v)
+	}
+	sort.Slice(raw, func(i, j int) bool { return raw[i] < raw[j] })
+	for _, p := range []float64{0.5, 0.9, 0.95, 0.99} {
+		exact := raw[int(p*float64(len(raw)))-1]
+		got := h.Percentile(p)
+		rel := float64(got) / float64(exact)
+		if rel < 0.97 || rel > 1.03 {
+			t.Errorf("p%.0f = %d, exact %d (rel %.3f)", p*100, got, exact, rel)
+		}
+	}
+}
+
+func TestHistogramCDFMonotonic(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	h := NewHistogram()
+	for i := 0; i < 1000; i++ {
+		h.Observe(uint64(r.Intn(10000)))
+	}
+	cdf := h.CDF()
+	if len(cdf) == 0 {
+		t.Fatal("empty CDF")
+	}
+	for i := 1; i < len(cdf); i++ {
+		if cdf[i].Value <= cdf[i-1].Value || cdf[i].Fraction < cdf[i-1].Fraction {
+			t.Fatalf("CDF not monotonic at %d: %+v %+v", i, cdf[i-1], cdf[i])
+		}
+	}
+	if last := cdf[len(cdf)-1].Fraction; last != 1.0 {
+		t.Fatalf("CDF ends at %f, want 1.0", last)
+	}
+}
+
+func TestHistogramReset(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(42)
+	h.Reset()
+	if h.Count() != 0 || h.Max() != 0 || h.Percentile(0.5) != 0 {
+		t.Fatal("Reset incomplete")
+	}
+}
+
+func TestFractionAtOrBelow(t *testing.T) {
+	h := NewHistogram()
+	for v := uint64(1); v <= 10; v++ {
+		h.Observe(v)
+	}
+	if f := h.FractionAtOrBelow(5); f != 0.5 {
+		t.Fatalf("FractionAtOrBelow(5) = %f, want 0.5", f)
+	}
+	if f := h.FractionAtOrBelow(100); f != 1.0 {
+		t.Fatalf("FractionAtOrBelow(100) = %f, want 1.0", f)
+	}
+}
+
+// Property: percentile is nondecreasing in p and bounded by [min-bucket, max].
+func TestPropertyPercentileMonotonic(t *testing.T) {
+	f := func(vals []uint32) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		h := NewHistogram()
+		for _, v := range vals {
+			h.Observe(uint64(v))
+		}
+		prev := uint64(0)
+		for _, p := range []float64{0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1} {
+			q := h.Percentile(p)
+			if q < prev || q > h.Max() {
+				return false
+			}
+			prev = q
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: bucket(v) <= v and relative error < 1/64 for v >= 64.
+func TestPropertyBucketError(t *testing.T) {
+	f := func(v uint64) bool {
+		b := bucket(v)
+		if b > v {
+			return false
+		}
+		if v < 64 {
+			return b == v
+		}
+		return float64(v-b)/float64(v) < 1.0/64
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,141 @@
+package osched
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// instantMem completes everything immediately.
+type instantMem struct{ e *sim.Engine }
+
+func (m instantMem) Request(p *core.Packet) { p.Complete(m.e.Now()) }
+
+func newCoreWithLLC(e *sim.Engine) (*cpu.Core, *cache.Cache) {
+	clock := sim.NewClock(e, 500)
+	ids := &core.IDSource{}
+	llc := cache.New(e, clock, ids, cache.Config{
+		Name: "llc", SizeBytes: 256 << 10, Ways: 16, BlockSize: 64,
+		HitLatency: 20, ControlPlane: true,
+	}, instantMem{e})
+	return cpu.New(0, clock, ids, llc, nil), llc
+}
+
+func TestSchedulerSwitchesTags(t *testing.T) {
+	e := sim.NewEngine()
+	c, llc := newCoreWithLLC(e)
+	procs := []*Process{
+		{Name: "p10", DSID: 10, Gen: &workload.Stream{Base: 0, Footprint: 64 << 10, Compute: 2}},
+		{Name: "p11", DSID: 11, Gen: &workload.Stream{Base: 1 << 20, Footprint: 64 << 10, Compute: 2}},
+	}
+	sched := New(&c.Tag, 100*sim.Microsecond, 500, procs...)
+	c.Run(sched)
+	e.Run(2 * sim.Millisecond)
+	c.Stop()
+
+	if sched.ContextSwitches < 10 {
+		t.Fatalf("only %d context switches in 2ms with 100us slices", sched.ContextSwitches)
+	}
+	// Both processes' DS-ids show up independently at the LLC control
+	// plane: process-level DiffServ.
+	for _, ds := range []core.DSID{10, 11} {
+		if llc.Plane().Stat(ds, cache.StatHitCnt)+llc.Plane().Stat(ds, cache.StatMissCnt) == 0 {
+			t.Fatalf("no LLC traffic accounted for process %v", ds)
+		}
+	}
+	// Round robin: slice counts within one of each other.
+	d := int64(procs[0].Slices) - int64(procs[1].Slices)
+	if d < -1 || d > 1 {
+		t.Fatalf("slices %d vs %d not round-robin", procs[0].Slices, procs[1].Slices)
+	}
+	// Run time split roughly evenly.
+	r0, r1 := float64(procs[0].RunFor), float64(procs[1].RunFor)
+	if r0 == 0 || r1 == 0 || r0/r1 > 1.3 || r1/r0 > 1.3 {
+		t.Fatalf("runtime split %v vs %v", procs[0].RunFor, procs[1].RunFor)
+	}
+}
+
+func TestNestedDiffServWithinLDom(t *testing.T) {
+	// Two processes inside one LDom get their own way masks: the
+	// latency-critical process keeps its blocks while its sibling
+	// thrashes — the paper's "nested DiffServ" open problem.
+	e := sim.NewEngine()
+	c, llc := newCoreWithLLC(e)
+	llc.Plane().Params().SetName(20, cache.ParamWayMask, 0xFF00)
+	llc.Plane().Params().SetName(21, cache.ParamWayMask, 0x00FF)
+	procs := []*Process{
+		{Name: "svc", DSID: 20, Gen: &workload.Stream{Base: 0, Footprint: 100 << 10, Compute: 4}},
+		{Name: "bg", DSID: 21, Gen: &workload.CacheFlush{Base: 1 << 30, Footprint: 8 << 20, Seed: 2}},
+	}
+	sched := New(&c.Tag, 50*sim.Microsecond, 500, procs...)
+	c.Run(sched)
+	e.Run(4 * sim.Millisecond)
+	c.Stop()
+
+	occSvc := llc.Occupancy(20)
+	limit := uint64(8 * (256 << 10) / 64 / 16) // 8 of 16 ways
+	if occSvc == 0 {
+		t.Fatal("service process holds no LLC blocks")
+	}
+	if occBg := llc.Occupancy(21); occBg > limit {
+		t.Fatalf("background process escaped its partition: %d blocks > %d", occBg, limit)
+	}
+}
+
+func TestSchedulerFinishesWhenAllDone(t *testing.T) {
+	e := sim.NewEngine()
+	c, _ := newCoreWithLLC(e)
+	procs := []*Process{
+		{Name: "a", DSID: 1, Gen: &workload.Finite{Gen: &workload.Spin{Quantum: 10}, N: 5}},
+		{Name: "b", DSID: 2, Gen: &workload.Finite{Gen: &workload.Spin{Quantum: 10}, N: 5}},
+	}
+	sched := New(&c.Tag, sim.Microsecond, 100, procs...)
+	c.Run(sched)
+	e.StepUntil(func() bool { return !c.Running() })
+	if c.Running() {
+		t.Fatal("core still running after all processes finished")
+	}
+	if !procs[0].Done || !procs[1].Done {
+		t.Fatal("processes not marked done")
+	}
+}
+
+func TestSoleRunnableProcessNoSwitchStorm(t *testing.T) {
+	e := sim.NewEngine()
+	c, _ := newCoreWithLLC(e)
+	procs := []*Process{
+		{Name: "a", DSID: 1, Gen: &workload.Finite{Gen: &workload.Spin{Quantum: 100}, N: 3}},
+		{Name: "b", DSID: 2, Gen: &workload.Spin{Quantum: 100}},
+	}
+	sched := New(&c.Tag, 50*sim.Microsecond, 100, procs...)
+	c.Run(sched)
+	e.Run(5 * sim.Millisecond)
+	c.Stop()
+	// Once "a" finishes, "b" runs alone: switches must stop growing
+	// linearly with time (one per slice would be ~100 here).
+	if sched.ContextSwitches > 10 {
+		t.Fatalf("switch storm with a single runnable process: %d", sched.ContextSwitches)
+	}
+}
+
+func TestSchedulerValidation(t *testing.T) {
+	var tag core.TagRegister
+	for _, f := range []func(){
+		func() { New(nil, sim.Microsecond, 0, &Process{Gen: &workload.Spin{}}) },
+		func() { New(&tag, 0, 0, &Process{Gen: &workload.Spin{}}) },
+		func() { New(&tag, sim.Microsecond, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("bad construction did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

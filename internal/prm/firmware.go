@@ -1,0 +1,406 @@
+package prm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// Platform is the hardware surface the firmware manipulates beyond the
+// control planes: per-core tag registers, APIC route tables and vNIC
+// bindings. The system assembly (package pard) implements it.
+type Platform interface {
+	SetCoreTag(coreID int, ds core.DSID)
+	RouteInterrupt(ds core.DSID, vector uint8, coreID int)
+	BindVNIC(mac uint64, ds core.DSID, buf uint64) error
+	UnbindVNIC(mac uint64)
+	// FlushLDom scrubs caches of every block owned by ds (LDom
+	// teardown), so a recycled DS-id cannot hit stale data.
+	FlushLDom(ds core.DSID)
+}
+
+// Action is a trigger handler run by the firmware when a control plane
+// raises an interrupt (the paper's trigger handlers, Figure 2 right).
+type Action func(fw *Firmware, n core.Notification) error
+
+// Config tunes the PRM.
+type Config struct {
+	// HandlerLatency models the firmware's interrupt-to-action delay
+	// (the PRM is a 100 MHz embedded core; default 10 µs).
+	HandlerLatency sim.Tick
+}
+
+// LDomSpec describes the resources of a logical domain.
+type LDomSpec struct {
+	Name     string
+	Cores    []int
+	MemBase  uint64 // DRAM-physical base of the LDom's memory window
+	MemSize  uint64
+	Priority uint64 // memory scheduling priority (larger = higher)
+	RowBuf   uint64 // memory row-buffer id
+	MAC      uint64 // nonzero: bind a vNIC
+	NICBuf   uint64 // RX buffer base within the LDom
+}
+
+// LDom is a created logical domain.
+type LDom struct {
+	Spec    LDomSpec
+	DSID    core.DSID
+	Created sim.Tick
+}
+
+type mount struct {
+	cpa  *core.CPA
+	name string // cpaN
+}
+
+type slotKey struct {
+	cpa  int
+	slot int
+}
+
+// Firmware is the PRM's resident software. It owns the device file
+// tree, the control-plane adaptors, the action registry and the LDom
+// table.
+type Firmware struct {
+	engine   *sim.Engine
+	cfg      Config
+	fs       *FS
+	platform Platform
+
+	mounts  []mount
+	actions map[string]Action
+	// bindings maps a fired trigger slot to its action name, mirroring
+	// the ".../triggers/N -> script" leaves of Figure 6.
+	bindings map[slotKey]string
+
+	ldoms  map[core.DSID]*LDom
+	nextDS core.DSID
+
+	// TriggersHandled counts actions run; ActionErrors counts failures.
+	TriggersHandled uint64
+	ActionErrors    uint64
+
+	logLines []string
+}
+
+// NewFirmware boots the firmware. platform may be nil in unit tests.
+func NewFirmware(e *sim.Engine, cfg Config, platform Platform) *Firmware {
+	if cfg.HandlerLatency == 0 {
+		cfg.HandlerLatency = 10 * sim.Microsecond
+	}
+	fw := &Firmware{
+		engine:   e,
+		cfg:      cfg,
+		fs:       NewFS(),
+		platform: platform,
+		actions:  make(map[string]Action),
+		bindings: make(map[slotKey]string),
+		ldoms:    make(map[core.DSID]*LDom),
+	}
+	fw.fs.Mkdir("/sys/cpa")
+	fw.fs.Mkdir("/log")
+	fw.fs.AddFile("/log/triggers.log", func() (string, error) {
+		return strings.Join(fw.logLines, "\n"), nil
+	}, func(s string) error {
+		fw.logLines = append(fw.logLines, s)
+		return nil
+	})
+	registerBuiltinActions(fw)
+	return fw
+}
+
+// FS exposes the device file tree.
+func (fw *Firmware) FS() *FS { return fw.fs }
+
+// Logf appends to the firmware log.
+func (fw *Firmware) Logf(format string, args ...interface{}) {
+	fw.logLines = append(fw.logLines, fmt.Sprintf(format, args...))
+}
+
+// Log returns the firmware log lines.
+func (fw *Firmware) Log() []string { return fw.logLines }
+
+// RegisterAction installs a named trigger handler.
+func (fw *Firmware) RegisterAction(name string, fn Action) {
+	fw.actions[name] = fn
+}
+
+// Mount attaches a control-plane adaptor: the plane's interrupt line is
+// wired to the firmware and its tables appear under /sys/cpa/cpaN.
+func (fw *Firmware) Mount(cpa *core.CPA) {
+	idx := len(fw.mounts)
+	cpa.Index = idx
+	name := fmt.Sprintf("cpa%d", idx)
+	fw.mounts = append(fw.mounts, mount{cpa: cpa, name: name})
+
+	base := "/sys/cpa/" + name
+	fw.fs.AddFile(base+"/ident", func() (string, error) { return cpa.IdentString(), nil }, nil)
+	fw.fs.AddFile(base+"/type", func() (string, error) {
+		return fmt.Sprintf("%#x '%c'", cpa.Plane.Type(), cpa.Plane.Type()), nil
+	}, nil)
+	fw.fs.Mkdir(base + "/ldoms")
+
+	cpa.Plane.SetInterrupt(func(n core.Notification) {
+		// The interrupt crosses the control-plane network to the PRM;
+		// the firmware handles it after its dispatch latency.
+		fw.engine.Schedule(fw.cfg.HandlerLatency, func() { fw.handle(idx, n) })
+	})
+
+	// Already-existing LDoms appear under a late-mounted plane too.
+	for ds := range fw.ldoms {
+		fw.addLDomTree(idx, ds)
+	}
+}
+
+// CPA returns the mounted adaptor with the given index.
+func (fw *Firmware) CPA(idx int) (*core.CPA, error) {
+	if idx < 0 || idx >= len(fw.mounts) {
+		return nil, fmt.Errorf("prm: no cpa%d", idx)
+	}
+	return fw.mounts[idx].cpa, nil
+}
+
+// CPAByType returns the first mounted adaptor of the given plane type.
+func (fw *Firmware) CPAByType(typ byte) (*core.CPA, error) {
+	for _, m := range fw.mounts {
+		if m.cpa.Plane.Type() == typ {
+			return m.cpa, nil
+		}
+	}
+	return nil, fmt.Errorf("prm: no control plane of type %c mounted", typ)
+}
+
+// handle runs when a trigger interrupt reaches the firmware.
+func (fw *Firmware) handle(cpaIdx int, n core.Notification) {
+	fw.TriggersHandled++
+	fw.Logf("[%v] cpa%d %s: trigger slot %d fired for %s (%s=%d)",
+		n.When, cpaIdx, n.Plane.Ident(), n.Slot, n.DSID, n.Stat, n.Value)
+
+	name, ok := fw.bindings[slotKey{cpa: cpaIdx, slot: n.Slot}]
+	if !ok {
+		fw.Logf("  no action bound; ignored")
+		return
+	}
+	fn, ok := fw.actions[name]
+	if !ok {
+		fw.ActionErrors++
+		fw.Logf("  action %q not registered", name)
+		return
+	}
+	if err := fn(fw, n); err != nil {
+		fw.ActionErrors++
+		fw.Logf("  action %q failed: %v", name, err)
+		return
+	}
+	fw.Logf("  action %q applied", name)
+}
+
+// InstallTrigger programs a trigger into a plane through its CPA MMIO
+// interface and binds an action name to the slot, creating the
+// ".../triggers/<slot>" leaf. It returns the slot used.
+func (fw *Firmware) InstallTrigger(cpaIdx int, ds core.DSID, stat string, op core.CmpOp, value uint64, action string) (int, error) {
+	cpa, err := fw.CPA(cpaIdx)
+	if err != nil {
+		return 0, err
+	}
+	statCol, ok := cpa.Plane.Stats().ColumnIndex(stat)
+	if !ok {
+		return 0, fmt.Errorf("prm: cpa%d has no statistic %q", cpaIdx, stat)
+	}
+	slot, err := fw.freeSlot(cpa)
+	if err != nil {
+		return 0, err
+	}
+	fields := []struct {
+		col int
+		val uint64
+	}{
+		{core.TrigColDSID, uint64(ds)},
+		{core.TrigColStat, uint64(statCol)},
+		{core.TrigColOp, uint64(op)},
+		{core.TrigColValue, value},
+		{core.TrigColAction, uint64(slot)},
+		{core.TrigColEnabled, 1},
+	}
+	for _, f := range fields {
+		if err := cpa.WriteEntry(core.DSID(slot), f.col, core.SelTrigger, f.val); err != nil {
+			return 0, err
+		}
+	}
+	key := slotKey{cpa: cpaIdx, slot: slot}
+	fw.bindings[key] = action
+	path := fmt.Sprintf("/sys/cpa/cpa%d/ldoms/ldom%d/triggers/%d", cpaIdx, ds, slot)
+	fw.fs.AddFile(path,
+		func() (string, error) { return fw.bindings[key], nil },
+		func(s string) error {
+			fw.bindings[key] = s
+			return nil
+		})
+	return slot, nil
+}
+
+// freeSlot scans the trigger table through MMIO for a disabled slot.
+func (fw *Firmware) freeSlot(cpa *core.CPA) (int, error) {
+	for slot := 0; slot < cpa.Plane.TriggerSlots(); slot++ {
+		en, err := cpa.ReadEntry(core.DSID(slot), core.TrigColEnabled, core.SelTrigger)
+		if err != nil {
+			return 0, err
+		}
+		if en == 0 {
+			return slot, nil
+		}
+	}
+	return 0, fmt.Errorf("prm: trigger table full")
+}
+
+// CreateLDom allocates a DS-id, programs every mounted control plane,
+// tags the LDom's cores, routes its interrupts and binds its vNIC
+// (paper §3.1 steps T2/T4/T6).
+func (fw *Firmware) CreateLDom(spec LDomSpec) (*LDom, error) {
+	ds := fw.nextDS
+	fw.nextDS++
+	ld := &LDom{Spec: spec, DSID: ds, Created: fw.engine.Now()}
+	fw.ldoms[ds] = ld
+
+	for idx, m := range fw.mounts {
+		m.cpa.CreateRow(ds)
+		fw.addLDomTree(idx, ds)
+	}
+
+	// Program the memory control plane's address map and QoS knobs.
+	if memCPA, err := fw.CPAByType(core.PlaneTypeMemory); err == nil {
+		if err := fw.writeParam(memCPA, ds, "addr_base", spec.MemBase); err != nil {
+			return nil, err
+		}
+		if err := fw.writeParam(memCPA, ds, "priority", spec.Priority); err != nil {
+			return nil, err
+		}
+		if err := fw.writeParam(memCPA, ds, "rowbuf", spec.RowBuf); err != nil {
+			return nil, err
+		}
+		if spec.MemSize > 0 {
+			// Bound the LDom's physical window: accesses beyond fault
+			// and count as violations (security containment).
+			if err := fw.writeParam(memCPA, ds, "addr_limit", spec.MemSize); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	if fw.platform != nil {
+		for _, c := range spec.Cores {
+			fw.platform.SetCoreTag(c, ds)
+		}
+		if len(spec.Cores) > 0 {
+			// Route the platform's device vectors to the LDom's first core.
+			fw.platform.RouteInterrupt(ds, 14, spec.Cores[0]) // disk
+			fw.platform.RouteInterrupt(ds, 11, spec.Cores[0]) // nic
+		}
+		if spec.MAC != 0 {
+			if err := fw.platform.BindVNIC(spec.MAC, ds, spec.NICBuf); err != nil {
+				return nil, err
+			}
+		}
+	}
+	fw.Logf("[%v] created %s as ldom%d (ds=%d)", fw.engine.Now(), spec.Name, ds, ds)
+	return ld, nil
+}
+
+// DestroyLDom tears an LDom down.
+func (fw *Firmware) DestroyLDom(ds core.DSID) error {
+	ld, ok := fw.ldoms[ds]
+	if !ok {
+		return fmt.Errorf("prm: no ldom with ds %d", ds)
+	}
+	for idx, m := range fw.mounts {
+		m.cpa.DeleteRow(ds)
+		fw.fs.Remove(fmt.Sprintf("/sys/cpa/cpa%d/ldoms/ldom%d", idx, ds))
+	}
+	for key := range fw.bindings {
+		tr, err := fw.mounts[key.cpa].cpa.Plane.Trigger(key.slot)
+		if err == nil && tr.DSID == ds {
+			delete(fw.bindings, key)
+		}
+	}
+	if fw.platform != nil {
+		if ld.Spec.MAC != 0 {
+			fw.platform.UnbindVNIC(ld.Spec.MAC)
+		}
+		fw.platform.FlushLDom(ds)
+	}
+	delete(fw.ldoms, ds)
+	fw.Logf("[%v] destroyed ldom%d", fw.engine.Now(), ds)
+	return nil
+}
+
+// LDoms returns the live LDom table.
+func (fw *Firmware) LDoms() map[core.DSID]*LDom { return fw.ldoms }
+
+// addLDomTree builds /sys/cpa/cpaN/ldoms/ldomK with parameter and
+// statistic leaves whose callbacks perform live CPA MMIO.
+func (fw *Firmware) addLDomTree(cpaIdx int, ds core.DSID) {
+	cpa := fw.mounts[cpaIdx].cpa
+	base := fmt.Sprintf("/sys/cpa/cpa%d/ldoms/ldom%d", cpaIdx, ds)
+	if fw.fs.Exists(base) {
+		return
+	}
+	fw.fs.Mkdir(base + "/triggers")
+	for colIdx, col := range cpa.Plane.Params().Columns() {
+		colIdx, col := colIdx, col
+		read := func() (string, error) {
+			v, err := cpa.ReadEntry(ds, colIdx, core.SelParameter)
+			if err != nil {
+				return "", err
+			}
+			return formatValue(col.Name, v), nil
+		}
+		var write func(string) error
+		if col.Writable {
+			write = func(s string) error {
+				v, err := parseValue(s)
+				if err != nil {
+					return err
+				}
+				return cpa.WriteEntry(ds, colIdx, core.SelParameter, v)
+			}
+		}
+		fw.fs.AddFile(base+"/parameters/"+col.Name, read, write)
+	}
+	for colIdx, col := range cpa.Plane.Stats().Columns() {
+		colIdx, col := colIdx, col
+		fw.fs.AddFile(base+"/statistics/"+col.Name, func() (string, error) {
+			v, err := cpa.ReadEntry(ds, colIdx, core.SelStatistic)
+			if err != nil {
+				return "", err
+			}
+			return formatValue(col.Name, v), nil
+		}, nil)
+	}
+}
+
+// writeParam writes a parameter through the device file tree when the
+// LDom subtree exists, exercising the same path operators use.
+func (fw *Firmware) writeParam(cpa *core.CPA, ds core.DSID, name string, v uint64) error {
+	col, ok := cpa.Plane.Params().ColumnIndex(name)
+	if !ok {
+		return fmt.Errorf("prm: %s has no parameter %q", cpa.Plane.Ident(), name)
+	}
+	return cpa.WriteEntry(ds, col, core.SelParameter, v)
+}
+
+// formatValue renders mask-like values in hex, everything else decimal.
+func formatValue(col string, v uint64) string {
+	if strings.Contains(col, "mask") || strings.Contains(col, "mac") {
+		return fmt.Sprintf("%#x", v)
+	}
+	return strconv.FormatUint(v, 10)
+}
+
+// parseValue accepts decimal or 0x-prefixed hex.
+func parseValue(s string) (uint64, error) {
+	return strconv.ParseUint(strings.TrimSpace(s), 0, 64)
+}

@@ -1,0 +1,422 @@
+package prm
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+type fakePlatform struct {
+	tags    map[int]core.DSID
+	routes  map[core.DSID]map[uint8]int
+	vnics   map[uint64]core.DSID
+	flushed []core.DSID
+}
+
+func newFakePlatform() *fakePlatform {
+	return &fakePlatform{
+		tags:   map[int]core.DSID{},
+		routes: map[core.DSID]map[uint8]int{},
+		vnics:  map[uint64]core.DSID{},
+	}
+}
+
+func (p *fakePlatform) SetCoreTag(c int, ds core.DSID) { p.tags[c] = ds }
+func (p *fakePlatform) RouteInterrupt(ds core.DSID, v uint8, c int) {
+	if p.routes[ds] == nil {
+		p.routes[ds] = map[uint8]int{}
+	}
+	p.routes[ds][v] = c
+}
+func (p *fakePlatform) BindVNIC(mac uint64, ds core.DSID, _ uint64) error {
+	p.vnics[mac] = ds
+	return nil
+}
+func (p *fakePlatform) UnbindVNIC(mac uint64) { delete(p.vnics, mac) }
+
+func (p *fakePlatform) FlushLDom(ds core.DSID) { p.flushed = append(p.flushed, ds) }
+
+func cachePlane(e *sim.Engine) *core.Plane {
+	params := core.NewTable(core.Column{Name: "waymask", Writable: true, Default: 0xFFFF})
+	stats := core.NewTable(core.Column{Name: "miss_rate"}, core.Column{Name: "capacity"})
+	return core.NewPlane(e, "CACHE_CP", core.PlaneTypeCache, params, stats, 8)
+}
+
+func memPlane(e *sim.Engine) *core.Plane {
+	params := core.NewTable(
+		core.Column{Name: "addr_base", Writable: true},
+		core.Column{Name: "priority", Writable: true},
+		core.Column{Name: "rowbuf", Writable: true},
+		core.Column{Name: "addr_limit", Writable: true},
+	)
+	stats := core.NewTable(
+		core.Column{Name: "avg_qlat"},
+		core.Column{Name: "bandwidth"},
+		core.Column{Name: "violations"},
+	)
+	return core.NewPlane(e, "MEM_CP", core.PlaneTypeMemory, params, stats, 8)
+}
+
+func newFirmware(t *testing.T) (*sim.Engine, *Firmware, *fakePlatform, *core.Plane, *core.Plane) {
+	t.Helper()
+	e := sim.NewEngine()
+	plat := newFakePlatform()
+	fw := NewFirmware(e, Config{HandlerLatency: sim.Microsecond}, plat)
+	cp := cachePlane(e)
+	mp := memPlane(e)
+	fw.Mount(core.NewCPA(cp, 0))
+	fw.Mount(core.NewCPA(mp, 0))
+	return e, fw, plat, cp, mp
+}
+
+func TestMountBuildsDeviceTree(t *testing.T) {
+	_, fw, _, _, _ := newFirmware(t)
+	ident, err := fw.FS().ReadFile("/sys/cpa/cpa0/ident")
+	if err != nil || ident != "CACHE_CP" {
+		t.Fatalf("ident = %q, %v", ident, err)
+	}
+	typ, _ := fw.FS().ReadFile("/sys/cpa/cpa1/type")
+	if !strings.Contains(typ, "'M'") {
+		t.Fatalf("type = %q", typ)
+	}
+	entries, _ := fw.FS().List("/sys/cpa")
+	if len(entries) != 2 {
+		t.Fatalf("mounted planes: %v", entries)
+	}
+}
+
+func TestCreateLDomProgramsPlanesAndPlatform(t *testing.T) {
+	_, fw, plat, cp, mp := newFirmware(t)
+	ld, err := fw.CreateLDom(LDomSpec{
+		Name: "web", Cores: []int{0, 1}, MemBase: 1 << 30, Priority: 1, RowBuf: 1, MAC: 0xAB,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ld.DSID != 0 {
+		t.Fatalf("first LDom ds = %d, want 0", ld.DSID)
+	}
+	if !cp.Params().HasRow(0) || !mp.Params().HasRow(0) {
+		t.Fatal("plane rows not created")
+	}
+	if mp.Param(0, "addr_base") != 1<<30 || mp.Param(0, "priority") != 1 || mp.Param(0, "rowbuf") != 1 {
+		t.Fatal("memory plane not programmed from spec")
+	}
+	if plat.tags[0] != 0 || plat.tags[1] != 0 {
+		t.Fatalf("core tags = %v", plat.tags)
+	}
+	if plat.routes[0][14] != 0 || plat.routes[0][11] != 0 {
+		t.Fatalf("interrupt routes = %v", plat.routes)
+	}
+	if plat.vnics[0xAB] != 0 {
+		t.Fatalf("vNIC bindings = %v", plat.vnics)
+	}
+	// File tree materialized on both planes.
+	for _, p := range []string{
+		"/sys/cpa/cpa0/ldoms/ldom0/parameters/waymask",
+		"/sys/cpa/cpa0/ldoms/ldom0/statistics/miss_rate",
+		"/sys/cpa/cpa1/ldoms/ldom0/parameters/priority",
+	} {
+		if !fw.FS().Exists(p) {
+			t.Fatalf("missing %s", p)
+		}
+	}
+}
+
+func TestCreateLDomSetsAddrLimit(t *testing.T) {
+	_, fw, _, _, mp := newFirmware(t)
+	fw.CreateLDom(LDomSpec{Name: "bounded", MemSize: 1 << 30})
+	if mp.Param(0, "addr_limit") != 1<<30 {
+		t.Fatalf("addr_limit = %d", mp.Param(0, "addr_limit"))
+	}
+	fw.CreateLDom(LDomSpec{Name: "unbounded"})
+	if mp.Param(1, "addr_limit") != 0 {
+		t.Fatal("addr_limit set without MemSize")
+	}
+}
+
+func TestActionQuarantine(t *testing.T) {
+	e, fw, _, cp, mp := newFirmware(t)
+	fw.CreateLDom(LDomSpec{Name: "rogue", Priority: 1})
+	fw.Sh("pardtrigger cpa1 -ldom=0 -stats=violations -cond=gt,0 -action=" + ActionQuarantine)
+	mp.SetStat(0, "violations", 3)
+	mp.Evaluate(0)
+	e.Run(e.Now() + 10*sim.Microsecond)
+	if mp.Param(0, "priority") != 0 {
+		t.Fatalf("priority = %d after quarantine", mp.Param(0, "priority"))
+	}
+	if cp.Param(0, "waymask") != 0x1 {
+		t.Fatalf("waymask = %#x after quarantine", cp.Param(0, "waymask"))
+	}
+}
+
+func TestShellEchoCatRoundtrip(t *testing.T) {
+	_, fw, _, cp, _ := newFirmware(t)
+	fw.CreateLDom(LDomSpec{Name: "a"})
+	if _, err := fw.Sh("echo 0xFF00 > /sys/cpa/cpa0/ldoms/ldom0/parameters/waymask"); err != nil {
+		t.Fatal(err)
+	}
+	if got := cp.Param(0, "waymask"); got != 0xFF00 {
+		t.Fatalf("plane waymask = %#x after echo", got)
+	}
+	out, err := fw.Sh("cat /sys/cpa/cpa0/ldoms/ldom0/parameters/waymask")
+	if err != nil || out != "0xff00" {
+		t.Fatalf("cat = %q, %v", out, err)
+	}
+	// Statistics reads are live.
+	cp.SetStat(0, "miss_rate", 317)
+	out, _ = fw.Sh("cat /sys/cpa/cpa0/ldoms/ldom0/statistics/miss_rate")
+	if out != "317" {
+		t.Fatalf("live stat read = %q", out)
+	}
+	// Statistics are read-only through the tree.
+	if _, err := fw.Sh("echo 1 > /sys/cpa/cpa0/ldoms/ldom0/statistics/miss_rate"); err == nil {
+		t.Fatal("stat write allowed")
+	}
+}
+
+func TestShellLsAndErrors(t *testing.T) {
+	_, fw, _, _, _ := newFirmware(t)
+	fw.CreateLDom(LDomSpec{Name: "a"})
+	out, err := fw.Sh("ls /sys/cpa/cpa0/ldoms/ldom0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "parameters/") || !strings.Contains(out, "statistics/") {
+		t.Fatalf("ls = %q", out)
+	}
+	for _, bad := range []string{"frobnicate", "cat", "echo 1 2 3", "cat /none"} {
+		if _, err := fw.Sh(bad); err == nil {
+			t.Errorf("command %q did not error", bad)
+		}
+	}
+	if out, err := fw.Sh(""); err != nil || out != "" {
+		t.Error("empty command should be a no-op")
+	}
+}
+
+func TestPardtriggerInstallsAndFires(t *testing.T) {
+	e, fw, _, cp, _ := newFirmware(t)
+	fw.CreateLDom(LDomSpec{Name: "mc"})
+	var ran int
+	fw.RegisterAction("test_action", func(fw *Firmware, n core.Notification) error {
+		ran++
+		if n.DSID != 0 || n.Stat != "miss_rate" {
+			t.Errorf("notification %+v", n)
+		}
+		return nil
+	})
+	out, err := fw.Sh("pardtrigger cpa0 -ldom=0 -stats=miss_rate -cond=gt,300 -action=test_action")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "slot 0") {
+		t.Fatalf("pardtrigger output %q", out)
+	}
+	// The binding leaf exists, as in Figure 6.
+	bind, _ := fw.FS().ReadFile("/sys/cpa/cpa0/ldoms/ldom0/triggers/0")
+	if bind != "test_action" {
+		t.Fatalf("trigger binding = %q", bind)
+	}
+	// Hardware updates the stat and evaluates: interrupt -> firmware.
+	cp.SetStat(0, "miss_rate", 500)
+	cp.Evaluate(0)
+	e.Run(e.Now() + 10*sim.Microsecond)
+	if ran != 1 {
+		t.Fatalf("action ran %d times", ran)
+	}
+	if fw.TriggersHandled != 1 {
+		t.Fatalf("TriggersHandled = %d", fw.TriggersHandled)
+	}
+	if len(fw.Log()) == 0 {
+		t.Fatal("firmware log empty after trigger")
+	}
+}
+
+func TestRebindActionThroughTree(t *testing.T) {
+	e, fw, _, cp, _ := newFirmware(t)
+	fw.CreateLDom(LDomSpec{Name: "a"})
+	var aRan, bRan int
+	fw.RegisterAction("a", func(*Firmware, core.Notification) error { aRan++; return nil })
+	fw.RegisterAction("b", func(*Firmware, core.Notification) error { bRan++; return nil })
+	fw.Sh("pardtrigger cpa0 -ldom=0 -stats=miss_rate -cond=gt,10 -action=a")
+	// Operator rebinds the slot by writing the leaf (echo script > trigger).
+	if err := fw.FS().WriteFile("/sys/cpa/cpa0/ldoms/ldom0/triggers/0", "b"); err != nil {
+		t.Fatal(err)
+	}
+	cp.SetStat(0, "miss_rate", 100)
+	cp.Evaluate(0)
+	e.Run(e.Now() + 10*sim.Microsecond)
+	if aRan != 0 || bRan != 1 {
+		t.Fatalf("aRan=%d bRan=%d, want rebound action only", aRan, bRan)
+	}
+}
+
+func TestUnknownActionCounted(t *testing.T) {
+	e, fw, _, cp, _ := newFirmware(t)
+	fw.CreateLDom(LDomSpec{Name: "a"})
+	fw.Sh("pardtrigger cpa0 -ldom=0 -stats=miss_rate -cond=gt,10 -action=missing")
+	cp.SetStat(0, "miss_rate", 100)
+	cp.Evaluate(0)
+	e.Run(e.Now() + 10*sim.Microsecond)
+	if fw.ActionErrors != 1 {
+		t.Fatalf("ActionErrors = %d", fw.ActionErrors)
+	}
+}
+
+func TestActionLLCGrowToHalf(t *testing.T) {
+	e, fw, _, cp, _ := newFirmware(t)
+	fw.CreateLDom(LDomSpec{Name: "mc"})  // ldom0
+	fw.CreateLDom(LDomSpec{Name: "bg1"}) // ldom1
+	fw.CreateLDom(LDomSpec{Name: "bg2"}) // ldom2
+	fw.Sh("pardtrigger cpa0 -ldom=0 -stats=miss_rate -cond=gt,300 -action=" + ActionLLCGrowToHalf)
+	cp.SetStat(0, "miss_rate", 400)
+	cp.Evaluate(0)
+	e.Run(e.Now() + 10*sim.Microsecond)
+	if got := cp.Param(0, "waymask"); got != 0xFF00 {
+		t.Fatalf("ldom0 waymask = %#x, want 0xFF00", got)
+	}
+	for _, ds := range []core.DSID{1, 2} {
+		if got := cp.Param(ds, "waymask"); got != 0x00FF {
+			t.Fatalf("ldom%d waymask = %#x, want 0x00FF", ds, got)
+		}
+	}
+}
+
+func TestActionMemRaisePriority(t *testing.T) {
+	e, fw, _, cp, mp := newFirmware(t)
+	fw.CreateLDom(LDomSpec{Name: "mc"})
+	fw.Sh("pardtrigger cpa0 -ldom=0 -stats=miss_rate -cond=gt,10 -action=" + ActionMemRaisePriority)
+	cp.SetStat(0, "miss_rate", 99)
+	cp.Evaluate(0)
+	e.Run(e.Now() + 10*sim.Microsecond)
+	if mp.Param(0, "priority") != 1 {
+		t.Fatalf("priority = %d after action", mp.Param(0, "priority"))
+	}
+}
+
+func TestDestroyLDomCleansUp(t *testing.T) {
+	_, fw, plat, cp, _ := newFirmware(t)
+	fw.CreateLDom(LDomSpec{Name: "x", MAC: 0xCC})
+	fw.Sh("pardtrigger cpa0 -ldom=0 -stats=miss_rate -cond=gt,1 -action=log_only")
+	if err := fw.DestroyLDom(0); err != nil {
+		t.Fatal(err)
+	}
+	if cp.Params().HasRow(0) {
+		t.Fatal("plane row survived destroy")
+	}
+	if fw.FS().Exists("/sys/cpa/cpa0/ldoms/ldom0") {
+		t.Fatal("file tree survived destroy")
+	}
+	if len(plat.vnics) != 0 {
+		t.Fatal("vNIC still bound")
+	}
+	if len(fw.bindings) != 0 {
+		t.Fatal("trigger binding survived destroy")
+	}
+	if len(plat.flushed) != 1 || plat.flushed[0] != 0 {
+		t.Fatalf("cache scrub on teardown: flushed = %v", plat.flushed)
+	}
+	if err := fw.DestroyLDom(0); err == nil {
+		t.Fatal("double destroy succeeded")
+	}
+}
+
+func TestTriggerSlotExhaustion(t *testing.T) {
+	_, fw, _, _, _ := newFirmware(t)
+	fw.CreateLDom(LDomSpec{Name: "x"})
+	for i := 0; i < 8; i++ { // cache plane has 8 slots
+		if _, err := fw.InstallTrigger(0, 0, "miss_rate", core.OpGT, 1, ActionLogOnly); err != nil {
+			t.Fatalf("slot %d: %v", i, err)
+		}
+	}
+	if _, err := fw.InstallTrigger(0, 0, "miss_rate", core.OpGT, 1, ActionLogOnly); err == nil {
+		t.Fatal("9th trigger accepted on an 8-slot table")
+	}
+}
+
+func TestInstallTriggerValidatesStat(t *testing.T) {
+	_, fw, _, _, _ := newFirmware(t)
+	if _, err := fw.InstallTrigger(0, 0, "no_such_stat", core.OpGT, 1, ActionLogOnly); err == nil {
+		t.Fatal("unknown stat accepted")
+	}
+	if _, err := fw.InstallTrigger(9, 0, "miss_rate", core.OpGT, 1, ActionLogOnly); err == nil {
+		t.Fatal("unknown cpa accepted")
+	}
+}
+
+func TestLateMountSeesExistingLDoms(t *testing.T) {
+	e := sim.NewEngine()
+	fw := NewFirmware(e, Config{}, nil)
+	fw.Mount(core.NewCPA(cachePlane(e), 0))
+	fw.CreateLDom(LDomSpec{Name: "early"})
+	fw.Mount(core.NewCPA(memPlane(e), 0))
+	if !fw.FS().Exists("/sys/cpa/cpa1/ldoms/ldom0/parameters/priority") {
+		t.Fatal("late-mounted plane missing existing LDom subtree")
+	}
+}
+
+func TestShScriptRunsAndStopsOnError(t *testing.T) {
+	_, fw, _, cp, _ := newFirmware(t)
+	fw.CreateLDom(LDomSpec{Name: "a"})
+	out, err := fw.ShScript(`
+		# Example 2 style operator script
+		echo 0xF0F0 > /sys/cpa/cpa0/ldoms/ldom0/parameters/waymask
+		cat /sys/cpa/cpa0/ldoms/ldom0/parameters/waymask
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "0xf0f0") {
+		t.Fatalf("script output %q", out)
+	}
+	if cp.Param(0, "waymask") != 0xF0F0 {
+		t.Fatal("script write did not land")
+	}
+	// Failure stops execution; later lines must not run.
+	_, err = fw.ShScript(`
+		cat /does/not/exist
+		echo 0xFFFF > /sys/cpa/cpa0/ldoms/ldom0/parameters/waymask
+	`)
+	if err == nil {
+		t.Fatal("script error not reported")
+	}
+	if !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("error lacks line info: %v", err)
+	}
+	if cp.Param(0, "waymask") != 0xF0F0 {
+		t.Fatal("script continued after a failing line")
+	}
+}
+
+// Property: formatValue/parseValue round-trip for both hex (mask/mac)
+// and decimal columns.
+func TestPropertyValueRoundtrip(t *testing.T) {
+	f := func(v uint64, hexish bool) bool {
+		col := "priority"
+		if hexish {
+			col = "waymask"
+		}
+		s := formatValue(col, v)
+		got, err := parseValue(s)
+		return err == nil && got == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := parseValue("not-a-number"); err == nil {
+		t.Fatal("garbage parsed")
+	}
+}
+
+func TestFirmwareLogFile(t *testing.T) {
+	_, fw, _, _, _ := newFirmware(t)
+	fw.Logf("hello %d", 42)
+	out, err := fw.Sh("cat /log/triggers.log")
+	if err != nil || !strings.Contains(out, "hello 42") {
+		t.Fatalf("log = %q, %v", out, err)
+	}
+}

@@ -1,0 +1,229 @@
+// Package prm implements PARD's platform resource manager: the IPMI-like
+// embedded controller whose Linux-based firmware abstracts every control
+// plane as a device file tree, receives trigger interrupts, runs
+// operator-defined actions and manages logical-domain (LDom) lifecycle
+// (paper §3 mechanisms 3–4, §5).
+package prm
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// FS is the firmware's in-memory sysfs-style file tree. Files are backed
+// by read/write callbacks, so reading ".../statistics/miss_rate"
+// performs a live control-plane MMIO read exactly like the paper's
+// driver (Figure 6).
+type FS struct {
+	root *fsNode
+}
+
+type fsNode struct {
+	name     string
+	children map[string]*fsNode // nil for files
+	read     func() (string, error)
+	write    func(string) error
+}
+
+// NewFS returns an empty tree rooted at "/".
+func NewFS() *FS {
+	return &FS{root: &fsNode{name: "/", children: map[string]*fsNode{}}}
+}
+
+func splitPath(path string) ([]string, error) {
+	if !strings.HasPrefix(path, "/") {
+		return nil, fmt.Errorf("prm: path %q is not absolute", path)
+	}
+	var parts []string
+	for _, p := range strings.Split(path, "/") {
+		if p != "" {
+			parts = append(parts, p)
+		}
+	}
+	return parts, nil
+}
+
+func (fs *FS) lookup(path string) (*fsNode, error) {
+	parts, err := splitPath(path)
+	if err != nil {
+		return nil, err
+	}
+	n := fs.root
+	for _, p := range parts {
+		if n.children == nil {
+			return nil, fmt.Errorf("prm: %s: not a directory", n.name)
+		}
+		c, ok := n.children[p]
+		if !ok {
+			return nil, fmt.Errorf("prm: %s: no such file or directory", path)
+		}
+		n = c
+	}
+	return n, nil
+}
+
+// Mkdir creates a directory, with parents (mkdir -p semantics).
+func (fs *FS) Mkdir(path string) error {
+	parts, err := splitPath(path)
+	if err != nil {
+		return err
+	}
+	n := fs.root
+	for _, p := range parts {
+		if n.children == nil {
+			return fmt.Errorf("prm: mkdir %s: %s is a file", path, n.name)
+		}
+		c, ok := n.children[p]
+		if !ok {
+			c = &fsNode{name: p, children: map[string]*fsNode{}}
+			n.children[p] = c
+		}
+		n = c
+	}
+	if n.children == nil {
+		return fmt.Errorf("prm: mkdir %s: exists as a file", path)
+	}
+	return nil
+}
+
+// AddFile registers a file with the given callbacks; parents are
+// created. A nil write makes the file read-only; a nil read yields "".
+func (fs *FS) AddFile(path string, read func() (string, error), write func(string) error) error {
+	parts, err := splitPath(path)
+	if err != nil {
+		return err
+	}
+	if len(parts) == 0 {
+		return fmt.Errorf("prm: cannot create file at /")
+	}
+	dir := "/" + strings.Join(parts[:len(parts)-1], "/")
+	if err := fs.Mkdir(dir); err != nil {
+		return err
+	}
+	parent, err := fs.lookup(dir)
+	if err != nil {
+		return err
+	}
+	name := parts[len(parts)-1]
+	if _, exists := parent.children[name]; exists {
+		return fmt.Errorf("prm: %s: already exists", path)
+	}
+	parent.children[name] = &fsNode{name: name, read: read, write: write}
+	return nil
+}
+
+// Remove deletes a file or directory subtree.
+func (fs *FS) Remove(path string) error {
+	parts, err := splitPath(path)
+	if err != nil {
+		return err
+	}
+	if len(parts) == 0 {
+		return fmt.Errorf("prm: cannot remove /")
+	}
+	dir := "/" + strings.Join(parts[:len(parts)-1], "/")
+	parent, err := fs.lookup(dir)
+	if err != nil {
+		return err
+	}
+	name := parts[len(parts)-1]
+	if _, ok := parent.children[name]; !ok {
+		return fmt.Errorf("prm: %s: no such file or directory", path)
+	}
+	delete(parent.children, name)
+	return nil
+}
+
+// ReadFile reads a file's content through its callback.
+func (fs *FS) ReadFile(path string) (string, error) {
+	n, err := fs.lookup(path)
+	if err != nil {
+		return "", err
+	}
+	if n.children != nil {
+		return "", fmt.Errorf("prm: %s: is a directory", path)
+	}
+	if n.read == nil {
+		return "", nil
+	}
+	return n.read()
+}
+
+// WriteFile writes to a file through its callback.
+func (fs *FS) WriteFile(path, data string) error {
+	n, err := fs.lookup(path)
+	if err != nil {
+		return err
+	}
+	if n.children != nil {
+		return fmt.Errorf("prm: %s: is a directory", path)
+	}
+	if n.write == nil {
+		return fmt.Errorf("prm: %s: permission denied (read-only)", path)
+	}
+	return n.write(strings.TrimSpace(data))
+}
+
+// List returns a directory's entries, sorted; directories carry a
+// trailing slash.
+func (fs *FS) List(path string) ([]string, error) {
+	n, err := fs.lookup(path)
+	if err != nil {
+		return nil, err
+	}
+	if n.children == nil {
+		return nil, fmt.Errorf("prm: %s: not a directory", path)
+	}
+	var out []string
+	for name, c := range n.children {
+		if c.children != nil {
+			name += "/"
+		}
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Exists reports whether path resolves.
+func (fs *FS) Exists(path string) bool {
+	_, err := fs.lookup(path)
+	return err == nil
+}
+
+// IsDir reports whether path is a directory.
+func (fs *FS) IsDir(path string) bool {
+	n, err := fs.lookup(path)
+	return err == nil && n.children != nil
+}
+
+// Tree renders the subtree at path, one entry per line, for reports.
+func (fs *FS) Tree(path string) (string, error) {
+	n, err := fs.lookup(path)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	var walk func(n *fsNode, prefix string)
+	walk = func(n *fsNode, prefix string) {
+		names := make([]string, 0, len(n.children))
+		for name := range n.children {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			c := n.children[name]
+			fmt.Fprintf(&b, "%s%s", prefix, name)
+			if c.children != nil {
+				b.WriteString("/\n")
+				walk(c, prefix+"  ")
+			} else {
+				b.WriteString("\n")
+			}
+		}
+	}
+	fmt.Fprintf(&b, "%s\n", path)
+	walk(n, "  ")
+	return b.String(), nil
+}

@@ -1,0 +1,165 @@
+package prm
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestFSMkdirAndList(t *testing.T) {
+	fs := NewFS()
+	if err := fs.Mkdir("/sys/cpa/cpa0"); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := fs.List("/sys")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0] != "cpa/" {
+		t.Fatalf("List(/sys) = %v", entries)
+	}
+	if !fs.IsDir("/sys/cpa/cpa0") {
+		t.Fatal("mkdir -p did not create the full chain")
+	}
+}
+
+func TestFSFileCallbacks(t *testing.T) {
+	fs := NewFS()
+	val := "0xFFFF"
+	err := fs.AddFile("/sys/cpa/cpa0/waymask",
+		func() (string, error) { return val, nil },
+		func(s string) error { val = s; return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.ReadFile("/sys/cpa/cpa0/waymask")
+	if err != nil || got != "0xFFFF" {
+		t.Fatalf("ReadFile = %q, %v", got, err)
+	}
+	if err := fs.WriteFile("/sys/cpa/cpa0/waymask", "0xFF00\n"); err != nil {
+		t.Fatal(err)
+	}
+	if val != "0xFF00" {
+		t.Fatalf("write callback saw %q (trailing whitespace must be trimmed)", val)
+	}
+}
+
+func TestFSReadOnlyFile(t *testing.T) {
+	fs := NewFS()
+	fs.AddFile("/a/stat", func() (string, error) { return "1", nil }, nil)
+	if err := fs.WriteFile("/a/stat", "2"); err == nil {
+		t.Fatal("write to read-only file succeeded")
+	}
+}
+
+func TestFSErrors(t *testing.T) {
+	fs := NewFS()
+	fs.AddFile("/a/f", nil, nil)
+	cases := []func() error{
+		func() error { _, err := fs.ReadFile("/nope"); return err },
+		func() error { _, err := fs.ReadFile("/a"); return err }, // directory
+		func() error { _, err := fs.List("/a/f"); return err },   // file
+		func() error { return fs.Mkdir("/a/f/x") },               // under a file
+		func() error { return fs.AddFile("/a/f", nil, nil) },     // duplicate
+		func() error { return fs.Remove("/zzz") },
+		func() error { _, err := fs.ReadFile("relative/path"); return err },
+	}
+	for i, f := range cases {
+		if f() == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestFSRemoveSubtree(t *testing.T) {
+	fs := NewFS()
+	fs.AddFile("/sys/cpa/cpa0/ldoms/ldom1/parameters/waymask", nil, nil)
+	if err := fs.Remove("/sys/cpa/cpa0/ldoms/ldom1"); err != nil {
+		t.Fatal(err)
+	}
+	if fs.Exists("/sys/cpa/cpa0/ldoms/ldom1/parameters/waymask") {
+		t.Fatal("subtree survived Remove")
+	}
+	if !fs.Exists("/sys/cpa/cpa0/ldoms") {
+		t.Fatal("parent removed too")
+	}
+}
+
+func TestFSTreeRendering(t *testing.T) {
+	fs := NewFS()
+	fs.AddFile("/sys/cpa/cpa0/ident", nil, nil)
+	fs.AddFile("/sys/cpa/cpa0/ldoms/ldom0/parameters/waymask", nil, nil)
+	out, err := fs.Tree("/sys/cpa")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"cpa0/", "ident", "ldoms/", "ldom0/", "waymask"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Tree output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// Property: for any sequence of sanitized segment names, Mkdir + AddFile
+// + ReadFile + List never panic and stay consistent: a created file is
+// readable and appears in its parent's listing.
+func TestPropertyFSConsistency(t *testing.T) {
+	sanitize := func(s string) string {
+		var b []rune
+		for _, r := range s {
+			if r != '/' && r != 0 {
+				b = append(b, r)
+			}
+		}
+		if len(b) == 0 {
+			return "x"
+		}
+		if len(b) > 32 {
+			b = b[:32]
+		}
+		return string(b)
+	}
+	f := func(rawA, rawB, rawC string) bool {
+		a, bseg, c := sanitize(rawA), sanitize(rawB), sanitize(rawC)
+		fs := NewFS()
+		dir := "/" + a + "/" + bseg
+		path := dir + "/" + c
+		if err := fs.AddFile(path, func() (string, error) { return "v", nil }, nil); err != nil {
+			return false
+		}
+		got, err := fs.ReadFile(path)
+		if err != nil || got != "v" {
+			return false
+		}
+		entries, err := fs.List(dir)
+		if err != nil {
+			return false
+		}
+		for _, e := range entries {
+			if e == c {
+				return true
+			}
+		}
+		return false
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFSListSortedWithSlashes(t *testing.T) {
+	fs := NewFS()
+	fs.Mkdir("/d/bdir")
+	fs.AddFile("/d/afile", nil, nil)
+	fs.AddFile("/d/cfile", nil, nil)
+	entries, _ := fs.List("/d")
+	want := []string{"afile", "bdir/", "cfile"}
+	if len(entries) != 3 {
+		t.Fatalf("entries = %v", entries)
+	}
+	for i := range want {
+		if entries[i] != want[i] {
+			t.Fatalf("entries = %v, want %v", entries, want)
+		}
+	}
+}

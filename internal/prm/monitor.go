@@ -1,0 +1,102 @@
+package prm
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// Monitor is a firmware application (paper §7.1.1: "we implemented a
+// tool running on the firmware to periodically read data from the two
+// control planes"): it samples a set of device-file-tree paths on a
+// fixed period and accumulates a CSV log exposed at /log/<name>.csv.
+type Monitor struct {
+	Name     string
+	Interval sim.Tick
+	Paths    []string
+
+	fw      *Firmware
+	rows    []string
+	running bool
+	stopped bool
+}
+
+// StartMonitor begins sampling the given paths every interval. The
+// resulting log appears in the file tree at /log/<name>.csv with one
+// column per path plus a leading time_ms column.
+func (fw *Firmware) StartMonitor(name string, interval sim.Tick, paths []string) (*Monitor, error) {
+	if interval == 0 {
+		return nil, fmt.Errorf("prm: monitor %q needs a positive interval", name)
+	}
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("prm: monitor %q has no paths", name)
+	}
+	for _, p := range paths {
+		if !fw.fs.Exists(p) {
+			return nil, fmt.Errorf("prm: monitor %q: no such path %s", name, p)
+		}
+	}
+	m := &Monitor{Name: name, Interval: interval, Paths: paths, fw: fw}
+
+	header := make([]string, 0, len(paths)+1)
+	header = append(header, "time_ms")
+	for _, p := range paths {
+		header = append(header, shortColumn(p))
+	}
+	m.rows = append(m.rows, strings.Join(header, ","))
+
+	logPath := "/log/" + name + ".csv"
+	if err := fw.fs.AddFile(logPath, func() (string, error) {
+		return strings.Join(m.rows, "\n"), nil
+	}, nil); err != nil {
+		return nil, err
+	}
+	m.running = true
+	fw.engine.Schedule(interval, m.tick)
+	return m, nil
+}
+
+// Stop halts sampling; the accumulated log stays readable.
+func (m *Monitor) Stop() { m.stopped = true }
+
+// Samples returns the number of data rows collected.
+func (m *Monitor) Samples() int { return len(m.rows) - 1 }
+
+func (m *Monitor) tick() {
+	if m.stopped {
+		m.running = false
+		return
+	}
+	now := m.fw.engine.Now()
+	row := make([]string, 0, len(m.Paths)+1)
+	row = append(row, fmt.Sprintf("%d.%03d", uint64(now/sim.Millisecond), uint64(now%sim.Millisecond/sim.Microsecond)))
+	for _, p := range m.Paths {
+		v, err := m.fw.fs.ReadFile(p)
+		if err != nil {
+			v = "ERR"
+		}
+		row = append(row, v)
+	}
+	m.rows = append(m.rows, strings.Join(row, ","))
+	m.fw.engine.Schedule(m.Interval, m.tick)
+}
+
+// shortColumn compresses "/sys/cpa/cpa0/ldoms/ldom1/statistics/miss_rate"
+// to "cpa0.ldom1.miss_rate".
+func shortColumn(path string) string {
+	parts := strings.Split(strings.Trim(path, "/"), "/")
+	var keep []string
+	for _, p := range parts {
+		switch {
+		case strings.HasPrefix(p, "cpa") && p != "cpa":
+			keep = append(keep, p)
+		case strings.HasPrefix(p, "ldom") && p != "ldoms":
+			keep = append(keep, p)
+		}
+	}
+	if len(parts) > 0 {
+		keep = append(keep, parts[len(parts)-1])
+	}
+	return strings.Join(keep, ".")
+}

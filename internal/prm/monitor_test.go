@@ -1,0 +1,88 @@
+package prm
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestMonitorSamplesFileTree(t *testing.T) {
+	e, fw, _, cp, _ := newFirmware(t)
+	fw.CreateLDom(LDomSpec{Name: "a"})
+	cp.SetStat(0, "miss_rate", 100)
+
+	m, err := fw.StartMonitor("mon", sim.Millisecond, []string{
+		"/sys/cpa/cpa0/ldoms/ldom0/statistics/miss_rate",
+		"/sys/cpa/cpa0/ldoms/ldom0/parameters/waymask",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Run(2500 * sim.Microsecond)
+	cp.SetStat(0, "miss_rate", 400)
+	e.Run(5 * sim.Millisecond)
+
+	if m.Samples() < 4 {
+		t.Fatalf("samples = %d", m.Samples())
+	}
+	out, err := fw.Sh("cat /log/mon.csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(out, "\n")
+	if lines[0] != "time_ms,cpa0.ldom0.miss_rate,cpa0.ldom0.waymask" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	// Early rows carry the old value, late rows the new one.
+	if !strings.Contains(lines[1], ",100,") {
+		t.Fatalf("first sample = %q", lines[1])
+	}
+	if !strings.Contains(lines[len(lines)-1], ",400,") {
+		t.Fatalf("last sample = %q", lines[len(lines)-1])
+	}
+}
+
+func TestMonitorStop(t *testing.T) {
+	e, fw, _, _, _ := newFirmware(t)
+	fw.CreateLDom(LDomSpec{Name: "a"})
+	m, err := fw.StartMonitor("m2", sim.Millisecond, []string{
+		"/sys/cpa/cpa0/ldoms/ldom0/parameters/waymask",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Run(3500 * sim.Microsecond)
+	m.Stop()
+	n := m.Samples()
+	e.Run(10 * sim.Millisecond)
+	if m.Samples() != n {
+		t.Fatal("monitor kept sampling after Stop")
+	}
+}
+
+func TestMonitorValidation(t *testing.T) {
+	_, fw, _, _, _ := newFirmware(t)
+	if _, err := fw.StartMonitor("x", 0, []string{"/log/triggers.log"}); err == nil {
+		t.Fatal("zero interval accepted")
+	}
+	if _, err := fw.StartMonitor("x", sim.Millisecond, nil); err == nil {
+		t.Fatal("empty path list accepted")
+	}
+	if _, err := fw.StartMonitor("x", sim.Millisecond, []string{"/nope"}); err == nil {
+		t.Fatal("missing path accepted")
+	}
+}
+
+func TestShortColumn(t *testing.T) {
+	cases := map[string]string{
+		"/sys/cpa/cpa0/ldoms/ldom1/statistics/miss_rate": "cpa0.ldom1.miss_rate",
+		"/sys/cpa/cpa3/ldoms/ldom0/parameters/bandwidth": "cpa3.ldom0.bandwidth",
+		"/log/triggers.log": "triggers.log",
+	}
+	for in, want := range cases {
+		if got := shortColumn(in); got != want {
+			t.Errorf("shortColumn(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

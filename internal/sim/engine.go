@@ -1,0 +1,159 @@
+// Package sim provides the deterministic discrete-event simulation engine
+// underlying the PARD intra-computer network model.
+//
+// Time is measured in Ticks (1 tick = 1 picosecond). Components schedule
+// callbacks on a shared Engine; events with equal timestamps run in
+// scheduling order, which makes every simulation fully deterministic.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Tick is the simulation time unit: one picosecond.
+type Tick uint64
+
+// Common durations expressed in ticks.
+const (
+	Picosecond  Tick = 1
+	Nanosecond  Tick = 1000
+	Microsecond Tick = 1000 * 1000
+	Millisecond Tick = 1000 * 1000 * 1000
+	Second      Tick = 1000 * 1000 * 1000 * 1000
+)
+
+// String renders a tick count as a human-readable duration.
+func (t Tick) String() string {
+	switch {
+	case t >= Second:
+		return fmt.Sprintf("%d.%03ds", uint64(t/Second), uint64(t%Second/Millisecond))
+	case t >= Millisecond:
+		return fmt.Sprintf("%d.%03dms", uint64(t/Millisecond), uint64(t%Millisecond/Microsecond))
+	case t >= Microsecond:
+		return fmt.Sprintf("%d.%03dus", uint64(t/Microsecond), uint64(t%Microsecond/Nanosecond))
+	case t >= Nanosecond:
+		return fmt.Sprintf("%d.%03dns", uint64(t/Nanosecond), uint64(t%Nanosecond))
+	default:
+		return fmt.Sprintf("%dps", uint64(t))
+	}
+}
+
+type event struct {
+	when Tick
+	seq  uint64
+	fn   func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].when != h[j].when {
+		return h[i].when < h[j].when
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1].fn = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event scheduler. The zero value is not usable;
+// construct with NewEngine.
+type Engine struct {
+	now    Tick
+	seq    uint64
+	events eventHeap
+	run    uint64 // events executed
+}
+
+// NewEngine returns an engine at time zero with an empty event queue.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current simulation time.
+func (e *Engine) Now() Tick { return e.now }
+
+// Executed reports how many events have run so far.
+func (e *Engine) Executed() uint64 { return e.run }
+
+// Pending reports how many events are queued.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Schedule queues fn to run delay ticks from now.
+func (e *Engine) Schedule(delay Tick, fn func()) {
+	e.At(e.now+delay, fn)
+}
+
+// At queues fn at an absolute time. Times in the past are clamped to now,
+// preserving the no-time-travel invariant.
+func (e *Engine) At(when Tick, fn func()) {
+	if fn == nil {
+		panic("sim: nil event function")
+	}
+	if when < e.now {
+		when = e.now
+	}
+	e.seq++
+	heap.Push(&e.events, event{when: when, seq: e.seq, fn: fn})
+}
+
+// Step executes the single earliest event, advancing time to it.
+// It reports whether an event was available.
+func (e *Engine) Step() bool {
+	if len(e.events) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.events).(event)
+	e.now = ev.when
+	e.run++
+	ev.fn()
+	return true
+}
+
+// Run executes every event with timestamp <= until, then advances the
+// clock to until. Events scheduled during the run are honored if they
+// fall within the horizon.
+func (e *Engine) Run(until Tick) {
+	for len(e.events) > 0 && e.events[0].when <= until {
+		e.Step()
+	}
+	if e.now < until {
+		e.now = until
+	}
+}
+
+// StepUntil executes events until cond returns true or the queue
+// empties. It reports whether cond held when it stopped. Use it to wait
+// for a specific completion in systems with self-rescheduling periodic
+// events (statistics samplers), where Drain would never return.
+func (e *Engine) StepUntil(cond func() bool) bool {
+	for !cond() {
+		if !e.Step() {
+			return cond()
+		}
+	}
+	return true
+}
+
+// Drain executes events until the queue is empty or limit events have run.
+// A limit of 0 means no limit. It returns the number of events executed.
+func (e *Engine) Drain(limit uint64) uint64 {
+	var n uint64
+	for len(e.events) > 0 {
+		if limit > 0 && n >= limit {
+			break
+		}
+		e.Step()
+		n++
+	}
+	return n
+}

@@ -1,0 +1,157 @@
+// Package trace provides ICN observability: a Probe wraps any packet
+// target and records per-(kind, DS-id) counters plus an optional ring
+// of recent packets. Probes are the debugging counterpart of control-
+// plane statistics — they see every packet, not just the accounted
+// summaries — and are used by tests and by pardctl's trace command.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// Record is one observed packet.
+type Record struct {
+	When sim.Tick
+	ID   uint64
+	Kind core.Kind
+	DSID core.DSID
+	Addr uint64
+	Size uint32
+}
+
+// Key aggregates counters per (kind, DS-id).
+type Key struct {
+	Kind core.Kind
+	DSID core.DSID
+}
+
+// Probe is a transparent core.Target wrapper.
+type Probe struct {
+	Name string
+
+	engine *sim.Engine
+	next   core.Target
+
+	counts map[Key]uint64
+	bytes  map[Key]uint64
+
+	ring    []Record
+	ringCap int
+	ringPos int
+	total   uint64
+
+	// Filter, if non-nil, limits ring capture (counters always run).
+	Filter func(*core.Packet) bool
+}
+
+// NewProbe wraps next. ringCap bounds the recent-packet buffer
+// (0 disables capture; counters still work).
+func NewProbe(name string, e *sim.Engine, next core.Target, ringCap int) *Probe {
+	return &Probe{
+		Name:    name,
+		engine:  e,
+		next:    next,
+		counts:  make(map[Key]uint64),
+		bytes:   make(map[Key]uint64),
+		ring:    make([]Record, 0, ringCap),
+		ringCap: ringCap,
+	}
+}
+
+// Request records the packet and forwards it unchanged.
+func (p *Probe) Request(pkt *core.Packet) {
+	k := Key{Kind: pkt.Kind, DSID: pkt.DSID}
+	p.counts[k]++
+	p.bytes[k] += uint64(pkt.Size)
+	p.total++
+	if p.ringCap > 0 && (p.Filter == nil || p.Filter(pkt)) {
+		r := Record{
+			When: p.engine.Now(), ID: pkt.ID, Kind: pkt.Kind,
+			DSID: pkt.DSID, Addr: pkt.Addr, Size: pkt.Size,
+		}
+		if len(p.ring) < p.ringCap {
+			p.ring = append(p.ring, r)
+		} else {
+			p.ring[p.ringPos] = r
+			p.ringPos = (p.ringPos + 1) % p.ringCap
+		}
+	}
+	p.next.Request(pkt)
+}
+
+// Total returns the number of packets observed.
+func (p *Probe) Total() uint64 { return p.total }
+
+// Count returns the packet count for one (kind, DS-id).
+func (p *Probe) Count(kind core.Kind, ds core.DSID) uint64 {
+	return p.counts[Key{Kind: kind, DSID: ds}]
+}
+
+// Bytes returns accumulated bytes for one (kind, DS-id).
+func (p *Probe) Bytes(kind core.Kind, ds core.DSID) uint64 {
+	return p.bytes[Key{Kind: kind, DSID: ds}]
+}
+
+// CountByDSID sums packet counts across kinds for ds.
+func (p *Probe) CountByDSID(ds core.DSID) uint64 {
+	var n uint64
+	for k, c := range p.counts {
+		if k.DSID == ds {
+			n += c
+		}
+	}
+	return n
+}
+
+// Recent returns the captured ring in arrival order.
+func (p *Probe) Recent() []Record {
+	if len(p.ring) < p.ringCap {
+		return append([]Record(nil), p.ring...)
+	}
+	out := make([]Record, 0, p.ringCap)
+	out = append(out, p.ring[p.ringPos:]...)
+	out = append(out, p.ring[:p.ringPos]...)
+	return out
+}
+
+// Reset clears counters and the ring.
+func (p *Probe) Reset() {
+	p.counts = make(map[Key]uint64)
+	p.bytes = make(map[Key]uint64)
+	p.ring = p.ring[:0]
+	p.ringPos = 0
+	p.total = 0
+}
+
+// Summary renders the counter table sorted by count, for reports.
+func (p *Probe) Summary() string {
+	type row struct {
+		k Key
+		n uint64
+	}
+	rows := make([]row, 0, len(p.counts))
+	for k, n := range p.counts {
+		rows = append(rows, row{k, n})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].n != rows[j].n {
+			return rows[i].n > rows[j].n
+		}
+		if rows[i].k.DSID != rows[j].k.DSID {
+			return rows[i].k.DSID < rows[j].k.DSID
+		}
+		return rows[i].k.Kind < rows[j].k.Kind
+	})
+	var b strings.Builder
+	fmt.Fprintf(&b, "probe %s: %d packets\n", p.Name, p.total)
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %-10v %-6v %10d pkts %12d bytes\n",
+			r.k.Kind, r.k.DSID, r.n, p.bytes[r.k])
+	}
+	return b.String()
+}

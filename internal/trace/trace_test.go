@@ -1,0 +1,114 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+type sink struct{ got []*core.Packet }
+
+func (s *sink) Request(p *core.Packet) { s.got = append(s.got, p) }
+
+func observe(p *Probe, ids *core.IDSource, kind core.Kind, ds core.DSID, n int) {
+	for i := 0; i < n; i++ {
+		p.Request(core.NewPacket(ids, kind, ds, uint64(i)*64, 64, 0))
+	}
+}
+
+func TestProbeForwardsAndCounts(t *testing.T) {
+	e := sim.NewEngine()
+	s := &sink{}
+	p := NewProbe("llc", e, s, 8)
+	ids := &core.IDSource{}
+	observe(p, ids, core.KindMemRead, 1, 5)
+	observe(p, ids, core.KindWriteback, 2, 3)
+	if len(s.got) != 8 {
+		t.Fatalf("forwarded %d packets", len(s.got))
+	}
+	if p.Total() != 8 {
+		t.Fatalf("Total = %d", p.Total())
+	}
+	if p.Count(core.KindMemRead, 1) != 5 || p.Count(core.KindWriteback, 2) != 3 {
+		t.Fatal("per-key counts wrong")
+	}
+	if p.Bytes(core.KindMemRead, 1) != 5*64 {
+		t.Fatalf("bytes = %d", p.Bytes(core.KindMemRead, 1))
+	}
+	if p.CountByDSID(1) != 5 || p.CountByDSID(2) != 3 {
+		t.Fatal("CountByDSID wrong")
+	}
+}
+
+func TestProbeRingWraps(t *testing.T) {
+	e := sim.NewEngine()
+	p := NewProbe("x", e, &sink{}, 4)
+	ids := &core.IDSource{}
+	observe(p, ids, core.KindMemRead, 1, 10)
+	recent := p.Recent()
+	if len(recent) != 4 {
+		t.Fatalf("ring holds %d, want 4", len(recent))
+	}
+	// Oldest-first: the last 4 packets (IDs 7..10) in order.
+	for i := 1; i < len(recent); i++ {
+		if recent[i].ID != recent[i-1].ID+1 {
+			t.Fatalf("ring order broken: %+v", recent)
+		}
+	}
+	if recent[3].ID != 10 {
+		t.Fatalf("newest record id = %d, want 10", recent[3].ID)
+	}
+}
+
+func TestProbeZeroRingStillCounts(t *testing.T) {
+	e := sim.NewEngine()
+	p := NewProbe("x", e, &sink{}, 0)
+	observe(p, &core.IDSource{}, core.KindDMAWrite, 3, 7)
+	if p.Total() != 7 || len(p.Recent()) != 0 {
+		t.Fatal("zero-capacity ring misbehaved")
+	}
+}
+
+func TestProbeFilterLimitsRingOnly(t *testing.T) {
+	e := sim.NewEngine()
+	p := NewProbe("x", e, &sink{}, 16)
+	p.Filter = func(pkt *core.Packet) bool { return pkt.DSID == 2 }
+	ids := &core.IDSource{}
+	observe(p, ids, core.KindMemRead, 1, 4)
+	observe(p, ids, core.KindMemRead, 2, 2)
+	if p.Total() != 6 {
+		t.Fatal("filter suppressed counters")
+	}
+	recent := p.Recent()
+	if len(recent) != 2 || recent[0].DSID != 2 {
+		t.Fatalf("filtered ring: %+v", recent)
+	}
+}
+
+func TestProbeReset(t *testing.T) {
+	e := sim.NewEngine()
+	p := NewProbe("x", e, &sink{}, 4)
+	observe(p, &core.IDSource{}, core.KindMemRead, 1, 3)
+	p.Reset()
+	if p.Total() != 0 || len(p.Recent()) != 0 || p.Count(core.KindMemRead, 1) != 0 {
+		t.Fatal("Reset incomplete")
+	}
+}
+
+func TestProbeSummary(t *testing.T) {
+	e := sim.NewEngine()
+	p := NewProbe("mem", e, &sink{}, 0)
+	ids := &core.IDSource{}
+	observe(p, ids, core.KindMemRead, 1, 9)
+	observe(p, ids, core.KindWriteback, 2, 1)
+	out := p.Summary()
+	if !strings.Contains(out, "probe mem: 10 packets") {
+		t.Fatalf("summary header: %q", out)
+	}
+	// Sorted by count: MemRead line first.
+	if strings.Index(out, "MemRead") > strings.Index(out, "Writeback") {
+		t.Fatalf("summary not sorted by count:\n%s", out)
+	}
+}

@@ -1,0 +1,50 @@
+package workload
+
+import "repro/internal/sim"
+
+// DiskCopy models "dd if=/dev/zero of=/dev/sdb bs=32M count=16"
+// (paper §7.1.3): a loop of large sequential disk transfers with a
+// little compute between chunks. When Loop is set the copy restarts
+// after TotalBytes, producing a sustained bandwidth demand.
+type DiskCopy struct {
+	TotalBytes uint64
+	ChunkBytes uint32 // per-request transfer size; 0 means 256 KiB
+	Write      bool
+	Loop       bool
+	Compute    uint64 // cycles of buffer management per chunk
+
+	pos       uint64
+	gap       bool
+	Completed uint64 // bytes transferred
+}
+
+// Next emits the next chunk transfer, or OpDone when a non-looping copy
+// finishes.
+func (d *DiskCopy) Next(sim.Tick) Op {
+	chunk := d.ChunkBytes
+	if chunk == 0 {
+		chunk = 256 << 10
+	}
+	if d.pos >= d.TotalBytes {
+		if !d.Loop {
+			return Op{Kind: OpDone}
+		}
+		d.pos = 0
+	}
+	if d.Compute > 0 && !d.gap {
+		d.gap = true
+		return Op{Kind: OpCompute, Cycles: d.Compute}
+	}
+	d.gap = false
+	n := uint64(chunk)
+	if rem := d.TotalBytes - d.pos; rem < n {
+		n = rem
+	}
+	op := Op{Kind: OpDiskWrite, Addr: d.pos, Bytes: uint32(n)}
+	if !d.Write {
+		op.Kind = OpDiskRead
+	}
+	d.pos += n
+	d.Completed += n
+	return op
+}

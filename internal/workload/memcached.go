@@ -1,0 +1,160 @@
+package workload
+
+import (
+	"math/rand"
+
+	"repro/internal/metric"
+	"repro/internal/sim"
+)
+
+// MemcachedConfig parameterizes the latency-critical service model.
+type MemcachedConfig struct {
+	// RPS is the offered load in requests per second (Poisson arrivals).
+	RPS float64
+	// ComputeCycles is the per-request protocol/CPU work.
+	ComputeCycles uint64
+	// Accesses is the number of dependent memory accesses per request
+	// (hash-table probes and value reads).
+	Accesses int
+	// FootprintBytes is the server's resident hash-table + value store.
+	FootprintBytes uint64
+	// Base is the region base address.
+	Base uint64
+	Seed int64
+}
+
+// Memcached models the paper's co-located memcached client+server pair
+// sharing one core (§7.1.2): requests arrive in an open Poisson stream;
+// each is served with compute plus dependent memory accesses over the
+// server footprint; response latency — queueing included — feeds a
+// histogram whose 95th percentile is Figure 8's y-axis.
+type Memcached struct {
+	cfg MemcachedConfig
+	r   *rand.Rand
+
+	prewarmPos  uint64 // next address of the dataset-load phase
+	prewarmed   bool
+	nextArrival sim.Tick
+	started     bool
+	queue       []sim.Tick // arrival times of waiting requests
+
+	inFlight   bool
+	curArrival sim.Tick
+	opsLeft    int
+	didCompute bool
+
+	// Latencies records request latency in ticks; use TailLatency to
+	// read it in milliseconds.
+	Latencies *metric.Histogram
+	Completed uint64
+	Arrived   uint64
+}
+
+// NewMemcached builds the generator.
+func NewMemcached(cfg MemcachedConfig) *Memcached {
+	if cfg.RPS <= 0 {
+		panic("workload: memcached RPS must be positive")
+	}
+	if cfg.Accesses <= 0 {
+		cfg.Accesses = 1
+	}
+	if cfg.FootprintBytes < 64 {
+		cfg.FootprintBytes = 64
+	}
+	return &Memcached{
+		cfg:       cfg,
+		r:         newRand(cfg.Seed),
+		Latencies: metric.NewHistogram(),
+	}
+}
+
+// interarrival draws an exponential gap in ticks.
+func (m *Memcached) interarrival() sim.Tick {
+	sec := m.r.ExpFloat64() / m.cfg.RPS
+	t := sim.Tick(sec * float64(sim.Second))
+	if t == 0 {
+		t = 1
+	}
+	return t
+}
+
+// admit moves due arrivals into the queue.
+func (m *Memcached) admit(now sim.Tick) {
+	if !m.started {
+		m.started = true
+		m.nextArrival = now + m.interarrival()
+	}
+	for m.nextArrival <= now {
+		m.queue = append(m.queue, m.nextArrival)
+		m.Arrived++
+		m.nextArrival += m.interarrival()
+	}
+}
+
+// Next implements Generator.
+func (m *Memcached) Next(now sim.Tick) Op {
+	// Dataset load: the server touches its whole value store once
+	// before accepting requests, the equivalent of the paper's
+	// warmed-up checkpoint. Arrivals start when the load finishes.
+	if !m.prewarmed {
+		if m.prewarmPos < m.cfg.FootprintBytes {
+			op := Op{Kind: OpLoad, Addr: m.cfg.Base + m.prewarmPos}
+			m.prewarmPos += 64
+			return op
+		}
+		m.prewarmed = true
+	}
+	m.admit(now)
+
+	if m.inFlight {
+		if !m.didCompute {
+			m.didCompute = true
+			return Op{Kind: OpCompute, Cycles: m.cfg.ComputeCycles}
+		}
+		if m.opsLeft > 0 {
+			m.opsLeft--
+			blocks := m.cfg.FootprintBytes / 64
+			addr := m.cfg.Base + uint64(m.r.Int63n(int64(blocks)))*64
+			return Op{Kind: OpLoad, Addr: addr}
+		}
+		// Request finished: latency includes the time it waited in the
+		// arrival queue behind earlier requests.
+		m.Latencies.Observe(uint64(now - m.curArrival))
+		m.Completed++
+		m.inFlight = false
+	}
+
+	if len(m.queue) > 0 {
+		m.curArrival = m.queue[0]
+		m.queue = m.queue[1:]
+		m.inFlight = true
+		m.opsLeft = m.cfg.Accesses
+		m.didCompute = false
+		return m.Next(now)
+	}
+
+	// No work: sleep until the next arrival.
+	return Op{Kind: OpIdle, Cycles: idleCycles(m.nextArrival - now)}
+}
+
+// TailLatencyMs returns the p-quantile response time in milliseconds.
+func (m *Memcached) TailLatencyMs(p float64) float64 {
+	return float64(m.Latencies.Percentile(p)) / float64(sim.Millisecond)
+}
+
+// MeanLatencyMs returns the mean response time in milliseconds.
+func (m *Memcached) MeanLatencyMs() float64 {
+	return m.Latencies.Mean() / float64(sim.Millisecond)
+}
+
+// QueueDepth returns the number of requests waiting (excluding the one
+// in service).
+func (m *Memcached) QueueDepth() int { return len(m.queue) }
+
+// ResetStats clears latency accounting (e.g. after warmup) without
+// disturbing the arrival process or queue.
+func (m *Memcached) ResetStats() {
+	m.Latencies.Reset()
+	m.Completed = 0
+	m.Arrived = 0
+}

@@ -1,0 +1,196 @@
+// Package xbar models the intra-computer-network interconnect between
+// the private L1s and the shared LLC — the crossbar of the paper's
+// OpenSPARC T1 RTL (Figure 1 shows the interconnect as an ICN hop; the
+// tag registers' values are "propagated to LLC, crossbar and memory
+// controller", §6). Like every shared resource in PARD it carries a
+// control plane: per-DS-id weighted round-robin arbitration over the
+// single grant port, with queue-delay statistics and triggers.
+package xbar
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// Config describes the crossbar.
+type Config struct {
+	Name    string
+	Latency uint64 // traversal cycles once granted
+
+	TriggerSlots   int
+	SampleInterval sim.Tick
+}
+
+// DefaultConfig returns a one-cycle crossbar.
+func DefaultConfig() Config {
+	return Config{Name: "xbar", Latency: 1}
+}
+
+// Control-plane columns.
+const (
+	ParamWeight = "weight" // WRR grants per round; default 1
+
+	StatFwdCnt  = "fwd_cnt"
+	StatAvgQLat = "avg_qlat" // windowed mean queue delay, 0.1-cycle units
+)
+
+type entry struct {
+	pkt *core.Packet
+	enq sim.Tick
+}
+
+// Crossbar arbitrates tagged packets onto one downstream port.
+type Crossbar struct {
+	cfg    Config
+	engine *sim.Engine
+	clock  *sim.Clock
+	out    core.Target
+
+	plane *core.Plane
+
+	queues  map[core.DSID][]entry
+	ring    []core.DSID
+	cursor  int
+	credits uint64
+	pumping bool
+
+	qlat map[core.DSID]*qlatWin
+
+	Granted uint64
+}
+
+type qlatWin struct{ sum, count uint64 }
+
+// New builds a crossbar whose grants forward to out.
+func New(e *sim.Engine, clock *sim.Clock, cfg Config, out core.Target) *Crossbar {
+	if cfg.TriggerSlots == 0 {
+		cfg.TriggerSlots = 64
+	}
+	if cfg.SampleInterval == 0 {
+		cfg.SampleInterval = 100 * sim.Microsecond
+	}
+	if cfg.Latency == 0 {
+		cfg.Latency = 1
+	}
+	x := &Crossbar{
+		cfg:    cfg,
+		engine: e,
+		clock:  clock,
+		out:    out,
+		queues: make(map[core.DSID][]entry),
+		qlat:   make(map[core.DSID]*qlatWin),
+	}
+	params := core.NewTable(
+		core.Column{Name: ParamWeight, Writable: true, Default: 1},
+	)
+	stats := core.NewTable(
+		core.Column{Name: StatFwdCnt},
+		core.Column{Name: StatAvgQLat},
+	)
+	x.plane = core.NewPlane(e, "XBAR_CP", core.PlaneTypeBridge, params, stats, cfg.TriggerSlots)
+	e.Schedule(cfg.SampleInterval, x.sample)
+	return x
+}
+
+// Plane returns the crossbar control plane.
+func (x *Crossbar) Plane() *core.Plane { return x.plane }
+
+// Request enqueues a packet for arbitration.
+func (x *Crossbar) Request(p *core.Packet) {
+	if _, ok := x.queues[p.DSID]; !ok {
+		x.ring = append(x.ring, p.DSID)
+	}
+	x.queues[p.DSID] = append(x.queues[p.DSID], entry{pkt: p, enq: x.engine.Now()})
+	x.pump()
+}
+
+func (x *Crossbar) pump() {
+	if x.pumping || len(x.ring) == 0 {
+		return
+	}
+	x.pumping = true
+	x.engine.At(x.clock.NextEdge(), x.grant)
+}
+
+func (x *Crossbar) weight(ds core.DSID) uint64 {
+	w := x.plane.Param(ds, ParamWeight)
+	if w == 0 {
+		w = 1
+	}
+	return w
+}
+
+// grant issues one packet per cycle under weighted round robin: the
+// current DS-id keeps the port for weight grants per round.
+func (x *Crossbar) grant() {
+	x.pumping = false
+	// Find the next DS-id with work, consuming credits.
+	for scanned := 0; scanned < len(x.ring)+1; scanned++ {
+		if len(x.ring) == 0 {
+			return
+		}
+		x.cursor %= len(x.ring)
+		ds := x.ring[x.cursor]
+		q := x.queues[ds]
+		if len(q) == 0 {
+			x.ring = append(x.ring[:x.cursor], x.ring[x.cursor+1:]...)
+			delete(x.queues, ds)
+			x.credits = 0
+			continue
+		}
+		if x.credits == 0 {
+			x.credits = x.weight(ds)
+		}
+		e := q[0]
+		x.queues[ds] = q[1:]
+		x.credits--
+		if x.credits == 0 {
+			x.cursor++
+		}
+		x.forward(ds, e)
+		if x.pending() > 0 {
+			x.pumping = true
+			x.clock.ScheduleCycles(1, x.grant)
+		}
+		return
+	}
+}
+
+func (x *Crossbar) pending() int {
+	n := 0
+	for _, q := range x.queues {
+		n += len(q)
+	}
+	return n
+}
+
+func (x *Crossbar) forward(ds core.DSID, e entry) {
+	x.Granted++
+	x.plane.AddStat(ds, StatFwdCnt, 1)
+	w, ok := x.qlat[ds]
+	if !ok {
+		w = &qlatWin{}
+		x.qlat[ds] = w
+	}
+	w.sum += uint64((x.engine.Now() - e.enq) / x.clock.Period())
+	w.count++
+	pkt := e.pkt
+	x.clock.ScheduleCycles(x.cfg.Latency, func() { x.out.Request(pkt) })
+}
+
+func (x *Crossbar) sample() {
+	for ds, w := range x.qlat {
+		if w.count > 0 {
+			x.plane.SetStat(ds, StatAvgQLat, w.sum*10/w.count)
+		}
+		w.sum, w.count = 0, 0
+	}
+	x.plane.EvaluateAll()
+	x.engine.Schedule(x.cfg.SampleInterval, x.sample)
+}
+
+func (x *Crossbar) String() string {
+	return fmt.Sprintf("%s: granted=%d pending=%d", x.cfg.Name, x.Granted, x.pending())
+}

@@ -1,0 +1,134 @@
+package pard
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/workload"
+)
+
+// Dispatch executes one operator console line against the system:
+// either a firmware shell command (cat/echo/ls/tree/pardtrigger/ldoms/
+// log) or a platform command:
+//
+//	create <name> <coreID> [priority]
+//	workload <coreID> stream|flush|memcached|dd|lbm|leslie3d
+//	run <milliseconds>
+//	stats
+//	trace
+//	help
+//
+// pardctl uses it on stdin; the Console server exposes it over TCP
+// (the PRM's Ethernet adaptor).
+func Dispatch(sys *System, line string) (string, error) {
+	fields := strings.Fields(line)
+	if len(fields) == 0 {
+		return "", nil
+	}
+	switch fields[0] {
+	case "help":
+		return "firmware: cat echo ls tree pardtrigger ldoms log\n" +
+			"platform: create <name> <core> [prio] | workload <core> <kind> | run <ms> | stats | trace | exit", nil
+
+	case "create":
+		if len(fields) < 3 {
+			return "", fmt.Errorf("usage: create <name> <coreID> [priority]")
+		}
+		coreID, err := strconv.Atoi(fields[2])
+		if err != nil {
+			return "", err
+		}
+		if coreID < 0 || coreID >= len(sys.Cores) {
+			return "", fmt.Errorf("no core %d", coreID)
+		}
+		var prio uint64
+		if len(fields) > 3 {
+			prio, err = strconv.ParseUint(fields[3], 10, 64)
+			if err != nil {
+				return "", err
+			}
+		}
+		ld, err := sys.CreateLDom(LDomConfig{
+			Name: fields[1], Cores: []int{coreID},
+			MemBase: uint64(coreID) * (2 << 30), Priority: prio, RowBuf: prio,
+		})
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("created ldom%d on core %d", ld.DSID, coreID), nil
+
+	case "workload":
+		if len(fields) != 3 {
+			return "", fmt.Errorf("usage: workload <coreID> stream|flush|memcached|dd|lbm|leslie3d")
+		}
+		coreID, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return "", err
+		}
+		if coreID < 0 || coreID >= len(sys.Cores) {
+			return "", fmt.Errorf("no core %d", coreID)
+		}
+		gen, err := namedWorkload(fields[2], coreID)
+		if err != nil {
+			return "", err
+		}
+		if sys.Cores[coreID].Running() {
+			return "", fmt.Errorf("core %d already running a workload", coreID)
+		}
+		sys.RunWorkload(coreID, gen)
+		return fmt.Sprintf("core %d running %s", coreID, fields[2]), nil
+
+	case "run":
+		if len(fields) != 2 {
+			return "", fmt.Errorf("usage: run <milliseconds>")
+		}
+		ms, err := strconv.ParseUint(fields[1], 10, 64)
+		if err != nil {
+			return "", err
+		}
+		sys.Run(Millisecond * Tick(ms))
+		return fmt.Sprintf("advanced %dms (now %v)", ms, sys.Engine.Now()), nil
+
+	case "stats":
+		var b strings.Builder
+		for ds, ld := range sys.Firmware.LDoms() {
+			fmt.Fprintf(&b, "ldom%d (%s): LLC %.2f MB, mem %d MB/s, miss %d.%d%%\n",
+				ds, ld.Spec.Name,
+				float64(sys.LLCOccupancyBytes(ds))/(1<<20),
+				sys.MemBandwidthMBs(ds),
+				sys.LLC.MissRate(ds)/10, sys.LLC.MissRate(ds)%10)
+		}
+		fmt.Fprintf(&b, "server CPU utilization: %.0f%%", 100*sys.CPUUtilization())
+		return b.String(), nil
+
+	case "trace":
+		if sys.MemProbe == nil {
+			return "", fmt.Errorf("memory probe not enabled (Config.ProbeMemory)")
+		}
+		return strings.TrimRight(sys.MemProbe.Summary(), "\n"), nil
+	}
+	return sys.Sh(line)
+}
+
+// namedWorkload maps console workload names to generators.
+func namedWorkload(name string, coreID int) (Workload, error) {
+	switch name {
+	case "stream":
+		return NewSTREAM(0), nil
+	case "flush":
+		return &workload.CacheFlush{Base: 1 << 30, Footprint: 16 << 20, Seed: int64(coreID) + 1}, nil
+	case "memcached":
+		return NewMemcached(MemcachedConfig{
+			RPS: 20000, ComputeCycles: 66000, Accesses: 800,
+			FootprintBytes: 2304 << 10, Seed: 42,
+		}), nil
+	case "dd":
+		return &workload.DiskCopy{TotalBytes: 512 << 20, ChunkBytes: 64 << 10, Write: true, Loop: true, Compute: 200}, nil
+	case "lbm":
+		return NewLBM(0), nil
+	case "leslie3d":
+		return NewLeslie3d(0), nil
+	}
+	return nil, fmt.Errorf("unknown workload %q", name)
+}

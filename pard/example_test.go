@@ -1,0 +1,67 @@
+package pard_test
+
+import (
+	"fmt"
+
+	"repro/pard"
+)
+
+// ExampleNewSystem boots the default server and lists its control
+// planes through the firmware's device file tree.
+func ExampleNewSystem() {
+	sys := pard.NewSystem(pard.DefaultConfig())
+	fmt.Println(sys.Firmware.MustSh("ls /sys/cpa"))
+	// Output:
+	// cpa0/
+	// cpa1/
+	// cpa2/
+	// cpa3/
+	// cpa4/
+}
+
+// ExampleSystem_CreateLDom partitions the server and reads back the
+// memory control plane's address map for the new LDom.
+func ExampleSystem_CreateLDom() {
+	sys := pard.NewSystem(pard.DefaultConfig())
+	ld, err := sys.CreateLDom(pard.LDomConfig{
+		Name: "web", Cores: []int{0}, MemBase: 1 << 30, Priority: 1,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("ds:", ld.DSID)
+	fmt.Println("addr_base:", sys.Firmware.MustSh("cat /sys/cpa/cpa1/ldoms/ldom0/parameters/addr_base"))
+	fmt.Println("priority:", sys.Firmware.MustSh("cat /sys/cpa/cpa1/ldoms/ldom0/parameters/priority"))
+	// Output:
+	// ds: ds0
+	// addr_base: 1073741824
+	// priority: 1
+}
+
+// ExampleSystem_Sh shows the operator interface: way-partitioning the
+// LLC with the paper's echo command and installing a trigger rule.
+func ExampleSystem_Sh() {
+	sys := pard.NewSystem(pard.DefaultConfig())
+	sys.CreateLDom(pard.LDomConfig{Name: "svc", Cores: []int{0}})
+
+	sys.Firmware.MustSh("echo 0xFF00 > /sys/cpa/cpa0/ldoms/ldom0/parameters/waymask")
+	fmt.Println(sys.Firmware.MustSh("cat /sys/cpa/cpa0/ldoms/ldom0/parameters/waymask"))
+
+	out, _ := sys.Sh("pardtrigger cpa0 -ldom=0 -stats=miss_rate -cond=gt,300 -action=llc_grow_to_half")
+	fmt.Println(out)
+	// Output:
+	// 0xff00
+	// installed trigger slot 0 on cpa0: ldom0 miss_rate gt 300 => llc_grow_to_half
+}
+
+// ExampleDispatch drives the same console commands pardctl and pardd use.
+func ExampleDispatch() {
+	sys := pard.NewSystem(pard.DefaultConfig())
+	out, _ := pard.Dispatch(sys, "create web 0 1")
+	fmt.Println(out)
+	out, _ = pard.Dispatch(sys, "run 1")
+	fmt.Println(out)
+	// Output:
+	// created ldom0 on core 0
+	// advanced 1ms (now 1.000ms)
+}

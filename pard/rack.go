@@ -1,0 +1,43 @@
+package pard
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// Rack is a set of PARD servers sharing one simulation, with
+// point-to-point NIC links between them — the smallest model of the
+// paper's data-center setting, where an SDN correlates network flow ids
+// with DS-ids so differentiated service follows a request across
+// machines (paper §4.1 / §8).
+type Rack struct {
+	Engine  *sim.Engine
+	IDs     *core.IDSource
+	Servers []*System
+}
+
+// NewRack builds n identical servers on one engine.
+func NewRack(cfg Config, n int) *Rack {
+	if n <= 0 {
+		panic("pard: rack needs at least one server")
+	}
+	r := &Rack{Engine: sim.NewEngine(), IDs: &core.IDSource{}}
+	for i := 0; i < n; i++ {
+		r.Servers = append(r.Servers, NewSystemOn(cfg, r.Engine, r.IDs))
+	}
+	return r
+}
+
+// Connect links two servers' NICs point to point.
+func (r *Rack) Connect(i, j int) error {
+	if i < 0 || i >= len(r.Servers) || j < 0 || j >= len(r.Servers) || i == j {
+		return fmt.Errorf("pard: bad rack link %d-%d", i, j)
+	}
+	r.Servers[i].NIC.ConnectPeer(r.Servers[j].NIC)
+	return nil
+}
+
+// Run advances the whole rack by d.
+func (r *Rack) Run(d Tick) { r.Engine.Run(r.Engine.Now() + d) }

@@ -1,0 +1,102 @@
+package pard
+
+import (
+	"testing"
+)
+
+func TestRackDSIDPropagation(t *testing.T) {
+	// Two servers; a flow's DS-id follows it across the wire: server0's
+	// "front" LDom sends flow 7 to server1, whose SDN rule maps flow 7
+	// to its "back" LDom regardless of MAC.
+	rack := NewRack(DefaultConfig(), 2)
+	if err := rack.Connect(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	s0, s1 := rack.Servers[0], rack.Servers[1]
+
+	front, err := s0.CreateLDom(LDomConfig{
+		Name: "front", Cores: []int{0}, MemBase: 0, MAC: 0xA0, NICBuf: 0x1000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1.CreateLDom(LDomConfig{Name: "other", Cores: []int{0}, MemBase: 0, MAC: 0xB0, NICBuf: 0x1000})
+	back, err := s1.CreateLDom(LDomConfig{
+		Name: "back", Cores: []int{1}, MemBase: 2 << 30, MAC: 0xB1, NICBuf: 0x2000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// SDN rule on server1: flow 7 belongs to "back".
+	if err := s1.NIC.BindFlow(7, back.DSID); err != nil {
+		t.Fatal(err)
+	}
+
+	// front sends 50 frames of flow 7, addressed to the *other* LDom's
+	// MAC; the flow rule must win.
+	for i := 0; i < 50; i++ {
+		s0.NIC.SendFrame(front.DSID, 0xB0, 7, 0x4000, 1500)
+	}
+	rack.Run(2 * Millisecond)
+
+	if got := s0.NIC.Plane().Stat(front.DSID, "tx_bytes"); got != 50*1500 {
+		t.Fatalf("tx accounting = %d", got)
+	}
+	if got := s1.NIC.Plane().Stat(back.DSID, "rx_bytes"); got != 50*1500 {
+		t.Fatalf("flow-steered rx = %d, want %d", got, 50*1500)
+	}
+	if got := s1.NIC.Plane().Stat(0, "rx_bytes"); got != 0 {
+		t.Fatalf("MAC-addressed LDom (ds0) received %d bytes despite the flow rule", got)
+	}
+	// RX interrupts landed on the back LDom's core (core 1 of server1).
+	if s1.InterruptsByCore[1] == 0 {
+		t.Fatal("no RX interrupts delivered to the back LDom's core")
+	}
+	if s1.InterruptsByCore[0] != 0 {
+		t.Fatal("RX interrupts leaked to the wrong core")
+	}
+}
+
+func TestRackWithoutFlowRuleUsesMAC(t *testing.T) {
+	rack := NewRack(DefaultConfig(), 2)
+	rack.Connect(0, 1)
+	s0, s1 := rack.Servers[0], rack.Servers[1]
+	s0.CreateLDom(LDomConfig{Name: "a", Cores: []int{0}, MAC: 0xA0, NICBuf: 0x1000})
+	s1.CreateLDom(LDomConfig{Name: "b", Cores: []int{0}, MAC: 0xB0, NICBuf: 0x1000})
+	s0.NIC.SendFrame(0, 0xB0, 99, 0, 1500) // unknown flow: MAC classifies
+	rack.Run(Millisecond)
+	if got := s1.NIC.Plane().Stat(0, "rx_bytes"); got != 1500 {
+		t.Fatalf("MAC fallback rx = %d", got)
+	}
+}
+
+func TestRackSharedEngineDeterminism(t *testing.T) {
+	run := func() uint64 {
+		rack := NewRack(DefaultConfig(), 2)
+		rack.Connect(0, 1)
+		for i, s := range rack.Servers {
+			s.CreateLDom(LDomConfig{Name: "w", Cores: []int{0}, MAC: uint64(0xA0 + i), NICBuf: 0x1000})
+			s.RunWorkload(0, NewSTREAM(0))
+		}
+		rack.Run(Millisecond)
+		return rack.Servers[0].Mem.Served + rack.Servers[1].Mem.Served*1000003
+	}
+	if run() != run() {
+		t.Fatal("rack simulation not deterministic")
+	}
+}
+
+func TestRackValidation(t *testing.T) {
+	rack := NewRack(DefaultConfig(), 2)
+	for _, pair := range [][2]int{{0, 0}, {-1, 1}, {0, 5}} {
+		if err := rack.Connect(pair[0], pair[1]); err == nil {
+			t.Errorf("link %v accepted", pair)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("zero-server rack did not panic")
+		}
+	}()
+	NewRack(DefaultConfig(), 0)
+}

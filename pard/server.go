@@ -1,0 +1,126 @@
+package pard
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+)
+
+// Console serves the operator console over TCP — the PRM's Ethernet
+// adaptor (paper §3: the PRM SoC includes "an Ethernet adaptor"; data
+// center resource managers submit requests to the firmware remotely).
+//
+// The simulation is single-threaded; connection goroutines serialize
+// every command through a channel into one executor goroutine, so
+// concurrent operators observe a consistent machine.
+type Console struct {
+	sys *System
+	ln  net.Listener
+
+	cmds chan consoleCmd
+	wg   sync.WaitGroup
+	quit chan struct{}
+	once sync.Once
+}
+
+type consoleCmd struct {
+	line  string
+	reply chan consoleReply
+}
+
+type consoleReply struct {
+	out string
+	err error
+}
+
+// NewConsole starts serving on addr (e.g. "127.0.0.1:0"). The returned
+// console owns the listener; Close shuts everything down.
+func NewConsole(sys *System, addr string) (*Console, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Console{
+		sys:  sys,
+		ln:   ln,
+		cmds: make(chan consoleCmd),
+		quit: make(chan struct{}),
+	}
+	c.wg.Add(2)
+	go c.execLoop()
+	go c.acceptLoop()
+	return c, nil
+}
+
+// Addr returns the listening address.
+func (c *Console) Addr() net.Addr { return c.ln.Addr() }
+
+// Close stops the console and waits for its goroutines.
+func (c *Console) Close() error {
+	var err error
+	c.once.Do(func() {
+		close(c.quit)
+		err = c.ln.Close()
+		c.wg.Wait()
+	})
+	return err
+}
+
+// execLoop is the only goroutine that touches the simulation.
+func (c *Console) execLoop() {
+	defer c.wg.Done()
+	for {
+		select {
+		case <-c.quit:
+			return
+		case cmd := <-c.cmds:
+			out, err := Dispatch(c.sys, cmd.line)
+			cmd.reply <- consoleReply{out: out, err: err}
+		}
+	}
+}
+
+func (c *Console) acceptLoop() {
+	defer c.wg.Done()
+	for {
+		conn, err := c.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		c.wg.Add(1)
+		go c.serve(conn)
+	}
+}
+
+func (c *Console) serve(conn net.Conn) {
+	defer c.wg.Done()
+	defer conn.Close()
+	fmt.Fprintf(conn, "PARD platform resource manager. Type 'help'.\n")
+	sc := bufio.NewScanner(conn)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if line == "exit" || line == "quit" {
+			fmt.Fprintln(conn, "bye")
+			return
+		}
+		reply := make(chan consoleReply, 1)
+		select {
+		case <-c.quit:
+			return
+		case c.cmds <- consoleCmd{line: line, reply: reply}:
+		}
+		r := <-reply
+		switch {
+		case r.err != nil:
+			fmt.Fprintf(conn, "error: %v\n", r.err)
+		case r.out != "":
+			fmt.Fprintln(conn, r.out)
+		}
+		fmt.Fprintln(conn, "ok")
+	}
+}

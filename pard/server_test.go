@@ -1,0 +1,157 @@
+package pard
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// dialConsole connects and returns a send-line/read-until-ok helper.
+func dialConsole(t *testing.T, addr net.Addr) (func(string) string, func()) {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := bufio.NewReader(conn)
+	if _, err := r.ReadString('\n'); err != nil { // banner
+		t.Fatal(err)
+	}
+	send := func(line string) string {
+		if _, err := fmt.Fprintln(conn, line); err != nil {
+			t.Fatal(err)
+		}
+		var out []string
+		for {
+			l, err := r.ReadString('\n')
+			if err != nil {
+				t.Fatalf("read after %q: %v", line, err)
+			}
+			l = strings.TrimRight(l, "\n")
+			if l == "ok" {
+				break
+			}
+			out = append(out, l)
+		}
+		return strings.Join(out, "\n")
+	}
+	return send, func() { conn.Close() }
+}
+
+func TestConsoleEndToEnd(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ProbeMemory = true
+	sys := NewSystem(cfg)
+	console, err := NewConsole(sys, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer console.Close()
+
+	send, closeConn := dialConsole(t, console.Addr())
+	defer closeConn()
+
+	if out := send("create web 0 1"); !strings.Contains(out, "created ldom0") {
+		t.Fatalf("create: %q", out)
+	}
+	if out := send("workload 0 stream"); !strings.Contains(out, "running stream") {
+		t.Fatalf("workload: %q", out)
+	}
+	if out := send("run 2"); !strings.Contains(out, "advanced 2ms") {
+		t.Fatalf("run: %q", out)
+	}
+	// Firmware shell commands pass straight through.
+	if out := send("cat /sys/cpa/cpa0/ident"); out != "CACHE_CP" {
+		t.Fatalf("cat: %q", out)
+	}
+	miss := send("cat /sys/cpa/cpa0/ldoms/ldom0/statistics/miss_cnt")
+	if miss == "0" || miss == "" {
+		t.Fatalf("no traffic accounted: miss_cnt = %q", miss)
+	}
+	if out := send("trace"); !strings.Contains(out, "probe mem") {
+		t.Fatalf("trace: %q", out)
+	}
+	if out := send("bogus-command"); !strings.Contains(out, "error") {
+		t.Fatalf("error not surfaced: %q", out)
+	}
+}
+
+func TestConsoleSerializesConcurrentOperators(t *testing.T) {
+	sys := NewSystem(DefaultConfig())
+	console, err := NewConsole(sys, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer console.Close()
+
+	// Several operators hammer the console at once; the executor
+	// serializes them, so every command gets a coherent reply and the
+	// race detector stays quiet.
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			send, closeConn := dialConsole(t, console.Addr())
+			defer closeConn()
+			for j := 0; j < 10; j++ {
+				out := send("ls /sys/cpa")
+				if !strings.Contains(out, "cpa0/") {
+					t.Errorf("operator %d: %q", i, out)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+func TestConsoleCloseIdempotent(t *testing.T) {
+	sys := NewSystem(DefaultConfig())
+	console, err := NewConsole(sys, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := console.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := console.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDispatchValidation(t *testing.T) {
+	sys := NewSystem(DefaultConfig())
+	bad := []string{
+		"create onlyname",
+		"create x 99",
+		"workload 0 nosuch",
+		"workload 99 stream",
+		"run xyz",
+	}
+	for _, line := range bad {
+		if _, err := Dispatch(sys, line); err == nil {
+			t.Errorf("command %q did not error", line)
+		}
+	}
+	if out, err := Dispatch(sys, ""); err != nil || out != "" {
+		t.Error("empty line should be a no-op")
+	}
+	if out, err := Dispatch(sys, "help"); err != nil || !strings.Contains(out, "pardtrigger") {
+		t.Errorf("help output: %q, %v", out, err)
+	}
+}
+
+func TestDispatchWorkloadDoubleStartRejected(t *testing.T) {
+	sys := NewSystem(DefaultConfig())
+	Dispatch(sys, "create a 0")
+	if _, err := Dispatch(sys, "workload 0 stream"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Dispatch(sys, "workload 0 flush"); err == nil {
+		t.Fatal("double workload start accepted")
+	}
+}

@@ -1,0 +1,83 @@
+package pard
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestCrossbarDisabledByDefault(t *testing.T) {
+	sys := NewSystem(DefaultConfig())
+	if sys.Xbar != nil {
+		t.Fatal("crossbar present without opt-in")
+	}
+	if _, err := sys.Sh("cat /sys/cpa/cpa5/ident"); err == nil {
+		t.Fatal("cpa5 mounted without a crossbar")
+	}
+}
+
+func TestCrossbarMountsAsSixthPlane(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Crossbar = true
+	sys := NewSystem(cfg)
+	if sys.Xbar == nil {
+		t.Fatal("crossbar missing")
+	}
+	ident := sys.Firmware.MustSh("cat /sys/cpa/cpa5/ident")
+	if ident != "XBAR_CP" {
+		t.Fatalf("cpa5 ident = %q", ident)
+	}
+}
+
+func TestCrossbarCarriesLLCTraffic(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Crossbar = true
+	sys := NewSystem(cfg)
+	ld, _ := sys.CreateLDom(LDomConfig{Name: "a", Cores: []int{0}})
+	sys.RunWorkload(0, NewSTREAM(0))
+	sys.Run(2 * Millisecond)
+	if sys.Xbar.Granted == 0 {
+		t.Fatal("no packets crossed the crossbar")
+	}
+	fwd := sys.Firmware.MustSh("cat /sys/cpa/cpa5/ldoms/ldom0/statistics/fwd_cnt")
+	if fwd == "0" {
+		t.Fatal("crossbar control plane saw no traffic")
+	}
+	if sys.LLCOccupancyBytes(ld.DSID) == 0 {
+		t.Fatal("traffic did not reach the LLC through the crossbar")
+	}
+}
+
+func TestCrossbarWeightsThroughFileTree(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Crossbar = true
+	sys := NewSystem(cfg)
+	sys.CreateLDom(LDomConfig{Name: "hi", Cores: []int{0}})
+	sys.CreateLDom(LDomConfig{Name: "lo", Cores: []int{1}})
+	sys.Firmware.MustSh("echo 4 > /sys/cpa/cpa5/ldoms/ldom0/parameters/weight")
+	got := sys.Firmware.MustSh("cat /sys/cpa/cpa5/ldoms/ldom0/parameters/weight")
+	if got != "4" {
+		t.Fatalf("weight = %q", got)
+	}
+	sys.RunWorkload(0, &workload.CacheFlush{Base: 0, Footprint: 16 << 20, Seed: 1})
+	sys.RunWorkload(1, &workload.CacheFlush{Base: 0, Footprint: 16 << 20, Seed: 2})
+	sys.Run(2 * Millisecond)
+	f0 := sys.Xbar.Plane().Stat(0, "fwd_cnt")
+	f1 := sys.Xbar.Plane().Stat(1, "fwd_cnt")
+	if f0 == 0 || f1 == 0 {
+		t.Fatalf("fwd counts %d/%d", f0, f1)
+	}
+	// With blocking cores the single grant port is far from saturated,
+	// so weights cannot skew throughput here; weighted arbitration
+	// under saturation is covered by the xbar unit tests. This test
+	// pins the end-to-end programmability path only.
+}
+
+func TestTable3StillListsFivePlanesByDefault(t *testing.T) {
+	sys := NewSystem(DefaultConfig())
+	out := sys.Firmware.MustSh("ls /sys/cpa")
+	if strings.Contains(out, "cpa5") {
+		t.Fatal("default system grew a sixth plane")
+	}
+}
