@@ -1,0 +1,26 @@
+# Tier-1 gate: everything CI (and the next PR) runs.
+.PHONY: check build vet lint test race bench
+
+check: build vet lint test
+
+build:
+	go build ./...
+
+vet:
+	go vet ./...
+
+# Domain-invariant static analysis: DS-id propagation, sim determinism,
+# control-plane discipline, MMIO error flow. See LINTING.md.
+lint:
+	go run ./cmd/pardlint ./...
+
+test:
+	go test ./...
+
+# Race pass over the packages that spawn goroutines (TCP console) and
+# the event engine they serialize into.
+race:
+	go test -race ./pard/... ./internal/sim/...
+
+bench:
+	go test -bench=. -benchmem

@@ -15,7 +15,6 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"time"
 
 	"repro/internal/exp"
 )
@@ -55,7 +54,9 @@ func main() {
 			continue
 		}
 		ran = true
-		start := time.Now()
+		// No wall-clock timing here: pardbench output is part of the
+		// reproducibility contract (identical invocations must produce
+		// identical bytes), so elapsed time never reaches stdout.
 		fmt.Printf("==== %s (scale=%s) ====\n", e.name, *scaleFlag)
 		res := e.run(scale)
 		res.Print(os.Stdout)
@@ -65,7 +66,7 @@ func main() {
 				os.Exit(1)
 			}
 		}
-		fmt.Printf("---- %s done in %v ----\n\n", e.name, time.Since(start).Round(time.Millisecond))
+		fmt.Printf("---- %s done ----\n\n", e.name)
 	}
 	if !ran {
 		fmt.Fprintf(os.Stderr, "pardbench: unknown experiment %q\n", *runFlag)

@@ -1,0 +1,72 @@
+// Command pardlint runs the PARD domain-invariant static-analysis
+// suite: dsidprop (DS-id propagation), determinism (sim
+// reproducibility), planeaccess (control/data-plane discipline) and
+// errflow (MMIO error handling). See LINTING.md for what each invariant
+// protects and how to suppress a finding.
+//
+// Usage:
+//
+//	pardlint [packages]
+//
+// Package patterns follow the go tool's shape ("./...", "./internal/sim");
+// with no arguments the whole module is analyzed. Exit status is 1 when
+// findings are reported, 2 on usage or load errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: pardlint [-list] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	loader, err := lint.NewLoader(".")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pardlint:", err)
+		os.Exit(2)
+	}
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pardlint:", err)
+		os.Exit(2)
+	}
+
+	diags := lint.Run(pkgs, lint.All()...)
+	cwd, _ := os.Getwd()
+	for _, d := range diags {
+		name := d.Pos.Filename
+		if cwd != "" {
+			if rel, err := filepath.Rel(cwd, name); err == nil && !strings.HasPrefix(rel, "..") {
+				name = rel
+			}
+		}
+		fmt.Printf("%s:%d:%d: %s: %s\n", name, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "pardlint: %d finding(s) across %d package(s)\n", len(diags), len(pkgs))
+		os.Exit(1)
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/core"
 	"repro/internal/workload"
 	"repro/pard"
 )
@@ -43,7 +44,7 @@ func main() {
 func report(sys *pard.System) {
 	fmt.Println("\n== final state ==")
 	fmt.Print(sys.Firmware.MustSh("ldoms"))
-	for ds := range sys.Firmware.LDoms() {
+	for _, ds := range core.SortedKeys(sys.Firmware.LDoms()) {
 		fmt.Printf("ldom%d: LLC %.2f MB, mem %d MB/s, LLC miss %d.%d%%\n",
 			ds, float64(sys.LLCOccupancyBytes(ds))/(1<<20),
 			sys.MemBandwidthMBs(ds), sys.LLC.MissRate(ds)/10, sys.LLC.MissRate(ds)%10)

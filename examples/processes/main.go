@@ -30,8 +30,8 @@ func run(partition bool) (svcMiss string) {
 	// Two processes of one LDom, with their own (sub-)DS-ids.
 	const svcDS, bgDS = 20, 21
 	if partition {
-		llc.Plane().Params().SetName(svcDS, cache.ParamWayMask, 0xFF00)
-		llc.Plane().Params().SetName(bgDS, cache.ParamWayMask, 0x00FF)
+		llc.Plane().SetParam(svcDS, cache.ParamWayMask, 0xFF00)
+		llc.Plane().SetParam(bgDS, cache.ParamWayMask, 0x00FF)
 	}
 	procs := []*osched.Process{
 		{Name: "service", DSID: svcDS, Gen: &workload.Stream{Base: 0, Footprint: 150 << 10, Compute: 6}},

@@ -476,7 +476,8 @@ func (c *Cache) account(ds core.DSID, hit bool) {
 // the statistics table and evaluates triggers. It runs off the access
 // critical path (paper §4.2 step 5).
 func (c *Cache) sample() {
-	for ds, r := range c.missRatio {
+	for _, ds := range core.SortedKeys(c.missRatio) {
+		r := c.missRatio[ds]
 		rate := r.Roll()
 		if r.Valid() {
 			c.plane.SetStat(ds, StatMissRate, rate)

@@ -127,6 +127,26 @@ func (p *Plane) Param(ds DSID, name string) uint64 {
 	return v
 }
 
+// SetParam stores a parameter value through the plane API. It is the
+// sanctioned path for code that configures a plane without going
+// through a CPA register file (device-side binding state, experiment
+// setup); read-only columns and unknown names panic, mirroring the CPA
+// write checks. Hardware data paths read parameters with Param and
+// must never call this — pardlint's planeaccess pass enforces that
+// resource packages cannot reach the tables directly at all.
+func (p *Plane) SetParam(ds DSID, name string, v uint64) {
+	i, ok := p.params.ColumnIndex(name)
+	if !ok {
+		panic("core: " + p.ident + ": no parameter column " + name)
+	}
+	if !p.params.Columns()[i].Writable {
+		panic("core: " + p.ident + ": parameter " + name + " is read-only")
+	}
+	if err := p.params.Set(ds, i, v); err != nil {
+		panic("core: " + p.ident + ": " + err.Error())
+	}
+}
+
 // SetStat stores a statistics value.
 func (p *Plane) SetStat(ds DSID, name string, v uint64) {
 	if err := p.stats.SetName(ds, name, v); err != nil {

@@ -52,6 +52,38 @@ func TestPlaneParamStatHelpers(t *testing.T) {
 	}
 }
 
+func TestPlaneSetParam(t *testing.T) {
+	p := newTestPlane(sim.NewEngine())
+	p.SetParam(4, "waymask", 0x0F0F)
+	if got := p.Param(4, "waymask"); got != 0x0F0F {
+		t.Fatalf("Param after SetParam = %#x", got)
+	}
+	// Other rows keep reading the column default.
+	if got := p.Param(5, "waymask"); got != 0xFFFF {
+		t.Fatalf("unrelated row disturbed: %#x", got)
+	}
+}
+
+func TestPlaneSetParamUnknownColumnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SetParam on unknown column did not panic")
+		}
+	}()
+	newTestPlane(sim.NewEngine()).SetParam(1, "no_such", 1)
+}
+
+func TestPlaneSetParamReadOnlyPanics(t *testing.T) {
+	params := NewTable(Column{Name: "fixed", Writable: false, Default: 3})
+	p := NewPlane(sim.NewEngine(), "RO_CP", PlaneTypeCache, params, NewTable(), 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SetParam on read-only column did not panic")
+		}
+	}()
+	p.SetParam(1, "fixed", 9)
+}
+
 func TestTriggerFiresOnEdge(t *testing.T) {
 	e := sim.NewEngine()
 	p := newTestPlane(e)

@@ -1,7 +1,9 @@
 package core
 
 import (
+	"cmp"
 	"fmt"
+	"slices"
 	"sort"
 )
 
@@ -122,6 +124,20 @@ func (t *Table) SetName(ds DSID, name string, v uint64) error {
 		return fmt.Errorf("core: no column %q", name)
 	}
 	return t.Set(ds, i, v)
+}
+
+// SortedKeys returns m's keys in ascending order. Components iterate
+// DS-id (or MAC, slot...) keyed maps through it so that statistics
+// publication and scheduling decisions never depend on Go's randomized
+// map iteration order — the bit-reproducibility contract behind
+// EXPERIMENTS.md (and the determinism invariant pardlint enforces).
+func SortedKeys[K cmp.Ordered, V any](m map[K]V) []K {
+	keys := make([]K, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	return keys
 }
 
 // Add increments (ds, col) by delta, creating the row if needed. It is

@@ -134,6 +134,34 @@ func TestPropertyTableRoundtrip(t *testing.T) {
 	}
 }
 
+// Property: SortedKeys returns exactly the map's keys, ascending, for
+// any key set — the helper sim-clocked packages rely on for
+// reproducible map iteration.
+func TestPropertySortedKeys(t *testing.T) {
+	f := func(keys []uint16) bool {
+		m := make(map[DSID]int, len(keys))
+		for _, k := range keys {
+			m[DSID(k)]++
+		}
+		got := SortedKeys(m)
+		if len(got) != len(m) {
+			return false
+		}
+		for i, k := range got {
+			if _, ok := m[k]; !ok {
+				return false
+			}
+			if i > 0 && got[i-1] >= k {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // Property: Add accumulates exactly.
 func TestPropertyTableAdd(t *testing.T) {
 	f := func(deltas []uint16) bool {

@@ -507,7 +507,8 @@ func (c *Controller) service(r *request, level int, now sim.Tick) {
 // sample publishes windowed statistics and evaluates triggers.
 func (c *Controller) sample() {
 	winSec := float64(c.cfg.SampleInterval) / float64(sim.Second)
-	for ds, w := range c.qlatWin {
+	for _, ds := range core.SortedKeys(c.qlatWin) {
+		w := c.qlatWin[ds]
 		if w.count > 0 {
 			c.plane.SetStat(ds, StatAvgQLat, w.sum*10/w.count)
 		}

@@ -173,8 +173,8 @@ func AblationPartition() *AblationPartitionResult {
 		}
 		c := cache.New(e, sim.NewClock(e, 500), ids, cfg, instantMem{e})
 		if partition {
-			c.Plane().Params().SetName(1, cache.ParamWayMask, 0xFF00)
-			c.Plane().Params().SetName(2, cache.ParamWayMask, 0x00FF)
+			c.Plane().SetParam(1, cache.ParamWayMask, 0xFF00)
+			c.Plane().SetParam(2, cache.ParamWayMask, 0x00FF)
 		}
 		// Victim fills half the cache.
 		for i := 0; i < c.NumBlocks()/2; i++ {

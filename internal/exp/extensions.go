@@ -36,7 +36,7 @@ func Compression(requests int) *CompressionResult {
 		cfg.CompressionEngine = true
 		ctrl := dram.New(e, ids, cfg)
 		if compress {
-			ctrl.Plane().Params().SetName(1, dram.ParamCompress, 1)
+			ctrl.Plane().SetParam(1, dram.ParamCompress, 1)
 		}
 		// Unloaded latency first.
 		probe := core.NewPacket(ids, core.KindMemRead, 1, 1<<22, 64, e.Now())

@@ -81,9 +81,9 @@ func runInjectionInto(cfg Fig11Config, controlPlane bool) []*metric.Histogram {
 
 	const hiDS, loDS = core.DSID(1), core.DSID(2)
 	if controlPlane {
-		ctrl.Plane().Params().SetName(hiDS, dram.ParamPriority, 1)
+		ctrl.Plane().SetParam(hiDS, dram.ParamPriority, 1)
 		if cfg.RowBuffers > 1 {
-			ctrl.Plane().Params().SetName(hiDS, dram.ParamRowBuf, 1)
+			ctrl.Plane().SetParam(hiDS, dram.ParamRowBuf, 1)
 		}
 	}
 

@@ -267,8 +267,8 @@ func (d *IDE) serve(entry *pendingReq) {
 // sample publishes windowed bandwidth and evaluates triggers.
 func (d *IDE) sample() {
 	winSec := float64(d.cfg.SampleInterval) / float64(sim.Second)
-	for ds, w := range d.bytesWin {
-		mbs := float64(w.Roll()) / 1e6 / winSec
+	for _, ds := range core.SortedKeys(d.bytesWin) {
+		mbs := float64(d.bytesWin[ds].Roll()) / 1e6 / winSec
 		d.plane.SetStat(ds, StatBandwidth, uint64(mbs))
 	}
 	d.plane.EvaluateAll()

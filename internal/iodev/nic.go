@@ -128,7 +128,7 @@ func (n *NIC) BindVNIC(mac uint64, ds core.DSID, buf uint64) error {
 	v.tag.Set(ds)
 	v.dma.Program(ds)
 	n.vnics[mac] = v
-	n.plane.Params().SetName(ds, ParamVNICMac, mac)
+	n.plane.SetParam(ds, ParamVNICMac, mac)
 	return nil
 }
 
@@ -140,6 +140,7 @@ func (n *NIC) UnbindVNIC(mac uint64) {
 		return
 	}
 	ds := v.tag.Get()
+	//pardlint:ignore determinism deleting every matching entry is order-independent
 	for flow, fds := range n.flows {
 		if fds == ds {
 			delete(n.flows, flow)
@@ -263,8 +264,10 @@ func (n *NIC) Request(p *core.Packet) {
 }
 
 func (n *NIC) vnicByDS(ds core.DSID) *vnic {
-	for _, v := range n.vnics {
-		if v.tag.Get() == ds {
+	// Sorted iteration: with duplicate DS-id bindings the lowest-MAC
+	// vNIC must win on every run, not whichever the map yields first.
+	for _, mac := range core.SortedKeys(n.vnics) {
+		if v := n.vnics[mac]; v.tag.Get() == ds {
 			return v
 		}
 	}

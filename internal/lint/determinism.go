@@ -1,0 +1,91 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// simClocked lists the packages that run under the discrete-event clock
+// (or, for the cmd/ entries, print experiment results): their behavior
+// and output must be a pure function of configuration and seeds, the
+// bit-reproducibility contract behind EXPERIMENTS.md.
+var simClocked = map[string]bool{
+	"internal/sim":      true,
+	"internal/cache":    true,
+	"internal/dram":     true,
+	"internal/xbar":     true,
+	"internal/iodev":    true,
+	"internal/cpu":      true,
+	"internal/exp":      true,
+	"internal/workload": true,
+	"cmd/pardbench":     true,
+	"cmd/pardsim":       true,
+}
+
+// wallClock are the time-package functions that read or wait on the
+// machine's clock. Duration constants and arithmetic stay legal.
+var wallClock = map[string]bool{
+	"Now": true, "Sleep": true, "Since": true, "Until": true,
+	"After": true, "Tick": true, "NewTimer": true, "NewTicker": true,
+	"AfterFunc": true,
+}
+
+// globalRand are the math/rand (and /v2) package-level functions backed
+// by the shared, unseeded global source. Constructing an explicitly
+// seeded *rand.Rand (rand.New, rand.NewSource, rand.NewZipf, ...) is
+// the sanctioned pattern — see workload.newRand.
+var globalRand = map[string]bool{
+	"Seed": true, "Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true, "NormFloat64": true,
+	"Perm": true, "Shuffle": true, "Read": true,
+	// math/rand/v2 spellings
+	"N": true, "IntN": true, "Int32": true, "Int32N": true,
+	"Int64N": true, "Uint32N": true, "Uint64N": true, "UintN": true, "Uint": true,
+}
+
+// Determinism enforces bit-reproducible simulation: inside sim-clocked
+// packages, no wall-clock reads, no global math/rand, and no ranging
+// over a map (Go randomizes iteration order per run; anything the loop
+// feeds — statistics publication, scheduling, output rows — would
+// differ between identical invocations). Map loops that are genuinely
+// order-independent carry a pardlint:ignore suppression with a
+// justification; everything else iterates core.SortedKeys.
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc:  "sim-clocked packages must be bit-reproducible",
+	Run:  runDeterminism,
+}
+
+func runDeterminism(pass *Pass) {
+	if !simClocked[pass.Pkg.RelPath] {
+		return
+	}
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				path, ok := importedPkgPath(info, n.X)
+				if !ok {
+					return true
+				}
+				switch {
+				case path == "time" && wallClock[n.Sel.Name]:
+					pass.Reportf(n.Pos(), "time.%s reads the wall clock: sim-clocked code must use the discrete-event engine (sim.Engine.Now/Schedule)", n.Sel.Name)
+				case (path == "math/rand" || path == "math/rand/v2") && globalRand[n.Sel.Name]:
+					pass.Reportf(n.Pos(), "rand.%s uses the shared global source: draw from an explicitly seeded *rand.Rand instead", n.Sel.Name)
+				}
+			case *ast.RangeStmt:
+				tv, ok := info.Types[n.X]
+				if !ok || tv.Type == nil {
+					return true
+				}
+				if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+					pass.Reportf(n.Pos(), "range over %s: map iteration order is randomized per run; iterate core.SortedKeys(m), or suppress with a justification if provably order-independent", types.TypeString(tv.Type, types.RelativeTo(pass.Pkg.Types)))
+				}
+			}
+			return true
+		})
+	}
+}

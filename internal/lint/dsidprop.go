@@ -1,0 +1,92 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// DSIDProp enforces the paper's §2.1 contract: every ICN packet carries
+// a DS-id. Outside internal/core itself,
+//
+//   - a core.Packet composite literal must set the DSID field
+//     explicitly (an omitted field silently means DS-id 0, which
+//     aliases the platform default row and corrupts per-LDom
+//     accounting);
+//   - assigning the literal constant 0 to a packet's DSID field is
+//     flagged as tag-dropping — forwarders must preserve the tag they
+//     received, and intentional default-tag traffic says
+//     core.DSIDDefault;
+//   - calling core.NewPacket with a literal-0 DS-id argument is flagged
+//     for the same reason.
+var DSIDProp = &Analyzer{
+	Name: "dsidprop",
+	Doc:  "every ICN packet must carry an explicit DS-id",
+	Run:  runDSIDProp,
+}
+
+func isCorePacket(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Packet" && obj.Pkg() != nil &&
+		strings.HasSuffix(obj.Pkg().Path(), "internal/core")
+}
+
+func runDSIDProp(pass *Pass) {
+	if pass.Pkg.RelPath == "internal/core" {
+		return
+	}
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CompositeLit:
+				if !isCorePacket(info.Types[n].Type) {
+					return true
+				}
+				for _, elt := range n.Elts {
+					kv, ok := elt.(*ast.KeyValueExpr)
+					if !ok {
+						continue
+					}
+					if id, ok := kv.Key.(*ast.Ident); ok && id.Name == "DSID" {
+						return true
+					}
+				}
+				pass.Reportf(n.Pos(), "core.Packet literal without explicit DSID field: an untagged packet silently joins the ds0 default row")
+			case *ast.AssignStmt:
+				if len(n.Lhs) != len(n.Rhs) {
+					return true
+				}
+				for i, lhs := range n.Lhs {
+					sel, ok := lhs.(*ast.SelectorExpr)
+					if !ok || sel.Sel.Name != "DSID" {
+						continue
+					}
+					if isCorePacket(info.Types[sel.X].Type) && isZeroLiteral(n.Rhs[i]) {
+						pass.Reportf(n.Pos(), "packet DS-id zeroed: forwarders must preserve the tag (use core.DSIDDefault if default-row traffic is intended)")
+					}
+				}
+			case *ast.CallExpr:
+				fn := calleeFunc(info, n)
+				if fn == nil || fn.Name() != "NewPacket" || fn.Pkg() == nil ||
+					!strings.HasSuffix(fn.Pkg().Path(), "internal/core") {
+					return true
+				}
+				if len(n.Args) >= 3 && isZeroLiteral(n.Args[2]) {
+					pass.Reportf(n.Args[2].Pos(), "core.NewPacket called with literal-0 DS-id: pass the request's tag, or core.DSIDDefault for platform traffic")
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,78 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// errTargets maps core receiver type -> method names whose error result
+// must not be dropped. These are the operations where a silent failure
+// desynchronizes firmware state from hardware state: an MMIO write that
+// never landed, a trigger that was never armed.
+var errTargets = map[string]map[string]bool{
+	"CPA":   {"ReadEntry": true, "WriteEntry": true},
+	"Plane": {"InstallTrigger": true},
+	"Table": {"Set": true, "SetName": true},
+}
+
+// ErrFlow flags ignored error returns from MMIO reads/writes and
+// trigger installation, anywhere in the module: used as a bare
+// statement, in go/defer, or blank-assigned.
+var ErrFlow = &Analyzer{
+	Name: "errflow",
+	Doc:  "MMIO and trigger-installation errors must be handled",
+	Run:  runErrFlow,
+}
+
+func isErrTarget(pass *Pass, call *ast.CallExpr) (string, bool) {
+	fn := calleeFunc(pass.Pkg.Info, call)
+	if fn == nil {
+		return "", false
+	}
+	for typ, methods := range errTargets {
+		if methods[fn.Name()] && isCoreMethod(fn, typ, fn.Name()) {
+			return "(*core." + typ + ")." + fn.Name(), true
+		}
+	}
+	return "", false
+}
+
+func runErrFlow(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					if name, hit := isErrTarget(pass, call); hit {
+						pass.Reportf(n.Pos(), "error from %s dropped: a failed MMIO/trigger operation leaves firmware and hardware state out of sync", name)
+					}
+				}
+			case *ast.GoStmt:
+				if name, hit := isErrTarget(pass, n.Call); hit {
+					pass.Reportf(n.Pos(), "error from %s dropped in go statement", name)
+				}
+			case *ast.DeferStmt:
+				if name, hit := isErrTarget(pass, n.Call); hit {
+					pass.Reportf(n.Pos(), "error from %s dropped in defer statement", name)
+				}
+			case *ast.AssignStmt:
+				if len(n.Rhs) != 1 {
+					return true
+				}
+				call, ok := n.Rhs[0].(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				name, hit := isErrTarget(pass, call)
+				if !hit {
+					return true
+				}
+				// The error is always the last result.
+				last := n.Lhs[len(n.Lhs)-1]
+				if id, ok := last.(*ast.Ident); ok && id.Name == "_" {
+					pass.Reportf(n.Pos(), "error from %s blank-assigned: handle it or suppress with a justification", name)
+				}
+			}
+			return true
+		})
+	}
+}

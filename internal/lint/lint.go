@@ -1,0 +1,226 @@
+// Package lint implements pardlint, a domain-specific static-analysis
+// suite for this repository. The Go compiler checks types; pardlint
+// checks the invariants PARD's correctness actually rests on and that
+// no general-purpose tool can see:
+//
+//   - dsidprop: every ICN packet carries an explicit DS-id (paper §2.1)
+//   - determinism: sim-clocked packages stay bit-reproducible — no wall
+//     clock, no global rand, no map-iteration-order dependence
+//   - planeaccess: control-plane tables are mutated only through the
+//     exported plane/MMIO API, never directly from resource packages
+//   - errflow: MMIO and trigger-installation errors are never dropped
+//
+// The suite is built on the standard library only (go/ast, go/parser,
+// go/types); see load.go for how packages are loaded and type-checked
+// without golang.org/x/tools.
+//
+// Diagnostics can be suppressed with a comment on the offending line or
+// on the line directly above it:
+//
+//	//pardlint:ignore determinism deletion is order-independent
+//
+// The first word after "ignore" is a comma-separated list of analyzer
+// names; the rest is a justification (required by convention, not
+// enforced).
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding: an invariant violation at a position.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Analyzer is one invariant checker. Run inspects a loaded package and
+// reports findings through the pass.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// Pass couples an analyzer with the package under analysis.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+	diags    []Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Pkg.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// All returns the full analyzer suite in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{DSIDProp, Determinism, PlaneAccess, ErrFlow}
+}
+
+// Run applies the analyzers to every package, drops suppressed
+// diagnostics, and returns the rest sorted by position.
+func Run(pkgs []*Package, analyzers ...*Analyzer) []Diagnostic {
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		sup := collectSuppressions(pkg)
+		for _, a := range analyzers {
+			pass := &Pass{Analyzer: a, Pkg: pkg}
+			a.Run(pass)
+			for _, d := range pass.diags {
+				if !sup.covers(d) {
+					out = append(out, d)
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out
+}
+
+// suppressions maps file:line to the analyzer names ignored there.
+type suppressions map[string]map[string]bool
+
+func (s suppressions) covers(d Diagnostic) bool {
+	key := fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)
+	return s[key][d.Analyzer]
+}
+
+var ignoreRe = regexp.MustCompile(`^//\s*pardlint:ignore\s+([A-Za-z0-9_,]+)`)
+
+// collectSuppressions scans every comment for pardlint:ignore
+// directives. A directive covers its own line (end-of-line form) and
+// the line immediately below it (own-line form).
+func collectSuppressions(pkg *Package) suppressions {
+	sup := make(suppressions)
+	add := func(file string, line int, analyzer string) {
+		key := fmt.Sprintf("%s:%d", file, line)
+		if sup[key] == nil {
+			sup[key] = make(map[string]bool)
+		}
+		sup[key][analyzer] = true
+	}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := ignoreRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, name := range strings.Split(m[1], ",") {
+					name = strings.TrimSpace(name)
+					if name == "" {
+						continue
+					}
+					add(pos.Filename, pos.Line, name)
+					add(pos.Filename, pos.Line+1, name)
+				}
+			}
+		}
+	}
+	return sup
+}
+
+// --- shared type/AST helpers used by the analyzers ---
+
+// importedPkgPath returns the import path of the package an identifier
+// refers to, if the identifier is a package name (e.g. the "time" in
+// time.Now). Works even when the imported package was stubbed by the
+// loader, because go/types records the PkgName use before resolving the
+// selector.
+func importedPkgPath(info *types.Info, x ast.Expr) (string, bool) {
+	id, ok := x.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	if !ok {
+		return "", false
+	}
+	return pn.Imported().Path(), true
+}
+
+// calleeFunc resolves a call's callee to its *types.Func (methods and
+// package-level functions), or nil.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// recvTypeName returns the defining package path and bare type name of
+// fn's receiver ("", "" for non-methods), dereferencing pointers.
+func recvTypeName(fn *types.Func) (pkgPath, typeName string) {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return "", ""
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return "", ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return "", ""
+	}
+	return obj.Pkg().Path(), obj.Name()
+}
+
+// isCoreMethod reports whether fn is a method named name on the core
+// package's type typeName. The core package is matched by path suffix
+// so that both real loads ("repro/internal/core") and any future module
+// rename keep working.
+func isCoreMethod(fn *types.Func, typeName, name string) bool {
+	if fn == nil || fn.Name() != name {
+		return false
+	}
+	p, tn := recvTypeName(fn)
+	return tn == typeName && strings.HasSuffix(p, "internal/core")
+}
+
+// isZeroLiteral reports whether e is the untyped constant literal 0.
+func isZeroLiteral(e ast.Expr) bool {
+	bl, ok := ast.Unparen(e).(*ast.BasicLit)
+	return ok && bl.Kind == token.INT && bl.Value == "0"
+}

@@ -1,0 +1,192 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// wantRe matches golden expectations embedded in fixture comments:
+//
+//	code() // want analyzer "message substring"
+//
+// Several want clauses may share one comment.
+var wantRe = regexp.MustCompile(`want (\w+) "([^"]+)"`)
+
+type expectation struct {
+	file     string
+	line     int
+	analyzer string
+	substr   string
+}
+
+// fixtureExpectations pulls every want clause out of a loaded package's
+// comments.
+func fixtureExpectations(pkg *Package) []expectation {
+	var exps []expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				pos := pkg.Fset.Position(c.Pos())
+				for _, m := range wantRe.FindAllStringSubmatch(c.Text, -1) {
+					exps = append(exps, expectation{
+						file:     pos.Filename,
+						line:     pos.Line,
+						analyzer: m[1],
+						substr:   m[2],
+					})
+				}
+			}
+		}
+	}
+	return exps
+}
+
+// checkFixture loads one fixture package, runs the whole suite over it
+// and requires the produced diagnostics to match the want clauses
+// exactly: every expectation met, no unexpected findings (which is what
+// makes the ok.go true negatives and suppressed.go cases meaningful).
+func checkFixture(t *testing.T, dir string) {
+	t.Helper()
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.LoadDir(filepath.Join("testdata", "src", dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Run([]*Package{pkg}, All()...)
+	exps := fixtureExpectations(pkg)
+	if len(exps) == 0 {
+		t.Fatalf("fixture %s has no want clauses", dir)
+	}
+
+	matched := make([]bool, len(diags))
+	for _, e := range exps {
+		found := false
+		for i, d := range diags {
+			if matched[i] || d.Pos.Filename != e.file || d.Pos.Line != e.line {
+				continue
+			}
+			if d.Analyzer == e.analyzer && strings.Contains(d.Message, e.substr) {
+				matched[i] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s:%d: expected %s finding containing %q, got none",
+				e.file, e.line, e.analyzer, e.substr)
+		}
+	}
+	for i, d := range diags {
+		if !matched[i] {
+			t.Errorf("unexpected finding: %s", d)
+		}
+	}
+}
+
+func TestDSIDPropFixture(t *testing.T)    { checkFixture(t, "fixtures/dsidprop") }
+func TestDeterminismFixture(t *testing.T) { checkFixture(t, "internal/sim") }
+func TestPlaneAccessFixture(t *testing.T) { checkFixture(t, "internal/dram") }
+func TestErrFlowFixture(t *testing.T)     { checkFixture(t, "fixtures/errflow") }
+
+// TestRepoCleanAtHead runs the full suite over the real module: the
+// tree must stay finding-free, which is the same gate `make check`
+// enforces via `go run ./cmd/pardlint ./...`.
+func TestRepoCleanAtHead(t *testing.T) {
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.Load("./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("suspiciously few packages loaded: %d", len(pkgs))
+	}
+	for _, d := range Run(pkgs, All()...) {
+		t.Errorf("head is not lint-clean: %s", d)
+	}
+}
+
+// TestSuppressionScope pins down the directive's reach: it covers its
+// own line and the next line, nothing further.
+func TestSuppressionScope(t *testing.T) {
+	pkg := parseSource(t, `package p
+
+//pardlint:ignore determinism because
+var x = 1
+var y = 2
+`)
+	sup := collectSuppressions(pkg)
+	file := pkg.Fset.Position(pkg.Files[0].Pos()).Filename
+	cases := []struct {
+		line int
+		want bool
+	}{{3, true}, {4, true}, {5, false}}
+	for _, c := range cases {
+		d := Diagnostic{Analyzer: "determinism"}
+		d.Pos.Filename = file
+		d.Pos.Line = c.line
+		if got := sup.covers(d); got != c.want {
+			t.Errorf("line %d: covered = %v, want %v", c.line, got, c.want)
+		}
+	}
+	// A different analyzer on a covered line stays reported.
+	d := Diagnostic{Analyzer: "errflow"}
+	d.Pos.Filename = file
+	d.Pos.Line = 4
+	if sup.covers(d) {
+		t.Error("directive for determinism must not cover errflow")
+	}
+}
+
+// parseSource parses an in-memory file into the package shape
+// collectSuppressions consumes.
+func parseSource(t *testing.T, src string) *Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "mem.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Package{Fset: fset, Files: []*ast.File{f}}
+}
+
+// TestLoaderScopesTestdata verifies the GOPATH-style path mapping that
+// lets fixtures impersonate scoped packages.
+func TestLoaderScopesTestdata(t *testing.T) {
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.LoadDir(filepath.Join("testdata", "src", "internal", "sim"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pkg.RelPath != "internal/sim" {
+		t.Fatalf("RelPath = %q, want internal/sim", pkg.RelPath)
+	}
+	if !simClocked[pkg.RelPath] {
+		t.Fatal("fixture path not recognized as sim-clocked")
+	}
+}
+
+// TestDiagnosticString keeps the file:line:col output format stable —
+// editors and CI log matchers parse it.
+func TestDiagnosticString(t *testing.T) {
+	d := Diagnostic{Analyzer: "errflow", Message: "boom"}
+	d.Pos.Filename = "a/b.go"
+	d.Pos.Line = 3
+	d.Pos.Column = 7
+	if got, want := d.String(), "a/b.go:3:7: errflow: boom"; got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+}

@@ -1,0 +1,266 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	// Dir is the absolute directory holding the sources.
+	Dir string
+	// RelPath is the module-relative package path ("internal/cache").
+	// Fixture packages under a testdata/src tree report their path
+	// relative to that tree instead, so a fixture can pose as any
+	// package the analyzers scope to.
+	RelPath string
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+}
+
+// Loader parses and type-checks packages of one module using only the
+// standard library. Module-local imports are loaded from source and
+// fully type-checked; imports that leave the module (the standard
+// library, should anything external ever sneak in) are satisfied with
+// empty stub packages and the resulting type errors are ignored. The
+// analyzers are written to need real types only for module-local code
+// plus the *names* of stdlib references, which survive stubbing: the
+// type checker records the PkgName use for "time" in time.Now even
+// though Now itself cannot resolve inside a stub.
+//
+// This trades exhaustive type information for a loader with zero
+// dependencies — the go.mod of the analyzed module stays empty, and the
+// linter needs no GOPATH, no export data and no child `go list`
+// processes.
+type Loader struct {
+	ModuleDir  string
+	ModulePath string
+	Fset       *token.FileSet
+
+	byDir   map[string]*Package // cache, keyed by absolute dir
+	stubs   map[string]*types.Package
+	loading map[string]bool // import-cycle guard, keyed by dir
+}
+
+var moduleRe = regexp.MustCompile(`(?m)^module\s+(\S+)`)
+
+// NewLoader locates the enclosing module of dir.
+func NewLoader(dir string) (*Loader, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	for d := abs; ; d = filepath.Dir(d) {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			m := moduleRe.FindSubmatch(data)
+			if m == nil {
+				return nil, fmt.Errorf("lint: %s/go.mod has no module directive", d)
+			}
+			return &Loader{
+				ModuleDir:  d,
+				ModulePath: string(m[1]),
+				Fset:       token.NewFileSet(),
+				byDir:      make(map[string]*Package),
+				stubs:      make(map[string]*types.Package),
+				loading:    make(map[string]bool),
+			}, nil
+		}
+		if filepath.Dir(d) == d {
+			return nil, fmt.Errorf("lint: no go.mod found above %s", abs)
+		}
+	}
+}
+
+// Load resolves package patterns. "dir/..." walks recursively; other
+// patterns name a single package directory. Paths are relative to the
+// loader's module root (absolute paths work too). Directories named
+// testdata, hidden directories, and directories without non-test .go
+// files are skipped by the walk.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	var dirs []string
+	seen := make(map[string]bool)
+	addDir := func(d string) {
+		if !seen[d] {
+			seen[d] = true
+			dirs = append(dirs, d)
+		}
+	}
+	for _, pat := range patterns {
+		recursive := false
+		if strings.HasSuffix(pat, "...") {
+			recursive = true
+			pat = strings.TrimSuffix(strings.TrimSuffix(pat, "..."), "/")
+		}
+		if pat == "" || pat == "." {
+			pat = l.ModuleDir
+		}
+		if !filepath.IsAbs(pat) {
+			pat = filepath.Join(l.ModuleDir, pat)
+		}
+		if !recursive {
+			addDir(pat)
+			continue
+		}
+		err := filepath.WalkDir(pat, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != pat && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			if hasGoFiles(path) {
+				addDir(path)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	pkgs := make([]*Package, 0, len(dirs))
+	for _, d := range dirs {
+		pkg, err := l.LoadDir(d)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+func hasGoFiles(dir string) bool {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range ents {
+		if goSource(e) {
+			return true
+		}
+	}
+	return false
+}
+
+// goSource reports whether e is a non-test Go source file. Test files
+// are deliberately out of scope: tests configure scenarios the way
+// firmware would and may poke internals on purpose.
+func goSource(e fs.DirEntry) bool {
+	n := e.Name()
+	return !e.IsDir() && strings.HasSuffix(n, ".go") &&
+		!strings.HasSuffix(n, "_test.go") && !strings.HasPrefix(n, ".")
+}
+
+// LoadDir parses and type-checks the package in dir (cached).
+func (l *Loader) LoadDir(dir string) (*Package, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	if pkg, ok := l.byDir[abs]; ok {
+		return pkg, nil
+	}
+	if l.loading[abs] {
+		return nil, fmt.Errorf("lint: import cycle through %s", abs)
+	}
+	l.loading[abs] = true
+	defer delete(l.loading, abs)
+
+	ents, err := os.ReadDir(abs)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	var names []string
+	for _, e := range ents {
+		if goSource(e) {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("lint: no Go source in %s", abs)
+	}
+	for _, n := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(abs, n), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{
+		Importer:         l,
+		Error:            func(error) {}, // tolerant: stubbed imports cause benign errors
+		FakeImportC:      true,
+		IgnoreFuncBodies: false,
+	}
+	rel := l.relPath(abs)
+	tpkg, _ := conf.Check(l.ModulePath+"/"+rel, l.Fset, files, info)
+
+	pkg := &Package{Dir: abs, RelPath: rel, Fset: l.Fset, Files: files, Types: tpkg, Info: info}
+	l.byDir[abs] = pkg
+	return pkg, nil
+}
+
+// relPath maps an absolute package dir to the path analyzers scope on.
+// Directories inside a testdata/src tree are made relative to that
+// tree, GOPATH-style, so fixtures can impersonate real packages.
+func (l *Loader) relPath(abs string) string {
+	rel, err := filepath.Rel(l.ModuleDir, abs)
+	if err != nil {
+		return abs
+	}
+	rel = filepath.ToSlash(rel)
+	if i := strings.LastIndex(rel, "testdata/src/"); i >= 0 {
+		return rel[i+len("testdata/src/"):]
+	}
+	return rel
+}
+
+// Import implements types.Importer. Module-local packages load from
+// source; everything else becomes an empty stub.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == l.ModulePath || strings.HasPrefix(path, l.ModulePath+"/") {
+		dir := filepath.Join(l.ModuleDir, filepath.FromSlash(strings.TrimPrefix(path, l.ModulePath)))
+		pkg, err := l.LoadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	if stub, ok := l.stubs[path]; ok {
+		return stub, nil
+	}
+	name := path
+	if i := strings.LastIndex(path, "/"); i >= 0 {
+		name = path[i+1:]
+	}
+	stub := types.NewPackage(path, name)
+	stub.MarkComplete()
+	l.stubs[path] = stub
+	return stub, nil
+}

@@ -1,0 +1,29 @@
+// Package dsidfix exercises the dsidprop analyzer: packets built or
+// forwarded without an explicit DS-id.
+package dsidfix
+
+import (
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// forge builds a packet by hand and forgets the tag: the zero value
+// silently lands in the ds0 default row.
+func forge(now sim.Tick) *core.Packet {
+	return &core.Packet{ // want dsidprop "without explicit DSID"
+		Kind:  core.KindMemRead,
+		Addr:  0x1000,
+		Size:  64,
+		Issue: now,
+	}
+}
+
+// launder forwards a packet but zeroes its tag on the way.
+func launder(p *core.Packet) {
+	p.DSID = 0 // want dsidprop "DS-id zeroed"
+}
+
+// hardwired constructs with a literal-0 tag instead of naming intent.
+func hardwired(ids *core.IDSource, now sim.Tick) *core.Packet {
+	return core.NewPacket(ids, core.KindMemRead, 0, 0x2000, 64, now) // want dsidprop "literal-0 DS-id"
+}

@@ -1,0 +1,27 @@
+package dsidfix
+
+import (
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// tagged sets the DS-id explicitly in the literal: no finding.
+func tagged(ds core.DSID, now sim.Tick) *core.Packet {
+	return &core.Packet{
+		Kind:  core.KindMemWrite,
+		DSID:  ds,
+		Addr:  0x3000,
+		Size:  64,
+		Issue: now,
+	}
+}
+
+// platform names the default row on purpose: no finding.
+func platform(ids *core.IDSource, now sim.Tick) *core.Packet {
+	return core.NewPacket(ids, core.KindPIORead, core.DSIDDefault, 0x4000, 4, now)
+}
+
+// retag propagates a tag from another packet: no finding.
+func retag(dst, src *core.Packet) {
+	dst.DSID = src.DSID
+}

@@ -1,0 +1,14 @@
+package dsidfix
+
+import "repro/internal/core"
+
+// bringup models pre-LDom platform traffic where the default tag is the
+// whole point; the finding is waived with a justification.
+func bringup() *core.Packet {
+	//pardlint:ignore dsidprop bring-up traffic predates LDom assignment
+	return &core.Packet{
+		Kind: core.KindPIOWrite,
+		Addr: 0x5000,
+		Size: 4,
+	}
+}

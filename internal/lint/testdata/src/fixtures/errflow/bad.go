@@ -1,0 +1,19 @@
+// Package errfix exercises the errflow analyzer: MMIO and trigger
+// errors vanishing. It is deliberately NOT a resource package, so the
+// direct table calls below also double as planeaccess true negatives —
+// only errflow must fire here.
+package errfix
+
+import "repro/internal/core"
+
+func program(cpa *core.CPA, p *core.Plane, t *core.Table) uint64 {
+	cpa.WriteEntry(1, 0, core.SelParameter, 42)    // want errflow "(*core.CPA).WriteEntry"
+	v, _ := cpa.ReadEntry(1, 0, core.SelParameter) // want errflow "blank-assigned"
+	p.InstallTrigger(0, core.Trigger{})            // want errflow "(*core.Plane).InstallTrigger"
+	t.SetName(1, "quota", 3)                       // want errflow "(*core.Table).SetName"
+	return v
+}
+
+func later(cpa *core.CPA) {
+	defer cpa.WriteEntry(1, 0, core.SelParameter, 7) // want errflow "defer"
+}

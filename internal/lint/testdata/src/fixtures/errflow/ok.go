@@ -1,0 +1,18 @@
+package errfix
+
+import "repro/internal/core"
+
+// checked handles every error — the only acceptable flow: no finding.
+func checked(cpa *core.CPA, p *core.Plane) (uint64, error) {
+	if err := cpa.WriteEntry(1, 0, core.SelParameter, 42); err != nil {
+		return 0, err
+	}
+	v, err := cpa.ReadEntry(1, 0, core.SelParameter)
+	if err != nil {
+		return 0, err
+	}
+	if err := p.InstallTrigger(0, core.Trigger{}); err != nil {
+		return 0, err
+	}
+	return v, nil
+}

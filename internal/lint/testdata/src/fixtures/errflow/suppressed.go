@@ -1,0 +1,10 @@
+package errfix
+
+import "repro/internal/core"
+
+// bestEffort restores cached parameters where failure is acceptable by
+// design; the finding is waived with a justification.
+func bestEffort(cpa *core.CPA) {
+	//pardlint:ignore errflow best-effort restore, stale value re-read next sample
+	cpa.WriteEntry(2, 0, core.SelParameter, 9)
+}

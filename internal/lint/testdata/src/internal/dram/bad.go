@@ -1,0 +1,21 @@
+// Package dramfix poses as the internal/dram resource package and
+// exercises the planeaccess analyzer: the data plane reaching past the
+// Plane/CPA API into the tables themselves.
+package dramfix
+
+import "repro/internal/core"
+
+type ctl struct{ plane *core.Plane }
+
+// hog programs its own parameter row — policy belongs to the control
+// plane, not the hardware model.
+func (c *ctl) hog(ds core.DSID) {
+	err := c.plane.Params().SetName(ds, "quota", 1) // want planeaccess "mutates a control-plane table"
+	_ = err
+	c.plane.Stats().Add(ds, 0, 1) // want planeaccess "mutates a control-plane table"
+}
+
+// teardown deletes rows underneath the firmware's feet.
+func (c *ctl) teardown(ds core.DSID) {
+	c.plane.Params().DeleteRow(ds) // want planeaccess "mutates a control-plane table"
+}

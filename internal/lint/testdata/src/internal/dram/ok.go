@@ -1,0 +1,19 @@
+package dramfix
+
+import "repro/internal/core"
+
+// publish uses the exported plane API — the sanctioned statistics path
+// for hardware models: no finding.
+func publish(p *core.Plane, ds core.DSID, hit bool) {
+	if hit {
+		p.AddStat(ds, "hit_cnt", 1)
+	} else {
+		p.AddStat(ds, "miss_cnt", 1)
+	}
+	p.SetStat(ds, "miss_rate", 42)
+}
+
+// consult reads a parameter on the data path: reads are always fine.
+func consult(p *core.Plane, ds core.DSID) uint64 {
+	return p.Param(ds, "quota")
+}

@@ -1,0 +1,33 @@
+// Package simfix poses as the sim-clocked internal/sim package (the
+// loader derives the package path from this directory's location under
+// testdata/src) and exercises the determinism analyzer.
+package simfix
+
+import (
+	"math/rand"
+	"time"
+)
+
+// stamp reads the wall clock: two identical runs diverge.
+func stamp() int64 {
+	return time.Now().UnixNano() // want determinism "time.Now"
+}
+
+// nap waits on the machine clock instead of the event engine.
+func nap() {
+	time.Sleep(time.Millisecond) // want determinism "time.Sleep"
+}
+
+// roll draws from the shared global source: unseeded, process-global.
+func roll() int {
+	return rand.Intn(6) // want determinism "rand.Intn"
+}
+
+// publish lets map iteration order pick which value survives.
+func publish(stats map[uint16]uint64) uint64 {
+	var last uint64
+	for _, v := range stats { // want determinism "iteration order is randomized"
+		last = v
+	}
+	return last
+}

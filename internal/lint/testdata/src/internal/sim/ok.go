@@ -1,0 +1,27 @@
+package simfix
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/core"
+)
+
+// tick is duration arithmetic, not a wall-clock read: no finding.
+const tick = 10 * time.Millisecond
+
+// seeded draws from an explicitly seeded source — the sanctioned
+// pattern (cf. workload.newRand): no finding.
+func seeded(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(6)
+}
+
+// ordered iterates the map through sorted keys: no finding.
+func ordered(stats map[uint16]uint64) uint64 {
+	var sum uint64
+	for _, k := range core.SortedKeys(stats) {
+		sum += stats[k]
+	}
+	return sum
+}

@@ -1,0 +1,12 @@
+package simfix
+
+// total folds with a commutative operation, so iteration order cannot
+// reach simulation state; the finding is waived with a justification.
+func total(stats map[uint16]uint64) uint64 {
+	var sum uint64
+	//pardlint:ignore determinism summing is order-independent
+	for _, v := range stats {
+		sum += v
+	}
+	return sum
+}

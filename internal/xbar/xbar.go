@@ -160,6 +160,7 @@ func (x *Crossbar) grant() {
 
 func (x *Crossbar) pending() int {
 	n := 0
+	//pardlint:ignore determinism summing queue lengths is order-independent
 	for _, q := range x.queues {
 		n += len(q)
 	}
@@ -181,7 +182,8 @@ func (x *Crossbar) forward(ds core.DSID, e entry) {
 }
 
 func (x *Crossbar) sample() {
-	for ds, w := range x.qlat {
+	for _, ds := range core.SortedKeys(x.qlat) {
+		w := x.qlat[ds]
 		if w.count > 0 {
 			x.plane.SetStat(ds, StatAvgQLat, w.sum*10/w.count)
 		}

@@ -15,14 +15,26 @@ import (
 // The simulation is single-threaded; connection goroutines serialize
 // every command through a channel into one executor goroutine, so
 // concurrent operators observe a consistent machine.
+//
+// Shutdown discipline: the top-level WaitGroup counts only the two
+// long-lived loops, so Close's Wait never races an Add. Connection
+// goroutines are counted by a second WaitGroup owned by acceptLoop,
+// which drains them before it exits — Add and Wait for that group both
+// happen on the accept side, never concurrently. Close also tears down
+// every live connection, so operators idling in a read cannot wedge
+// shutdown.
 type Console struct {
 	sys *System
 	ln  net.Listener
 
 	cmds chan consoleCmd
-	wg   sync.WaitGroup
+	wg   sync.WaitGroup // execLoop + acceptLoop only
 	quit chan struct{}
 	once sync.Once
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
 }
 
 type consoleCmd struct {
@@ -43,10 +55,11 @@ func NewConsole(sys *System, addr string) (*Console, error) {
 		return nil, err
 	}
 	c := &Console{
-		sys:  sys,
-		ln:   ln,
-		cmds: make(chan consoleCmd),
-		quit: make(chan struct{}),
+		sys:   sys,
+		ln:    ln,
+		cmds:  make(chan consoleCmd),
+		quit:  make(chan struct{}),
+		conns: make(map[net.Conn]struct{}),
 	}
 	c.wg.Add(2)
 	go c.execLoop()
@@ -57,15 +70,45 @@ func NewConsole(sys *System, addr string) (*Console, error) {
 // Addr returns the listening address.
 func (c *Console) Addr() net.Addr { return c.ln.Addr() }
 
-// Close stops the console and waits for its goroutines.
+// Close stops the console: no new connections, live connections torn
+// down, and both loops (plus every serve goroutine, transitively via
+// acceptLoop) drained before it returns. Safe to call more than once;
+// later calls return nil without waiting.
 func (c *Console) Close() error {
 	var err error
 	c.once.Do(func() {
 		close(c.quit)
 		err = c.ln.Close()
+		c.mu.Lock()
+		c.closed = true
+		for conn := range c.conns {
+			conn.Close()
+		}
+		c.mu.Unlock()
 		c.wg.Wait()
 	})
 	return err
+}
+
+// track registers a live connection; it reports false (and closes conn)
+// when shutdown already started, so a connection accepted concurrently
+// with Close can never linger unsupervised.
+func (c *Console) track(conn net.Conn) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		conn.Close()
+		return false
+	}
+	c.conns[conn] = struct{}{}
+	return true
+}
+
+func (c *Console) untrack(conn net.Conn) {
+	c.mu.Lock()
+	delete(c.conns, conn)
+	c.mu.Unlock()
+	conn.Close()
 }
 
 // execLoop is the only goroutine that touches the simulation.
@@ -84,19 +127,26 @@ func (c *Console) execLoop() {
 
 func (c *Console) acceptLoop() {
 	defer c.wg.Done()
+	var connWG sync.WaitGroup
+	defer connWG.Wait() // drain serve goroutines before reporting done
 	for {
 		conn, err := c.ln.Accept()
 		if err != nil {
 			return // listener closed
 		}
-		c.wg.Add(1)
-		go c.serve(conn)
+		if !c.track(conn) {
+			return
+		}
+		connWG.Add(1)
+		go func() {
+			defer connWG.Done()
+			c.serve(conn)
+		}()
 	}
 }
 
 func (c *Console) serve(conn net.Conn) {
-	defer c.wg.Done()
-	defer conn.Close()
+	defer c.untrack(conn)
 	fmt.Fprintf(conn, "PARD platform resource manager. Type 'help'.\n")
 	sc := bufio.NewScanner(conn)
 	for sc.Scan() {

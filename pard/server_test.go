@@ -7,6 +7,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 )
 
 // dialConsole connects and returns a send-line/read-until-ok helper.
@@ -121,6 +122,76 @@ func TestConsoleCloseIdempotent(t *testing.T) {
 	if err := console.Close(); err != nil {
 		t.Fatal(err)
 	}
+}
+
+func TestConsoleCloseWithActiveConnections(t *testing.T) {
+	sys := NewSystem(DefaultConfig())
+	console, err := NewConsole(sys, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Operators connect and then sit idle; Close must disconnect them
+	// rather than wait forever on their serve goroutines.
+	var conns []net.Conn
+	for i := 0; i < 4; i++ {
+		conn, err := net.Dial("tcp", console.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer conn.Close()
+		conns = append(conns, conn)
+	}
+	done := make(chan error, 1)
+	go func() { done <- console.Close() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close hung waiting on idle connections")
+	}
+}
+
+func TestConsoleCloseDuringConnectStorm(t *testing.T) {
+	sys := NewSystem(DefaultConfig())
+	console, err := NewConsole(sys, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := console.Addr().String()
+
+	// A storm of short-lived operators races the shutdown: under the
+	// old scheme acceptLoop's wg.Add could run concurrently with
+	// Close's wg.Wait, which the race detector (and WaitGroup's own
+	// panic) reject.
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				conn, err := net.Dial("tcp", addr)
+				if err != nil {
+					return // listener closed
+				}
+				fmt.Fprintln(conn, "help")
+				conn.Close()
+			}
+		}()
+	}
+	time.Sleep(10 * time.Millisecond)
+	if err := console.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	close(stop)
+	wg.Wait()
 }
 
 func TestDispatchValidation(t *testing.T) {
