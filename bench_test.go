@@ -227,6 +227,30 @@ func BenchmarkExtensionFlowSteering(b *testing.B) {
 
 // Component micro-benchmarks: raw model throughput.
 
+// benchTick is a self-rescheduling eventer: the allocation-free
+// scheduling path (the tentpole workload recorded in BENCH.json; also
+// run in-process by `pardbench -json`).
+type benchTick struct {
+	e        *sim.Engine
+	n, limit int
+}
+
+func (t *benchTick) RunEvent() {
+	t.n++
+	if t.n < t.limit {
+		t.e.ScheduleEventer(1, t)
+	}
+}
+
+func BenchmarkEngineThroughput(b *testing.B) {
+	b.ReportAllocs()
+	e := sim.NewEngine()
+	tick := &benchTick{e: e, limit: b.N}
+	e.ScheduleEventer(1, tick)
+	b.ResetTimer()
+	e.Drain(0)
+}
+
 func BenchmarkEngineEventThroughput(b *testing.B) {
 	e := sim.NewEngine()
 	n := 0
@@ -257,6 +281,31 @@ func BenchmarkLLCHitPath(b *testing.B) {
 		p := core.NewPacket(ids, core.KindMemRead, 1, 0, 64, e.Now())
 		c.Request(p)
 		e.StepUntil(p.Completed)
+	}
+}
+
+// The pooled hit path: NewPacket recycles, the lookup schedules through
+// the packet's event slot, Complete returns the packet to the pool.
+// Steady state allocates nothing (see TestRequestChainZeroAlloc).
+func BenchmarkLLCHitPathPooled(b *testing.B) {
+	b.ReportAllocs()
+	e := sim.NewEngine()
+	ids := &core.IDSource{}
+	ids.EnablePool()
+	c := cache.New(e, sim.NewClock(e, 500), ids, cache.Config{
+		Name: "llc", SizeBytes: 4 << 20, Ways: 16, BlockSize: 64,
+		HitLatency: 20, ControlPlane: true,
+	}, nopMem{e})
+	warm := core.NewPacket(ids, core.KindMemRead, 1, 0, 64, 0)
+	c.Request(warm)
+	e.StepUntil(warm.Completed)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := core.NewPacket(ids, core.KindMemRead, 1, 0, 64, e.Now())
+		c.Request(p)
+		for !p.Completed() {
+			e.Step()
+		}
 	}
 }
 

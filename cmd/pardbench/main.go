@@ -3,26 +3,44 @@
 //
 // Usage:
 //
-//	pardbench [-run all|table2|table3|fig7|fig8|fig9|fig10|fig11|fig12|llclat|ablations] [-scale quick|full]
+//	pardbench [-run all|table2|table3|fig7|fig8|fig9|fig10|fig11|fig12|llclat|ablations]
+//	          [-scale quick|full] [-csv DIR] [-json FILE]
 //
 // Quick scale keeps each experiment inside seconds-to-minutes of wall
 // time; full scale stretches the simulated windows for the numbers
 // recorded in EXPERIMENTS.md.
+//
+// With -run all the experiments execute concurrently (each simulation is
+// an independent deterministic engine); every experiment prints into its
+// own buffer and the buffers are flushed in canonical order, so stdout
+// stays byte-identical to a sequential run.
+//
+// -json writes the engine micro-benchmark (events/sec, ns/event,
+// allocs/event) and each experiment's headline metrics to FILE — the
+// BENCH.json schema documented in EXPERIMENTS.md. Timing numbers go only
+// to that file, never to stdout, preserving the reproducibility contract.
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"sync"
+	"testing"
 
 	"repro/internal/exp"
+	"repro/internal/sim"
 )
 
 func main() {
 	runFlag := flag.String("run", "all", "experiment to run")
 	scaleFlag := flag.String("scale", "quick", "quick or full")
 	csvDir := flag.String("csv", "", "directory to export figure CSVs into")
+	jsonPath := flag.String("json", "", "file to write benchmark + headline JSON into")
 	flag.Parse()
 
 	scale, err := exp.ParseScale(*scaleFlag)
@@ -31,47 +49,171 @@ func main() {
 		os.Exit(2)
 	}
 
-	experiments := []struct {
-		name string
-		run  func(exp.Scale) exp.Printable
-	}{
-		{"table2", func(exp.Scale) exp.Printable { return exp.Table2() }},
-		{"table3", func(exp.Scale) exp.Printable { return exp.Table3() }},
-		{"fig7", func(s exp.Scale) exp.Printable { return exp.Fig7(exp.DefaultFig7Config(s)) }},
-		{"fig8", func(s exp.Scale) exp.Printable { return exp.Fig8(exp.DefaultFig8Config(s)) }},
-		{"fig9", func(s exp.Scale) exp.Printable { return exp.Fig9(exp.DefaultFig9Config(s)) }},
-		{"fig10", func(s exp.Scale) exp.Printable { return exp.Fig10(exp.DefaultFig10Config(s)) }},
-		{"fig11", func(s exp.Scale) exp.Printable { return exp.Fig11(exp.DefaultFig11Config(s)) }},
-		{"fig12", func(exp.Scale) exp.Printable { return exp.Fig12() }},
-		{"llclat", func(exp.Scale) exp.Printable { return exp.LLCLatency(1000) }},
-		{"ablations", runAblations},
-		{"extensions", runExtensions},
+	experiments := []*job{
+		{name: "table2", run: func(exp.Scale) exp.Printable { return exp.Table2() }},
+		{name: "table3", run: func(exp.Scale) exp.Printable { return exp.Table3() }},
+		{name: "fig7", run: func(s exp.Scale) exp.Printable { return exp.Fig7(exp.DefaultFig7Config(s)) }},
+		{name: "fig8", run: func(s exp.Scale) exp.Printable { return exp.Fig8(exp.DefaultFig8Config(s)) }},
+		{name: "fig9", run: func(s exp.Scale) exp.Printable { return exp.Fig9(exp.DefaultFig9Config(s)) }},
+		{name: "fig10", run: func(s exp.Scale) exp.Printable { return exp.Fig10(exp.DefaultFig10Config(s)) }},
+		{name: "fig11", run: func(s exp.Scale) exp.Printable { return exp.Fig11(exp.DefaultFig11Config(s)) }},
+		{name: "fig12", run: func(exp.Scale) exp.Printable { return exp.Fig12() }},
+		{name: "llclat", run: func(exp.Scale) exp.Printable { return exp.LLCLatency(1000) }},
+		{name: "ablations", run: runAblations},
+		{name: "extensions", run: runExtensions},
 	}
 
-	ran := false
-	for _, e := range experiments {
-		if *runFlag != "all" && *runFlag != e.name {
-			continue
+	var selected []*job
+	for _, j := range experiments {
+		if *runFlag == "all" || *runFlag == j.name {
+			selected = append(selected, j)
 		}
-		ran = true
+	}
+	if len(selected) == 0 {
+		fmt.Fprintf(os.Stderr, "pardbench: unknown experiment %q\n", *runFlag)
+		os.Exit(2)
+	}
+
+	// Fan independent figure runs across the machine. Each job renders
+	// into its own buffer; output order below is canonical regardless of
+	// completion order.
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for _, j := range selected {
+		wg.Add(1)
+		go func(j *job) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			j.res = j.run(scale)
+			j.res.Print(&j.out)
+		}(j)
+	}
+	wg.Wait()
+
+	for _, j := range selected {
 		// No wall-clock timing here: pardbench output is part of the
 		// reproducibility contract (identical invocations must produce
 		// identical bytes), so elapsed time never reaches stdout.
-		fmt.Printf("==== %s (scale=%s) ====\n", e.name, *scaleFlag)
-		res := e.run(scale)
-		res.Print(os.Stdout)
+		fmt.Printf("==== %s (scale=%s) ====\n", j.name, *scaleFlag)
+		os.Stdout.Write(j.out.Bytes())
 		if *csvDir != "" {
-			if err := exp.ExportCSV(res, *csvDir); err != nil {
+			if err := exp.ExportCSV(j.res, *csvDir); err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
 			}
 		}
-		fmt.Printf("---- %s done ----\n\n", e.name)
+		fmt.Printf("---- %s done ----\n\n", j.name)
 	}
-	if !ran {
-		fmt.Fprintf(os.Stderr, "pardbench: unknown experiment %q\n", *runFlag)
-		os.Exit(2)
+
+	if *jsonPath != "" {
+		if err := writeBenchJSON(*jsonPath, *scaleFlag, selected); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	}
+}
+
+// job is one experiment: its runner, then its result and rendered output.
+type job struct {
+	name string
+	run  func(exp.Scale) exp.Printable
+	res  exp.Printable
+	out  bytes.Buffer
+}
+
+// engineBench is the event-engine micro-benchmark record.
+type engineBench struct {
+	Note           string  `json:"note,omitempty"`
+	EventsPerSec   float64 `json:"events_per_sec"`
+	NsPerEvent     float64 `json:"ns_per_event"`
+	AllocsPerEvent float64 `json:"allocs_per_event"`
+	BytesPerEvent  float64 `json:"bytes_per_event"`
+}
+
+// baselineEngine is the same micro-benchmark measured at the last commit
+// before the specialized heap and packet pool landed (container/heap,
+// closure events). Keeping it in every export turns each BENCH.json into
+// a self-contained trajectory: baseline vs current.
+var baselineEngine = engineBench{
+	Note:           "container/heap engine, pre-optimization",
+	EventsPerSec:   13.4e6,
+	NsPerEvent:     74.84,
+	AllocsPerEvent: 2,
+	BytesPerEvent:  48,
+}
+
+type expJSON struct {
+	Name    string       `json:"name"`
+	Metrics []exp.Metric `json:"metrics"`
+}
+
+type benchJSON struct {
+	Schema         string      `json:"schema"`
+	Scale          string      `json:"scale"`
+	BaselineEngine engineBench `json:"baseline_engine"`
+	Engine         engineBench `json:"engine"`
+	Experiments    []expJSON   `json:"experiments"`
+}
+
+// benchTick is a self-rescheduling eventer: the same workload as
+// BenchmarkEngineThroughput in bench_test.go.
+type benchTick struct {
+	e        *sim.Engine
+	n, limit int
+}
+
+func (t *benchTick) RunEvent() {
+	t.n++
+	if t.n < t.limit {
+		t.e.ScheduleEventer(1, t)
+	}
+}
+
+// measureEngine runs the event-engine micro-benchmark in-process via
+// testing.Benchmark: schedule-dispatch round trips through the
+// specialized heap, one event in flight.
+func measureEngine() engineBench {
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		e := sim.NewEngine()
+		tick := &benchTick{e: e, limit: b.N}
+		e.ScheduleEventer(1, tick)
+		b.ResetTimer()
+		e.Drain(0)
+	})
+	ns := float64(r.T.Nanoseconds()) / float64(r.N)
+	return engineBench{
+		EventsPerSec:   1e9 / ns,
+		NsPerEvent:     ns,
+		AllocsPerEvent: float64(r.AllocsPerOp()),
+		BytesPerEvent:  float64(r.AllocedBytesPerOp()),
+	}
+}
+
+// writeBenchJSON records the benchmark trajectory and every selected
+// experiment's headline metrics.
+func writeBenchJSON(path, scale string, jobs []*job) error {
+	doc := benchJSON{
+		Schema:         "pard-bench/v1",
+		Scale:          scale,
+		BaselineEngine: baselineEngine,
+		Engine:         measureEngine(),
+	}
+	for _, j := range jobs {
+		if h, ok := j.res.(exp.Headliner); ok {
+			doc.Experiments = append(doc.Experiments, expJSON{Name: j.name, Metrics: h.Headlines()})
+		}
+	}
+	buf, err := json.MarshalIndent(&doc, "", "  ")
+	if err != nil {
+		return fmt.Errorf("pardbench: encoding %s: %w", path, err)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		return fmt.Errorf("pardbench: %w", err)
+	}
+	return nil
 }
 
 // ablationSet bundles the ablation studies into one Printable.
@@ -101,6 +243,16 @@ func (a *ablationSet) Print(w io.Writer) {
 	a.rep.Print(w)
 }
 
+// Headlines concatenates the ablations' headline metrics.
+func (a *ablationSet) Headlines() []exp.Metric {
+	var out []exp.Metric
+	out = append(out, a.wb.Headlines()...)
+	out = append(out, a.rb.Headlines()...)
+	out = append(out, a.par.Headlines()...)
+	out = append(out, a.rep.Headlines()...)
+	return out
+}
+
 // extensionSet bundles the §8 extension demonstrations.
 type extensionSet struct {
 	comp *exp.CompressionResult
@@ -122,4 +274,9 @@ func (x *extensionSet) Print(w io.Writer) {
 	x.comp.Print(w)
 	fmt.Fprintln(w)
 	x.flow.Print(w)
+}
+
+// Headlines concatenates the extensions' headline metrics.
+func (x *extensionSet) Headlines() []exp.Metric {
+	return append(x.comp.Headlines(), x.flow.Headlines()...)
 }

@@ -7,6 +7,7 @@ package cache
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/core"
 	"repro/internal/metric"
@@ -79,6 +80,11 @@ type mshrEntry struct {
 	way     int
 	set     uint64
 	victim  line // evicted line (for accounting already applied)
+	// dead marks an entry whose DS-id was invalidated while its fill was
+	// in flight: the arriving block must not be installed. If a
+	// new-epoch request coalesces onto a dead entry before the stale
+	// fill lands, the entry is retargeted (refetched) instead.
+	dead bool
 }
 
 // Cache is one cache level. It accepts KindMemRead / KindMemWrite /
@@ -104,6 +110,16 @@ type Cache struct {
 
 	mshrs   map[mshrKey]*mshrEntry
 	stalled []*core.Packet // misses waiting for a free MSHR
+
+	// entryPool recycles mshrEntry structs so the steady-state miss path
+	// does not allocate.
+	entryPool []*mshrEntry
+
+	// Prebound callbacks, created once in New so the per-request path
+	// schedules through packet event slots without building closures.
+	lookupFn   func(*core.Packet) // first tag lookup
+	retryFn    func(*core.Packet) // retry after a structural stall
+	fillDoneFn func(*core.Packet) // fill read returned from next level
 
 	plane *core.Plane // nil without a control plane
 
@@ -183,6 +199,13 @@ func New(e *sim.Engine, clock *sim.Clock, ids *core.IDSource, cfg Config, next c
 	if c.rng == 0 {
 		c.rng = 0x9E3779B97F4A7C15
 	}
+	c.lookupFn = func(p *core.Packet) { c.lookupStep(p, false) }
+	c.retryFn = func(p *core.Packet) { c.lookupStep(p, true) }
+	// A fill read's address and DS-id are exactly its MSHR key, so one
+	// shared completion callback serves every fill.
+	c.fillDoneFn = func(p *core.Packet) {
+		c.fill(mshrKey{block: p.Addr, ds: p.DSID}, false)
+	}
 	if cfg.ControlPlane {
 		params := core.NewTable(
 			core.Column{Name: ParamWayMask, Writable: true, Default: 1<<uint(cfg.Ways) - 1},
@@ -226,12 +249,20 @@ func (c *Cache) tagOf(block uint64) uint64 {
 
 // Request accepts a packet. Lookup completes HitLatency cycles later;
 // the control-plane parameter lookup overlaps the tag pipeline and adds
-// no cycles (verified by BenchmarkLLCControlPlaneLatency).
+// no cycles (verified by BenchmarkLLCControlPlaneLatency). The delay is
+// scheduled through the packet's embedded event slot, so the whole
+// Request→lookup chain is allocation-free in steady state
+// (TestRequestChainZeroAlloc).
 func (c *Cache) Request(p *core.Packet) {
-	c.clock.ScheduleCycles(c.cfg.HitLatency, func() { c.lookup(p) })
+	p.ScheduleCall(c.clock, c.cfg.HitLatency, c.lookupFn)
 }
 
-func (c *Cache) lookup(p *core.Packet) {
+// lookupStep performs the tag lookup. retry marks the re-execution of a
+// structurally stalled access: the access was already classified (and
+// counted) on its first attempt, so a retry never touches the hit/miss
+// statistics again — each access is counted exactly once however many
+// times it stalls.
+func (c *Cache) lookupStep(p *core.Packet, retry bool) {
 	block := c.blockAddr(p.Addr)
 	si := c.setIndex(block)
 	tag := c.tagOf(block)
@@ -243,26 +274,33 @@ func (c *Cache) lookup(p *core.Packet) {
 	for w := range set {
 		ln := &set[w]
 		if ln.valid && ln.tag == tag && ln.owner == p.DSID {
-			c.hit(p, si, w)
+			c.hit(p, si, w, retry)
 			return
 		}
 	}
-	c.miss(p, block, si, tag)
+	c.miss(p, block, si, tag, retry)
 }
 
-func (c *Cache) hit(p *core.Packet, si uint64, w int) {
-	c.Hits++
+func (c *Cache) hit(p *core.Packet, si uint64, w int, retry bool) {
+	if !retry {
+		c.Hits++
+		c.account(p.DSID, true)
+	}
 	c.touch(si, w)
 	if p.Kind.IsWrite() {
 		c.lines[si][w].dirty = true
 	}
-	c.account(p.DSID, true)
 	p.Complete(c.engine.Now())
 }
 
-func (c *Cache) miss(p *core.Packet, block, si, tag uint64) {
-	c.Misses++
-	c.account(p.DSID, false)
+func (c *Cache) miss(p *core.Packet, block, si, tag uint64, retry bool) {
+	if !retry {
+		// Counted on the first attempt only: a stalled access that
+		// re-enters via the retry path must not inflate miss_rate
+		// (the Fig. 9 trigger condition) a second time.
+		c.Misses++
+		c.account(p.DSID, false)
+	}
 
 	key := mshrKey{block: block, ds: p.DSID}
 	if e, ok := c.mshrs[key]; ok {
@@ -291,7 +329,9 @@ func (c *Cache) allocateMiss(p *core.Packet, key mshrKey, si, tag uint64) {
 	set[w] = line{}
 	c.reserved[si] |= 1 << uint(w) // hold the way until the fill lands
 
-	e := &mshrEntry{waiters: []*core.Packet{p}, way: w, set: si, victim: victim}
+	e := c.getEntry()
+	e.waiters = append(e.waiters, p)
+	e.way, e.set, e.victim = w, si, victim
 	c.mshrs[key] = e
 
 	if victim.valid && victim.dirty {
@@ -306,9 +346,37 @@ func (c *Cache) allocateMiss(p *core.Packet, key mshrKey, si, tag uint64) {
 		c.fill(key, true)
 		return
 	}
-	fill := core.NewPacket(c.ids, core.KindMemRead, p.DSID, key.block, uint32(c.cfg.BlockSize), c.engine.Now())
-	fill.OnDone = func(*core.Packet) { c.fill(key, false) }
+	c.issueFill(key)
+}
+
+// issueFill sends the block fetch for key to the next level. The fill's
+// address/DS-id are the MSHR key, so the shared fillDoneFn callback can
+// route its completion without a per-fill closure.
+func (c *Cache) issueFill(key mshrKey) {
+	fill := core.NewPacket(c.ids, core.KindMemRead, key.ds, key.block, uint32(c.cfg.BlockSize), c.engine.Now())
+	fill.OnDone = c.fillDoneFn
 	c.next.Request(fill)
+}
+
+// getEntry pops a recycled MSHR entry, or allocates the pool's first.
+func (c *Cache) getEntry() *mshrEntry {
+	if n := len(c.entryPool); n > 0 {
+		e := c.entryPool[n-1]
+		c.entryPool[n-1] = nil
+		c.entryPool = c.entryPool[:n-1]
+		return e
+	}
+	return &mshrEntry{}
+}
+
+// putEntry clears and recycles an MSHR entry.
+func (c *Cache) putEntry(e *mshrEntry) {
+	for i := range e.waiters {
+		e.waiters[i] = nil
+	}
+	e.waiters = e.waiters[:0]
+	e.way, e.set, e.victim, e.dead = 0, 0, line{}, false
+	c.entryPool = append(c.entryPool, e)
 }
 
 // evict picks a victim way for ds, constrained by its way mask when a
@@ -402,6 +470,29 @@ func (c *Cache) fill(key mshrKey, fromWriteback bool) {
 	if !ok {
 		return
 	}
+	if e.dead {
+		// The owning DS-id was invalidated while this fill was in
+		// flight (InvalidateDSID). Never install the stale block. With
+		// no new-epoch waiters, drop the entry: free the way, settle
+		// the victim's occupancy, and let a stalled miss retry.
+		// Otherwise a recycled DS-id re-requested the block after the
+		// teardown: retarget the entry by refetching, so the new
+		// requesters are served by fresh data rather than the stale
+		// in-flight block.
+		if len(e.waiters) == 0 {
+			delete(c.mshrs, key)
+			c.reserved[e.set] &^= 1 << uint(e.way)
+			if e.victim.valid {
+				c.decOccupancy(e.victim.owner)
+			}
+			c.putEntry(e)
+			c.retryStalled()
+			return
+		}
+		e.dead = false
+		c.issueFill(key)
+		return
+	}
 	delete(c.mshrs, key)
 	c.Fills++
 
@@ -427,13 +518,25 @@ func (c *Cache) fill(key mshrKey, fromWriteback bool) {
 	for _, w := range e.waiters {
 		w.Complete(now)
 	}
+	c.putEntry(e)
 
-	// Retry structurally-stalled misses now that an MSHR freed up.
-	if len(c.stalled) > 0 {
-		p := c.stalled[0]
-		c.stalled = c.stalled[1:]
-		c.clock.ScheduleCycles(1, func() { c.lookup(p) })
+	c.retryStalled()
+}
+
+// retryStalled re-dispatches the oldest structurally-stalled miss, in
+// FIFO order, after an MSHR or reserved way freed up. The retry skips
+// hit/miss accounting (lookupStep's retry flag): the access was counted
+// when it first stalled.
+func (c *Cache) retryStalled() {
+	if len(c.stalled) == 0 {
+		return
 	}
+	p := c.stalled[0]
+	last := len(c.stalled) - 1
+	copy(c.stalled, c.stalled[1:])
+	c.stalled[last] = nil
+	c.stalled = c.stalled[:last]
+	p.ScheduleCall(c.clock, 1, c.retryFn)
 }
 
 func (c *Cache) incOccupancy(ds core.DSID) {
@@ -490,7 +593,14 @@ func (c *Cache) sample() {
 // InvalidateDSID evicts every block owned by ds, writing dirty blocks
 // back to the next level with the owner tag. The firmware calls this
 // during LDom teardown so a recycled DS-id can never hit stale data.
-// It returns the number of blocks invalidated.
+// It returns the number of installed blocks invalidated.
+//
+// In-flight state is covered too: pending MSHR fills for ds are marked
+// dead so the arriving block is never installed (and occupancy never
+// re-incremented), their waiters complete immediately, and structurally
+// stalled accesses tagged ds are flushed from the retry queue. Without
+// this, a fill issued before the teardown would land afterwards and
+// re-install a block owned by the dead (possibly recycled) DS-id.
 func (c *Cache) InvalidateDSID(ds core.DSID) uint64 {
 	var n uint64
 	for si := range c.lines {
@@ -507,6 +617,54 @@ func (c *Cache) InvalidateDSID(ds core.DSID) uint64 {
 			*ln = line{}
 			n++
 			c.decOccupancy(ds)
+		}
+	}
+
+	now := c.engine.Now()
+
+	// Kill pending fills for ds. Keys are collected and sorted so the
+	// completion order of their waiters is deterministic.
+	var keys []mshrKey
+	//pardlint:ignore determinism keys are collected and sorted before use
+	for k := range c.mshrs {
+		if k.ds == ds {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].block < keys[j].block })
+	for _, k := range keys {
+		e := c.mshrs[k]
+		e.dead = true
+		// Detach the waiters before completing them: an OnDone callback
+		// may issue new traffic that must not land in this slice.
+		waiters := append([]*core.Packet(nil), e.waiters...)
+		for i := range e.waiters {
+			e.waiters[i] = nil
+		}
+		e.waiters = e.waiters[:0]
+		for _, w := range waiters {
+			w.Complete(now)
+		}
+	}
+
+	// Flush stalled accesses for ds; they would otherwise retry into a
+	// torn-down domain (or hang if the teardown drained all traffic).
+	if len(c.stalled) > 0 {
+		var flush []*core.Packet
+		keep := c.stalled[:0]
+		for _, p := range c.stalled {
+			if p.DSID == ds {
+				flush = append(flush, p)
+			} else {
+				keep = append(keep, p)
+			}
+		}
+		for i := len(keep); i < len(c.stalled); i++ {
+			c.stalled[i] = nil
+		}
+		c.stalled = keep
+		for _, p := range flush {
+			p.Complete(now)
 		}
 	}
 	return n

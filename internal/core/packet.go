@@ -64,6 +64,15 @@ func (k Kind) IsWrite() bool {
 // Packet is one ICN message. The DS-id travels with the request for its
 // whole lifetime (paper §3 mechanism 1); completion flows back through
 // the OnDone callback.
+//
+// Lifetime rule (pooled packets): when the packet came from a pooled
+// IDSource, Complete returns it to the free list after OnDone runs, and
+// the next NewPacket on that source may hand the same object out again.
+// Holders must therefore drop every reference when Complete returns: read
+// Done/Latency inside OnDone (or immediately, before any further
+// NewPacket can run), and never stash a completed packet in a queue, map
+// or result. Components that need packet data after completion copy the
+// fields out (see trace.Record).
 type Packet struct {
 	ID    uint64
 	Kind  Kind
@@ -81,6 +90,15 @@ type Packet struct {
 	Done   sim.Tick
 
 	completed bool
+
+	// src is the pooled IDSource to recycle into on Complete; nil for
+	// packets from an unpooled source.
+	src *IDSource
+
+	// callFn is the embedded scheduled-callback slot (see ScheduleCall):
+	// one reusable event per packet, so per-hop pipeline delays schedule
+	// without allocating a closure.
+	callFn func(*Packet)
 }
 
 func (p *Packet) String() string {
@@ -89,15 +107,64 @@ func (p *Packet) String() string {
 
 // Complete marks the packet finished at time now and fires OnDone.
 // Completing a packet twice panics: it would corrupt latency accounting.
+// A pooled packet is recycled into its IDSource free list after OnDone
+// returns — see the lifetime rule on Packet.
 func (p *Packet) Complete(now sim.Tick) {
 	if p.completed {
 		panic("core: packet completed twice: " + p.String())
+	}
+	if p.callFn != nil {
+		panic("core: packet completed with a scheduled call pending: " + p.String())
 	}
 	p.completed = true
 	p.Done = now
 	if p.OnDone != nil {
 		p.OnDone(p)
 	}
+	if p.src != nil {
+		p.src.free = append(p.src.free, p)
+	}
+}
+
+// ScheduleCall schedules fn(p) to run n cycles from now on clk, through
+// the packet's embedded event slot: no closure, no per-event allocation.
+// At most one call may be pending per packet; overlapping calls panic.
+// The scheduled call must run (and any successor complete the packet)
+// before the packet is recycled, or the engine would invoke a stale slot.
+func (p *Packet) ScheduleCall(clk *sim.Clock, n uint64, fn func(*Packet)) {
+	if fn == nil {
+		panic("core: nil packet call")
+	}
+	if p.callFn != nil {
+		panic("core: packet already has a scheduled call pending: " + p.String())
+	}
+	p.callFn = fn
+	clk.ScheduleCyclesEventer(n, p)
+}
+
+// ScheduleCallAt is ScheduleCall at an absolute engine time, for delays
+// that are not whole cycles of any one clock (e.g. DRAM bank timings
+// that straddle a precharge window).
+func (p *Packet) ScheduleCallAt(e *sim.Engine, when sim.Tick, fn func(*Packet)) {
+	if fn == nil {
+		panic("core: nil packet call")
+	}
+	if p.callFn != nil {
+		panic("core: packet already has a scheduled call pending: " + p.String())
+	}
+	p.callFn = fn
+	e.AtEventer(when, p)
+}
+
+// RunEvent implements sim.Eventer: it clears and invokes the pending
+// scheduled call. The slot is cleared first so fn may schedule again.
+func (p *Packet) RunEvent() {
+	fn := p.callFn
+	if fn == nil {
+		panic("core: packet event fired with empty call slot: " + p.String())
+	}
+	p.callFn = nil
+	fn(p)
 }
 
 // Completed reports whether Complete has run.
@@ -115,13 +182,34 @@ type Target interface {
 
 // IDSource hands out unique packet IDs. One per system keeps runs
 // deterministic and independent.
-type IDSource struct{ next uint64 }
+//
+// With EnablePool, the source also runs a free list of recycled packets:
+// NewPacket pops from it instead of allocating, and Complete pushes
+// finished packets back. Pooling changes no observable behavior — ids,
+// ordering and timing are identical — but callers must follow the
+// pooled-packet lifetime rule documented on Packet. The zero value is an
+// unpooled source, which is what tests that retain completed packets use.
+type IDSource struct {
+	next   uint64
+	pooled bool
+	free   []*Packet
+}
 
 // Next returns a fresh packet id.
 func (s *IDSource) Next() uint64 {
 	s.next++
 	return s.next
 }
+
+// EnablePool turns on packet recycling for this source. Call it once at
+// system construction, before any traffic.
+func (s *IDSource) EnablePool() { s.pooled = true }
+
+// Pooled reports whether recycling is on.
+func (s *IDSource) Pooled() bool { return s.pooled }
+
+// FreeCount reports the current free-list depth (for tests).
+func (s *IDSource) FreeCount() int { return len(s.free) }
 
 // TagRegister is the per-source DS-id register PARD adds to every
 // request generator: CPU cores, DMA engines and vNICs (paper §4.1).
@@ -135,10 +223,33 @@ func (r *TagRegister) Set(d DSID) { r.ds = d }
 // Get returns the currently programmed DS-id.
 func (r *TagRegister) Get() DSID { return r.ds }
 
-// NewPacket is a convenience constructor stamping issue time and id.
+// NewPacket is a convenience constructor stamping issue time and id. On
+// a pooled source it reuses a recycled packet when one is free, fully
+// resetting it; otherwise it allocates.
 func NewPacket(ids *IDSource, kind Kind, ds DSID, addr uint64, size uint32, now sim.Tick) *Packet {
+	id := ids.Next()
+	if ids.pooled {
+		var p *Packet
+		if n := len(ids.free); n > 0 {
+			p = ids.free[n-1]
+			ids.free[n-1] = nil
+			ids.free = ids.free[:n-1]
+		} else {
+			p = new(Packet)
+		}
+		*p = Packet{
+			ID:    id,
+			Kind:  kind,
+			DSID:  ds,
+			Addr:  addr,
+			Size:  size,
+			Issue: now,
+			src:   ids,
+		}
+		return p
+	}
 	return &Packet{
-		ID:    ids.Next(),
+		ID:    id,
 		Kind:  kind,
 		DSID:  ds,
 		Addr:  addr,

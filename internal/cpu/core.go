@@ -42,6 +42,13 @@ type Core struct {
 	running bool
 	stopped bool
 
+	// Prebound callbacks: evaluating a method value (c.step) or closing
+	// over c per packet allocates; binding once here keeps the
+	// issue/complete loop allocation-free.
+	stepFn    func()
+	memDoneFn func(*core.Packet)
+	ioDoneFn  func(*core.Packet)
+
 	outstanding int
 	waiting     bool
 	waitStart   sim.Tick
@@ -63,7 +70,7 @@ type Core struct {
 
 // New builds a core. clock is the core's cycle domain (2 GHz in Table 2).
 func New(id int, clock *sim.Clock, ids *core.IDSource, mem, io core.Target) *Core {
-	return &Core{
+	c := &Core{
 		ID:     id,
 		engine: clock.Engine(),
 		clock:  clock,
@@ -71,6 +78,20 @@ func New(id int, clock *sim.Clock, ids *core.IDSource, mem, io core.Target) *Cor
 		mem:    mem,
 		io:     io,
 	}
+	c.stepFn = c.step
+	c.memDoneFn = func(*core.Packet) {
+		c.outstanding--
+		if c.waiting {
+			c.waiting = false
+			c.StallTicks += c.engine.Now() - c.waitStart
+			c.clock.ScheduleCycles(1, c.stepFn)
+		}
+	}
+	c.ioDoneFn = func(done *core.Packet) {
+		c.StallTicks += done.Latency()
+		c.clock.ScheduleCycles(1, c.stepFn)
+	}
+	return c
 }
 
 // Run starts executing gen. A core runs one workload at a time.
@@ -82,7 +103,7 @@ func (c *Core) Run(gen workload.Generator) {
 	c.running = true
 	c.stopped = false
 	c.startAt = c.engine.Now()
-	c.clock.ScheduleCycles(0, c.step)
+	c.clock.ScheduleCycles(0, c.stepFn)
 }
 
 // Stop halts the core after the current operation.
@@ -125,7 +146,7 @@ func (c *Core) step() {
 		n := c.pendingIntr
 		c.pendingIntr = 0
 		c.BusyTicks += c.clock.Cycles(n)
-		c.clock.ScheduleCycles(n, c.step)
+		c.clock.ScheduleCycles(n, c.stepFn)
 		return
 	}
 	op := c.gen.Next(c.engine.Now())
@@ -137,7 +158,7 @@ func (c *Core) step() {
 		}
 		c.ComputeOps++
 		c.BusyTicks += c.clock.Cycles(n)
-		c.clock.ScheduleCycles(n, c.step)
+		c.clock.ScheduleCycles(n, c.stepFn)
 
 	case workload.OpIdle:
 		n := op.Cycles
@@ -145,7 +166,7 @@ func (c *Core) step() {
 			n = 1
 		}
 		c.IdleTicks += c.clock.Cycles(n)
-		c.clock.ScheduleCycles(n, c.step)
+		c.clock.ScheduleCycles(n, c.stepFn)
 
 	case workload.OpLoad, workload.OpStore:
 		kind := core.KindMemRead
@@ -160,19 +181,12 @@ func (c *Core) step() {
 			window = 1
 		}
 		p := core.NewPacket(c.ids, kind, c.Tag.Get(), op.Addr, 64, c.engine.Now())
-		p.OnDone = func(*core.Packet) {
-			c.outstanding--
-			if c.waiting {
-				c.waiting = false
-				c.StallTicks += c.engine.Now() - c.waitStart
-				c.clock.ScheduleCycles(1, c.step)
-			}
-		}
+		p.OnDone = c.memDoneFn
 		c.outstanding++
 		c.mem.Request(p)
 		if c.outstanding < window {
 			// Window slack: overlap the access with further work.
-			c.clock.ScheduleCycles(1, c.step)
+			c.clock.ScheduleCycles(1, c.stepFn)
 		} else {
 			c.waiting = true
 			c.waitStart = c.engine.Now()
@@ -188,10 +202,7 @@ func (c *Core) step() {
 		}
 		c.DiskOps++
 		p := core.NewPacket(c.ids, kind, c.Tag.Get(), op.Addr, op.Bytes, c.engine.Now())
-		p.OnDone = func(done *core.Packet) {
-			c.StallTicks += done.Latency()
-			c.clock.ScheduleCycles(1, c.step)
-		}
+		p.OnDone = c.ioDoneFn
 		c.io.Request(p)
 
 	case workload.OpDone:

@@ -110,8 +110,9 @@ type Controller struct {
 	clock  *sim.Clock
 	ids    *core.IDSource
 
-	queues [][]*request // index 0 = highest priority
-	banks  []bank
+	queues  [][]*request // index 0 = highest priority
+	reqPool []*request   // recycled request structs (hot path stays allocation-free)
+	banks   []bank
 	// bursts holds the scheduled data-burst windows on the shared
 	// channel. Kept small by pruning: at most one outstanding burst
 	// per bank.
@@ -120,6 +121,11 @@ type Controller struct {
 	plane *core.Plane
 
 	pumping bool // an issue event is scheduled
+
+	// Prebound callbacks: one closure each at construction instead of one
+	// per request/command slot.
+	completeFn func(*core.Packet)
+	issueFn    func()
 
 	// Measurement.
 	QueueDelay   []*metric.Histogram // per priority level, in memory cycles
@@ -175,6 +181,8 @@ func New(e *sim.Engine, ids *core.IDSource, cfg Config) *Controller {
 		qlatWin:  make(map[core.DSID]*qlatWindow),
 		bytesWin: make(map[core.DSID]*metric.Rate),
 	}
+	c.completeFn = func(p *core.Packet) { p.Complete(c.engine.Now()) }
+	c.issueFn = c.issue
 	for i := range c.banks {
 		rows := make([]int64, cfg.RowBuffers)
 		for j := range rows {
@@ -289,18 +297,34 @@ func (c *Controller) Request(p *core.Packet) {
 		}
 	}
 	bankIdx, row := c.translate(p.DSID, p.Addr)
-	r := &request{
-		pkt: p, bank: bankIdx, row: row,
-		rbuf:       c.rowBufOf(p.DSID),
-		compressed: c.compressedOf(p.DSID),
-		enq:        c.engine.Now(),
-	}
+	r := c.getReq()
+	r.pkt, r.bank, r.row = p, bankIdx, row
+	r.rbuf = c.rowBufOf(p.DSID)
+	r.compressed = c.compressedOf(p.DSID)
+	r.enq = c.engine.Now()
 	q := c.priorityOf(p.DSID)
 	c.queues[q] = append(c.queues[q], r)
 	if n := c.pendingCount(); n > c.HighWater {
 		c.HighWater = n
 	}
 	c.pump()
+}
+
+// getReq pops a recycled request struct or allocates one.
+func (c *Controller) getReq() *request {
+	if n := len(c.reqPool); n > 0 {
+		r := c.reqPool[n-1]
+		c.reqPool[n-1] = nil
+		c.reqPool = c.reqPool[:n-1]
+		return r
+	}
+	return new(request)
+}
+
+// putReq recycles a serviced request struct.
+func (c *Controller) putReq(r *request) {
+	*r = request{}
+	c.reqPool = append(c.reqPool, r)
 }
 
 func (c *Controller) pendingCount() int {
@@ -317,7 +341,7 @@ func (c *Controller) pump() {
 		return
 	}
 	c.pumping = true
-	c.engine.At(c.clock.NextEdge(), c.issue)
+	c.engine.At(c.clock.NextEdge(), c.issueFn)
 }
 
 // issue runs the DRAM scheduler for one command slot: high-priority
@@ -334,7 +358,7 @@ func (c *Controller) issue() {
 			// Another command next cycle if work remains.
 			if c.pendingCount() > 0 {
 				c.pumping = true
-				c.clock.ScheduleCycles(1, c.issue)
+				c.clock.ScheduleCycles(1, c.issueFn)
 			}
 			return
 		}
@@ -343,7 +367,7 @@ func (c *Controller) issue() {
 	if c.pendingCount() > 0 {
 		wake := c.earliestFree(now)
 		c.pumping = true
-		c.engine.At(wake, c.issue)
+		c.engine.At(wake, c.issueFn)
 	}
 }
 
@@ -500,8 +524,8 @@ func (c *Controller) service(r *request, level int, now sim.Tick) {
 		c.plane.AddStat(ds, StatServCnt, 1)
 	}
 
-	pkt := r.pkt
-	c.engine.At(now+latency, func() { pkt.Complete(c.engine.Now()) })
+	r.pkt.ScheduleCallAt(c.engine, now+latency, c.completeFn)
+	c.putReq(r)
 }
 
 // sample publishes windowed statistics and evaluates triggers.

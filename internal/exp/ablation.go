@@ -109,6 +109,7 @@ func AblationReplacement() *AblationReplacementResult {
 	for _, pol := range []cache.Policy{cache.PolicyPLRU, cache.PolicyLRU, cache.PolicyRandom} {
 		e := sim.NewEngine()
 		ids := &core.IDSource{}
+		ids.EnablePool()
 		cfg := cache.Config{
 			Name: "llc", SizeBytes: 256 << 10, Ways: 16, BlockSize: 64,
 			HitLatency: 20, Policy: pol, Seed: 7,
@@ -167,6 +168,7 @@ func AblationPartition() *AblationPartitionResult {
 	run := func(partition bool) uint64 {
 		e := sim.NewEngine()
 		ids := &core.IDSource{}
+		ids.EnablePool()
 		cfg := cache.Config{
 			Name: "llc", SizeBytes: 1 << 20, Ways: 16, BlockSize: 64,
 			HitLatency: 20, ControlPlane: true,

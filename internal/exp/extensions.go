@@ -32,6 +32,7 @@ func Compression(requests int) *CompressionResult {
 	run := func(compress bool) (total, lat sim.Tick) {
 		e := sim.NewEngine()
 		ids := &core.IDSource{}
+		ids.EnablePool()
 		cfg := dram.DefaultConfig()
 		cfg.CompressionEngine = true
 		ctrl := dram.New(e, ids, cfg)

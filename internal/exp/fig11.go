@@ -71,6 +71,7 @@ func runInjectionBoth(cfg Fig11Config) []*metric.Histogram {
 func runInjectionInto(cfg Fig11Config, controlPlane bool) []*metric.Histogram {
 	e := sim.NewEngine()
 	ids := &core.IDSource{}
+	ids.EnablePool()
 	dcfg := dram.DefaultConfig()
 	dcfg.ControlPlane = controlPlane
 	dcfg.RowBuffers = cfg.RowBuffers

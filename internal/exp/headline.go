@@ -1,0 +1,121 @@
+package exp
+
+// Metric is one named headline value exported into BENCH.json by
+// `pardbench -json` (see EXPERIMENTS.md for the schema).
+type Metric struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+}
+
+// Headliner is implemented by every experiment result: Headlines returns
+// the figure's headline quantities, the numbers whose trajectory the
+// benchmark file tracks across commits.
+type Headliner interface {
+	Headlines() []Metric
+}
+
+// Headlines returns the configuration row count.
+func (t *Table2Result) Headlines() []Metric {
+	return []Metric{{Name: "rows", Value: float64(len(t.Rows))}}
+}
+
+// Headlines returns the number of registered control planes.
+func (t *Table3Result) Headlines() []Metric {
+	return []Metric{{Name: "planes", Value: float64(len(t.Planes))}}
+}
+
+// Headlines summarizes the dip-and-recover occupancy shape.
+func (r *Fig7Result) Headlines() []Metric {
+	return []Metric{
+		{Name: "mb_steady", Value: r.OccBeforeFlush},
+		{Name: "mb_under_flush", Value: r.OccDuringFlush},
+		{Name: "mb_after_echo", Value: r.OccAfterEcho},
+	}
+}
+
+// Headlines returns the paper's utilization-gain headline.
+func (r *Fig8Result) Headlines() []Metric {
+	return []Metric{{Name: "x_utilization_gain", Value: r.UtilizationGain()}}
+}
+
+// Headlines returns the miss rate on both sides of the trigger action.
+func (r *Fig9Result) Headlines() []Metric {
+	return []Metric{
+		{Name: "missrate_pct_before_action", Value: r.PreFire / 10},
+		{Name: "missrate_pct_after_action", Value: r.PostFire / 10},
+	}
+}
+
+// Headlines returns LDom0's disk share around the quota echo.
+func (r *Fig10Result) Headlines() []Metric {
+	return []Metric{
+		{Name: "pct_share0_before_echo", Value: r.PreEchoShare0},
+		{Name: "pct_share0_after_echo", Value: r.PostEchoShare0},
+	}
+}
+
+// Headlines returns the priority speedup and the mean queueing delays.
+func (r *Fig11Result) Headlines() []Metric {
+	return []Metric{
+		{Name: "x_priority_speedup", Value: r.Speedup()},
+		{Name: "cyc_mean_baseline", Value: r.Baseline.Mean()},
+		{Name: "cyc_mean_high", Value: r.High.Mean()},
+	}
+}
+
+// Headlines returns the FPGA overhead percentages.
+func (r *Fig12Result) Headlines() []Metric {
+	return []Metric{
+		{Name: "pct_mem_overhead", Value: r.MemOverheadPct},
+		{Name: "pct_llc_overhead", Value: r.LLCOverheadPct},
+	}
+}
+
+// Headlines returns the LLC hit latency with and without the plane, ns.
+func (r *LLCLatencyResult) Headlines() []Metric {
+	return []Metric{
+		{Name: "ns_hit_with_cp", Value: float64(r.HitWithCP) / 1000},
+		{Name: "ns_hit_without_cp", Value: float64(r.HitWithoutCP) / 1000},
+	}
+}
+
+// Headlines returns the misattributed-writeback fraction.
+func (r *AblationWritebackResult) Headlines() []Metric {
+	return []Metric{{Name: "frac_misattributed", Value: r.Misattributed}}
+}
+
+// Headlines returns high-priority mean queueing delay with 2 vs 1 row
+// buffers.
+func (r *AblationRowBufferResult) Headlines() []Metric {
+	return []Metric{
+		{Name: "cyc_mean_high_2buf", Value: r.WithExtra.High.Mean()},
+		{Name: "cyc_mean_high_1buf", Value: r.WithoutExtra.High.Mean()},
+	}
+}
+
+// Headlines returns the victim's surviving blocks under both policies.
+func (r *AblationPartitionResult) Headlines() []Metric {
+	return []Metric{
+		{Name: "blocks_protected", Value: float64(r.ProtectedOccupancy)},
+		{Name: "blocks_unprotected", Value: float64(r.UnprotectedOccupancy)},
+	}
+}
+
+// Headlines returns the per-policy hit rates, percent.
+func (r *AblationReplacementResult) Headlines() []Metric {
+	return []Metric{
+		{Name: "pct_hit_plru", Value: 100 * r.HitRate["plru"]},
+		{Name: "pct_hit_lru", Value: 100 * r.HitRate["lru"]},
+		{Name: "pct_hit_random", Value: 100 * r.HitRate["random"]},
+	}
+}
+
+// Headlines returns the compression bandwidth gain.
+func (r *CompressionResult) Headlines() []Metric {
+	return []Metric{{Name: "x_bandwidth_gain", Value: r.BandwidthGain()}}
+}
+
+// Headlines returns the bytes steered to the migrated DS-id.
+func (r *FlowSteeringResult) Headlines() []Metric {
+	return []Metric{{Name: "bytes_migrated", Value: float64(r.Migrated)}}
+}

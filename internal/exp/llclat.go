@@ -27,6 +27,7 @@ func LLCLatency(samples int) *LLCLatencyResult {
 	measure := func(cp bool) sim.Tick {
 		e := sim.NewEngine()
 		ids := &core.IDSource{}
+		ids.EnablePool()
 		cfg := cache.Config{
 			Name: "llc", SizeBytes: 256 * 1024, Ways: 16, BlockSize: 64,
 			HitLatency: 20, ControlPlane: cp,

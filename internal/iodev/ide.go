@@ -121,9 +121,17 @@ func (d *IDE) Plane() *core.Plane { return d.plane }
 func (d *IDE) Config() IDEConfig { return d.cfg }
 
 // pendingReq is one queued transfer; acked means the issuing core has
-// already been released (buffered write semantics).
+// already been released (buffered write semantics). The transfer
+// parameters are copied out of the packet at enqueue time: an acked
+// packet has completed, and completed pooled packets may be recycled, so
+// the queue must never read through pkt after Complete (pkt is nil'd on
+// ack to enforce this).
 type pendingReq struct {
-	pkt   *core.Packet
+	pkt   *core.Packet // pending completion; nil once acked
+	ds    core.DSID
+	addr  uint64
+	size  uint32
+	read  bool // KindPIORead: disk-to-memory DMA
 	acked bool
 }
 
@@ -135,10 +143,17 @@ func (d *IDE) Request(p *core.Packet) {
 	if _, ok := d.queues[p.DSID]; !ok {
 		d.ring = append(d.ring, p.DSID)
 	}
-	entry := &pendingReq{pkt: p}
+	entry := &pendingReq{
+		pkt:  p,
+		ds:   p.DSID,
+		addr: p.Addr,
+		size: p.Size,
+		read: p.Kind == core.KindPIORead,
+	}
 	d.queues[p.DSID] = append(d.queues[p.DSID], entry)
 	if d.cfg.QueueDepth > 0 && len(d.queues[p.DSID]) <= d.cfg.QueueDepth {
 		entry.acked = true
+		entry.pkt = nil
 		p.Complete(d.engine.Now())
 	}
 	d.serveNext()
@@ -199,13 +214,13 @@ func (d *IDE) serveNext() {
 			continue
 		}
 		head := q[0]
-		if d.deficit[ds] < uint64(head.pkt.Size) {
+		if d.deficit[ds] < uint64(head.size) {
 			d.deficit[ds] += d.weight(ds) * drrQuantumPerWeight
 			d.cursor++
 			continue
 		}
 		d.queues[ds] = q[1:]
-		d.deficit[ds] -= uint64(head.pkt.Size)
+		d.deficit[ds] -= uint64(head.size)
 		d.serve(head)
 		return
 	}
@@ -214,40 +229,40 @@ func (d *IDE) serveNext() {
 // serve models the disk transfer itself, then DMAs the data and
 // releases the request.
 func (d *IDE) serve(entry *pendingReq) {
-	p := entry.pkt
 	d.busy = true
-	dur := sim.Tick(uint64(p.Size) * uint64(sim.Second) / d.cfg.BytesPerSec)
+	dur := sim.Tick(uint64(entry.size) * uint64(sim.Second) / d.cfg.BytesPerSec)
 	if dur == 0 {
 		dur = 1
 	}
 	d.engine.Schedule(dur, func() {
 		d.busy = false
-		d.ServedBytes += uint64(p.Size)
+		d.ServedBytes += uint64(entry.size)
 		d.ServedOps++
-		d.plane.AddStat(p.DSID, StatServBytes, uint64(p.Size))
-		w, ok := d.bytesWin[p.DSID]
+		d.plane.AddStat(entry.ds, StatServBytes, uint64(entry.size))
+		w, ok := d.bytesWin[entry.ds]
 		if !ok {
 			w = &metric.Rate{}
-			d.bytesWin[p.DSID] = w
+			d.bytesWin[entry.ds] = w
 		}
-		w.Add(uint64(p.Size))
+		w.Add(uint64(entry.size))
 
 		// Data movement: the DMA engine is programmed by this request's
 		// DS-id and issues tagged memory traffic (paper §4.1).
-		d.dma.Program(p.DSID)
-		d.dma.Transfer(p.Addr, p.Size, p.Kind == core.KindPIORead, nil)
+		d.dma.Program(entry.ds)
+		d.dma.Transfer(entry.addr, entry.size, entry.read, nil)
 
 		if d.apic != nil && d.cfg.InterruptVector != 0 {
-			intr := core.NewPacket(d.ids, core.KindInterrupt, p.DSID, 0, 0, d.engine.Now())
+			intr := core.NewPacket(d.ids, core.KindInterrupt, entry.ds, 0, 0, d.engine.Now())
 			intr.Vector = d.cfg.InterruptVector
 			d.apic.Request(intr)
 		}
 		if !entry.acked {
-			p.Complete(d.engine.Now())
+			entry.pkt.Complete(d.engine.Now())
+			entry.pkt = nil
 		}
 		// A buffer slot freed: release the next blocked submitter.
 		if d.cfg.QueueDepth > 0 {
-			q := d.queues[p.DSID]
+			q := d.queues[entry.ds]
 			n := len(q)
 			if n > d.cfg.QueueDepth {
 				n = d.cfg.QueueDepth
@@ -255,7 +270,9 @@ func (d *IDE) serve(entry *pendingReq) {
 			for i := 0; i < n; i++ {
 				if !q[i].acked {
 					q[i].acked = true
-					q[i].pkt.Complete(d.engine.Now())
+					pkt := q[i].pkt
+					q[i].pkt = nil
+					pkt.Complete(d.engine.Now())
 					break
 				}
 			}

@@ -39,6 +39,19 @@ func bucket(v uint64) uint64 {
 	return (v >> shift) << shift
 }
 
+// bucketEnd returns the exclusive upper bound of the bucket whose lower
+// bound is b: b+1 in the exact region, b plus the sub-bucket width above.
+func bucketEnd(b uint64) uint64 {
+	if b < 64 {
+		return b + 1
+	}
+	shift := uint(0)
+	for b>>shift >= 128 {
+		shift++
+	}
+	return b + 1<<shift
+}
+
 // Observe records one sample.
 func (h *Histogram) Observe(v uint64) {
 	h.counts[bucket(v)]++
@@ -102,7 +115,13 @@ func (h *Histogram) Percentile(p float64) uint64 {
 			return k
 		}
 	}
-	return h.max
+	// Unreachable when counts and n agree (rank <= n and cum reaches n at
+	// the last key); answer in bucket terms regardless, matching the
+	// method's contract of returning a bucket lower bound.
+	if len(keys) > 0 {
+		return keys[len(keys)-1]
+	}
+	return 0
 }
 
 func (h *Histogram) sortedBuckets() []uint64 {
@@ -132,14 +151,20 @@ func (h *Histogram) CDF() []CDFPoint {
 	return out
 }
 
-// FractionAtOrBelow returns P(X <= v).
+// FractionAtOrBelow returns P(X <= v), counting a bucket only when its
+// whole range lies at or below v. A partially covered bucket contributes
+// nothing: samples recorded above v must never be counted, and bucketed
+// storage cannot split them out. The result therefore agrees with CDF():
+// FractionAtOrBelow at a bucket's last value equals that bucket's CDF
+// fraction, and in the exact region (v < 64) it is exact.
 func (h *Histogram) FractionAtOrBelow(v uint64) float64 {
 	if h.n == 0 {
 		return 0
 	}
 	var cum uint64
+	// Summation over the bucket map is order-independent.
 	for k, c := range h.counts {
-		if k <= bucket(v) {
+		if bucketEnd(k)-1 <= v {
 			cum += c
 		}
 	}

@@ -1,0 +1,81 @@
+package metric
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Regression: FractionAtOrBelow(v) used to include every sample in v's
+// bucket, counting samples recorded strictly above v. In the logarithmic
+// region a bucket spans more than one value, so P(X <= v) came back too
+// high — e.g. a single sample of 131 was reported as being <= 130.
+func TestFractionAtOrBelowExcludesSamplesAboveV(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(131) // bucket [130, 132)
+	if f := h.FractionAtOrBelow(130); f != 0 {
+		t.Fatalf("FractionAtOrBelow(130) = %f, want 0 (only sample is 131)", f)
+	}
+	if f := h.FractionAtOrBelow(131); f != 1 {
+		t.Fatalf("FractionAtOrBelow(131) = %f, want 1", f)
+	}
+}
+
+// bucketEnd is the exclusive upper bound: bucket(v) <= v < bucketEnd,
+// and the next bucket starts exactly where this one ends.
+func TestPropertyBucketEnd(t *testing.T) {
+	f := func(v uint64) bool {
+		if v >= 1<<62 {
+			v >>= 2 // keep b + width inside uint64
+		}
+		b := bucket(v)
+		end := bucketEnd(b)
+		return b <= v && v < end && bucket(end) == end
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// FractionAtOrBelow agrees with CDF(): queried at a bucket's last value,
+// it returns exactly that bucket's cumulative fraction.
+func TestFractionAtOrBelowMatchesCDF(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	h := NewHistogram()
+	for i := 0; i < 5000; i++ {
+		h.Observe(uint64(r.Intn(1_000_000)))
+	}
+	for _, pt := range h.CDF() {
+		if got := h.FractionAtOrBelow(bucketEnd(pt.Value) - 1); got != pt.Fraction {
+			t.Fatalf("FractionAtOrBelow(%d) = %f, CDF fraction at bucket %d = %f",
+				bucketEnd(pt.Value)-1, got, pt.Value, pt.Fraction)
+		}
+	}
+}
+
+// In the exact region (v < 64) FractionAtOrBelow is exact.
+func TestFractionAtOrBelowExactRegion(t *testing.T) {
+	h := NewHistogram()
+	for v := uint64(0); v < 64; v++ {
+		h.Observe(v)
+	}
+	for v := uint64(0); v < 64; v++ {
+		want := float64(v+1) / 64
+		if got := h.FractionAtOrBelow(v); got != want {
+			t.Fatalf("FractionAtOrBelow(%d) = %f, want %f", v, got, want)
+		}
+	}
+}
+
+// Percentile answers in bucket lower bounds everywhere, including at
+// p=1.0 on samples that round down in the logarithmic region.
+func TestPercentileReturnsBucketLowerBound(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(1001) // bucket [1000, 1008)
+	if got := h.Percentile(1.0); got != 1000 {
+		t.Fatalf("p100 = %d, want bucket lower bound 1000", got)
+	}
+	if got := h.Percentile(0.5); got != 1000 {
+		t.Fatalf("p50 = %d, want bucket lower bound 1000", got)
+	}
+}

@@ -46,5 +46,11 @@ func (c *Clock) ScheduleCycles(n uint64, fn func()) {
 	c.engine.At(c.NextEdge()+c.Cycles(n), fn)
 }
 
+// ScheduleCyclesEventer is ScheduleCycles for a reusable Eventer; it
+// keeps cycle-domain scheduling allocation-free on hot paths.
+func (c *Clock) ScheduleCyclesEventer(n uint64, ev Eventer) {
+	c.engine.AtEventer(c.NextEdge()+c.Cycles(n), ev)
+}
+
 // Engine returns the underlying engine.
 func (c *Clock) Engine() *Engine { return c.engine }

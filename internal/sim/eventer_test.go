@@ -1,0 +1,119 @@
+package sim
+
+import "testing"
+
+type countEventer struct {
+	n     int
+	order *[]int
+	id    int
+}
+
+func (c *countEventer) RunEvent() {
+	c.n++
+	if c.order != nil {
+		*c.order = append(*c.order, c.id)
+	}
+}
+
+func TestEventerRuns(t *testing.T) {
+	e := NewEngine()
+	ev := &countEventer{}
+	e.ScheduleEventer(5, ev)
+	e.AtEventer(10, ev)
+	e.Drain(0)
+	if ev.n != 2 {
+		t.Fatalf("eventer ran %d times, want 2", ev.n)
+	}
+	if e.Now() != 10 {
+		t.Fatalf("now = %v, want 10", e.Now())
+	}
+}
+
+// Closure events and Eventers scheduled at the same tick interleave in
+// scheduling order: the seq counter is shared.
+func TestEventerAndFuncShareOrdering(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.Schedule(7, func() { order = append(order, 0) })
+	e.ScheduleEventer(7, &countEventer{order: &order, id: 1})
+	e.Schedule(7, func() { order = append(order, 2) })
+	e.ScheduleEventer(7, &countEventer{order: &order, id: 3})
+	e.Drain(0)
+	for i, id := range order {
+		if id != i {
+			t.Fatalf("order = %v, want [0 1 2 3]", order)
+		}
+	}
+}
+
+func TestNilEventerPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil eventer accepted")
+		}
+	}()
+	NewEngine().AtEventer(1, nil)
+}
+
+func TestPastEventerClampsToNow(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(100, func() {})
+	e.Drain(0)
+	ev := &countEventer{}
+	e.AtEventer(10, ev) // in the past
+	e.Drain(0)
+	if ev.n != 1 || e.Now() != 100 {
+		t.Fatalf("n=%d now=%v, want 1 at t=100", ev.n, e.Now())
+	}
+}
+
+// The tentpole contract: steady-state scheduling allocates nothing, for
+// both Eventers and prebound closures. container/heap boxed every Push
+// through interface{} — one allocation per event.
+func TestScheduleZeroAlloc(t *testing.T) {
+	e := NewEngine()
+	ev := &countEventer{}
+	fn := func() {}
+	// Warm the event slice to its steady-state capacity.
+	for i := 0; i < 64; i++ {
+		e.ScheduleEventer(Tick(i), ev)
+	}
+	e.Drain(0)
+
+	if a := testing.AllocsPerRun(1000, func() {
+		e.ScheduleEventer(1, ev)
+		e.Step()
+	}); a != 0 {
+		t.Fatalf("Eventer schedule+step allocated %.1f/op, want 0", a)
+	}
+	if a := testing.AllocsPerRun(1000, func() {
+		e.Schedule(1, fn)
+		e.Step()
+	}); a != 0 {
+		t.Fatalf("prebound-func schedule+step allocated %.1f/op, want 0", a)
+	}
+}
+
+// The specialized heap must order identically to the old container/heap
+// implementation: strictly by (when, seq) under adversarial insertion.
+func TestHeapOrderingStress(t *testing.T) {
+	e := NewEngine()
+	rng := uint64(0x9E3779B97F4A7C15)
+	var got []Tick
+	for i := 0; i < 2000; i++ {
+		rng ^= rng >> 12
+		rng ^= rng << 25
+		rng ^= rng >> 27
+		when := Tick(rng % 97)
+		e.At(when, func() { got = append(got, e.Now()) })
+	}
+	e.Drain(0)
+	for i := 1; i < len(got); i++ {
+		if got[i] < got[i-1] {
+			t.Fatalf("events ran out of order at %d: %v after %v", i, got[i], got[i-1])
+		}
+	}
+	if len(got) != 2000 {
+		t.Fatalf("ran %d events, want 2000", len(got))
+	}
+}

@@ -58,6 +58,10 @@ type Crossbar struct {
 
 	qlat map[core.DSID]*qlatWin
 
+	// Prebound callbacks so grant/forward scheduling never allocates.
+	grantFn func()
+	fwdFn   func(*core.Packet)
+
 	Granted uint64
 }
 
@@ -82,6 +86,8 @@ func New(e *sim.Engine, clock *sim.Clock, cfg Config, out core.Target) *Crossbar
 		queues: make(map[core.DSID][]entry),
 		qlat:   make(map[core.DSID]*qlatWin),
 	}
+	x.grantFn = x.grant
+	x.fwdFn = func(p *core.Packet) { x.out.Request(p) }
 	params := core.NewTable(
 		core.Column{Name: ParamWeight, Writable: true, Default: 1},
 	)
@@ -111,7 +117,7 @@ func (x *Crossbar) pump() {
 		return
 	}
 	x.pumping = true
-	x.engine.At(x.clock.NextEdge(), x.grant)
+	x.engine.At(x.clock.NextEdge(), x.grantFn)
 }
 
 func (x *Crossbar) weight(ds core.DSID) uint64 {
@@ -152,7 +158,7 @@ func (x *Crossbar) grant() {
 		x.forward(ds, e)
 		if x.pending() > 0 {
 			x.pumping = true
-			x.clock.ScheduleCycles(1, x.grant)
+			x.clock.ScheduleCycles(1, x.grantFn)
 		}
 		return
 	}
@@ -177,8 +183,7 @@ func (x *Crossbar) forward(ds core.DSID, e entry) {
 	}
 	w.sum += uint64((x.engine.Now() - e.enq) / x.clock.Period())
 	w.count++
-	pkt := e.pkt
-	x.clock.ScheduleCycles(x.cfg.Latency, func() { x.out.Request(pkt) })
+	e.pkt.ScheduleCall(x.clock, x.cfg.Latency, x.fwdFn)
 }
 
 func (x *Crossbar) sample() {

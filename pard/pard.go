@@ -111,7 +111,9 @@ type System struct {
 // PRM firmware with all five control planes mounted
 // (cpa0=LLC, cpa1=memory, cpa2=I/O bridge, cpa3=IDE, cpa4=NIC).
 func NewSystem(cfg Config) *System {
-	return NewSystemOn(cfg, sim.NewEngine(), &core.IDSource{})
+	ids := &core.IDSource{}
+	ids.EnablePool()
+	return NewSystemOn(cfg, sim.NewEngine(), ids)
 }
 
 // NewSystemOn builds a server on a shared engine and packet-id source,

@@ -24,6 +24,7 @@ func NewRack(cfg Config, n int) *Rack {
 		panic("pard: rack needs at least one server")
 	}
 	r := &Rack{Engine: sim.NewEngine(), IDs: &core.IDSource{}}
+	r.IDs.EnablePool()
 	for i := 0; i < n; i++ {
 		r.Servers = append(r.Servers, NewSystemOn(cfg, r.Engine, r.IDs))
 	}
