@@ -15,6 +15,7 @@ import (
 	"repro/internal/dram"
 	"repro/internal/exp"
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/workload"
 	"repro/pard"
 )
@@ -306,6 +307,38 @@ func BenchmarkLLCHitPathPooled(b *testing.B) {
 		for !p.Completed() {
 			e.Step()
 		}
+	}
+}
+
+// The same hit path with the flight recorder attached at the default
+// 1-in-64 sampling: the documented cost of leaving tracing enabled in
+// production (63 of 64 packets take only the mask check per hook).
+func BenchmarkLLCHitPathTraced(b *testing.B) {
+	b.ReportAllocs()
+	e := sim.NewEngine()
+	ids := &core.IDSource{}
+	ids.EnablePool()
+	c := cache.New(e, sim.NewClock(e, 500), ids, cache.Config{
+		Name: "llc", SizeBytes: 4 << 20, Ways: 16, BlockSize: 64,
+		HitLatency: 20, ControlPlane: true,
+	}, nopMem{e})
+	rec := trace.NewRecorder(e, 64)
+	c.AttachRecorder(rec)
+	warm := core.NewPacket(ids, core.KindMemRead, 1, 0, 64, 0)
+	c.Request(warm)
+	e.StepUntil(warm.Completed)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := core.NewPacket(ids, core.KindMemRead, 1, 0, 64, e.Now())
+		c.Request(p)
+		for !p.Completed() {
+			e.Step()
+		}
+	}
+	// Early sizing rounds issue too few packets to hit a multiple-of-64
+	// ID; only the real rounds must have sampled something.
+	if b.N >= 128 && rec.Finished() == 0 {
+		b.Fatal("recorder sampled nothing")
 	}
 }
 

@@ -4,7 +4,12 @@
 // Usage:
 //
 //	pardbench [-run all|table2|table3|fig7|fig8|fig9|fig10|fig11|fig12|llclat|ablations]
-//	          [-scale quick|full] [-csv DIR] [-json FILE]
+//	          [-scale quick|full] [-csv DIR] [-json FILE] [-trace FILE]
+//
+// -trace FILE runs a short two-LDom contention experiment with the ICN
+// flight recorder enabled (1-in-64 sampling) instead of the figure
+// sweep, and writes the sampled packets' per-hop spans to FILE as
+// Chrome/Perfetto trace-event JSON (load at ui.perfetto.dev).
 //
 // Quick scale keeps each experiment inside seconds-to-minutes of wall
 // time; full scale stretches the simulated windows for the numbers
@@ -34,6 +39,8 @@ import (
 
 	"repro/internal/exp"
 	"repro/internal/sim"
+	"repro/internal/workload"
+	"repro/pard"
 )
 
 func main() {
@@ -41,7 +48,16 @@ func main() {
 	scaleFlag := flag.String("scale", "quick", "quick or full")
 	csvDir := flag.String("csv", "", "directory to export figure CSVs into")
 	jsonPath := flag.String("json", "", "file to write benchmark + headline JSON into")
+	tracePath := flag.String("trace", "", "file to write a Perfetto trace of a short two-LDom run into")
 	flag.Parse()
+
+	if *tracePath != "" {
+		if err := writeTrace(*tracePath); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	scale, err := exp.ParseScale(*scaleFlag)
 	if err != nil {
@@ -112,6 +128,46 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// writeTrace runs a short two-LDom contention scenario (latency-
+// critical STREAM vs LLC-thrashing CacheFlush) with the flight recorder
+// sampling 1-in-64, and exports the capture as Perfetto trace-event
+// JSON. The span count goes to stderr: stdout stays reserved for the
+// byte-reproducible experiment output.
+func writeTrace(path string) error {
+	cfg := pard.DefaultConfig()
+	cfg.Crossbar = true
+	cfg.TraceSample = 64
+	sys := pard.NewSystem(cfg)
+	if _, err := sys.CreateLDom(pard.LDomConfig{
+		Name: "svc", Cores: []int{0}, MemBase: 0, Priority: 1, RowBuf: 1,
+	}); err != nil {
+		return fmt.Errorf("pardbench: %w", err)
+	}
+	if _, err := sys.CreateLDom(pard.LDomConfig{
+		Name: "batch", Cores: []int{1}, MemBase: 2 << 30,
+	}); err != nil {
+		return fmt.Errorf("pardbench: %w", err)
+	}
+	sys.RunWorkload(0, pard.NewSTREAM(0))
+	sys.RunWorkload(1, &workload.CacheFlush{Base: 2 << 30, Footprint: 16 << 20, Seed: 2})
+	sys.Run(2 * pard.Millisecond)
+
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("pardbench: %w", err)
+	}
+	n, err := sys.Recorder.WritePerfetto(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("pardbench: writing %s: %w", path, err)
+	}
+	fmt.Fprintf(os.Stderr, "pardbench: wrote %d packet traces (%d finished, 1-in-%d sampling) to %s\n",
+		n, sys.Recorder.Finished(), sys.Recorder.SampleEvery(), path)
+	return nil
 }
 
 // job is one experiment: its runner, then its result and rendered output.

@@ -7,7 +7,7 @@
 //	workload <coreID> stream|flush|memcached|dd|lbm|leslie3d
 //	run <milliseconds>                  advance simulated time
 //	stats                               per-LDom LLC/memory summary
-//	trace                               memory-path packet probe
+//	trace                               per-hop latency breakdown + memory-path packet probe
 //	help
 //	exit
 //
@@ -36,6 +36,7 @@ import (
 func main() {
 	cfg := pard.DefaultConfig()
 	cfg.ProbeMemory = true
+	cfg.TraceSample = 64 // flight recorder at 1-in-64 sampling
 	sys := pard.NewSystem(cfg)
 	fmt.Println("PARD server booted: 4 cores, 4MB LLC, DDR3-1600, 5 control planes.")
 	fmt.Println("Type 'help' for commands.")

@@ -22,10 +22,12 @@ import (
 func main() {
 	listen := flag.String("listen", "127.0.0.1:9090", "address for the management console")
 	probe := flag.Bool("probe", true, "enable the memory trace probe")
+	sample := flag.Uint64("trace-sample", 64, "flight-recorder sampling (1-in-N packets, 0 disables)")
 	flag.Parse()
 
 	cfg := pard.DefaultConfig()
 	cfg.ProbeMemory = *probe
+	cfg.TraceSample = *sample
 	sys := pard.NewSystem(cfg)
 
 	console, err := pard.NewConsole(sys, *listen)

@@ -12,6 +12,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/metric"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Policy selects the replacement policy. All policies honor PARD's
@@ -121,6 +122,10 @@ type Cache struct {
 	retryFn    func(*core.Packet) // retry after a structural stall
 	fillDoneFn func(*core.Packet) // fill read returned from next level
 
+	// Flight-recorder hop (nil rec disables; every rec call is nil-safe).
+	rec *trace.Recorder
+	hop int
+
 	plane *core.Plane // nil without a control plane
 
 	// Per-DS-id measurement state.
@@ -222,6 +227,15 @@ func New(e *sim.Engine, clock *sim.Clock, ids *core.IDSource, cfg Config, next c
 	return c
 }
 
+// AttachRecorder wires the ICN flight recorder into this cache's
+// request path under the cache's configured name and returns the hop
+// id. Call before traffic.
+func (c *Cache) AttachRecorder(r *trace.Recorder) int {
+	c.rec = r
+	c.hop = r.RegisterHop(c.cfg.Name)
+	return c.hop
+}
+
 // Plane returns the control plane, or nil for planeless caches.
 func (c *Cache) Plane() *core.Plane { return c.plane }
 
@@ -254,6 +268,7 @@ func (c *Cache) tagOf(block uint64) uint64 {
 // Request→lookup chain is allocation-free in steady state
 // (TestRequestChainZeroAlloc).
 func (c *Cache) Request(p *core.Packet) {
+	c.rec.Enter(c.hop, p)
 	p.ScheduleCall(c.clock, c.cfg.HitLatency, c.lookupFn)
 }
 
@@ -263,6 +278,11 @@ func (c *Cache) Request(p *core.Packet) {
 // statistics again — each access is counted exactly once however many
 // times it stalls.
 func (c *Cache) lookupStep(p *core.Packet, retry bool) {
+	if retry {
+		// The structural stall is over: everything before this retry was
+		// queue wait, everything after is service.
+		c.rec.Service(c.hop, p)
+	}
 	block := c.blockAddr(p.Addr)
 	si := c.setIndex(block)
 	tag := c.tagOf(block)
@@ -290,6 +310,7 @@ func (c *Cache) hit(p *core.Packet, si uint64, w int, retry bool) {
 	if p.Kind.IsWrite() {
 		c.lines[si][w].dirty = true
 	}
+	c.rec.Finish(c.hop, p)
 	p.Complete(c.engine.Now())
 }
 
@@ -355,6 +376,7 @@ func (c *Cache) allocateMiss(p *core.Packet, key mshrKey, si, tag uint64) {
 func (c *Cache) issueFill(key mshrKey) {
 	fill := core.NewPacket(c.ids, core.KindMemRead, key.ds, key.block, uint32(c.cfg.BlockSize), c.engine.Now())
 	fill.OnDone = c.fillDoneFn
+	c.rec.Begin(c.hop, fill)
 	c.next.Request(fill)
 }
 
@@ -462,6 +484,7 @@ func (c *Cache) writeback(si uint64, victim line) {
 	// The writeback is tagged with the block's owner DS-id, not the
 	// requester that forced the eviction (paper §4.1).
 	wb := core.NewPacket(c.ids, core.KindWriteback, victim.owner, addr, uint32(c.cfg.BlockSize), c.engine.Now())
+	c.rec.Begin(c.hop, wb)
 	c.next.Request(wb)
 }
 
@@ -516,6 +539,7 @@ func (c *Cache) fill(key mshrKey, fromWriteback bool) {
 
 	now := c.engine.Now()
 	for _, w := range e.waiters {
+		c.rec.Finish(c.hop, w)
 		w.Complete(now)
 	}
 	c.putEntry(e)
@@ -643,6 +667,7 @@ func (c *Cache) InvalidateDSID(ds core.DSID) uint64 {
 		}
 		e.waiters = e.waiters[:0]
 		for _, w := range waiters {
+			c.rec.Finish(c.hop, w)
 			w.Complete(now)
 		}
 	}
@@ -664,6 +689,7 @@ func (c *Cache) InvalidateDSID(ds core.DSID) uint64 {
 		}
 		c.stalled = keep
 		for _, p := range flush {
+			c.rec.Finish(c.hop, p)
 			p.Complete(now)
 		}
 	}

@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -48,6 +49,10 @@ type Core struct {
 	stepFn    func()
 	memDoneFn func(*core.Packet)
 	ioDoneFn  func(*core.Packet)
+
+	// Flight-recorder hop (nil rec disables; every rec call is nil-safe).
+	rec *trace.Recorder
+	hop int
 
 	outstanding int
 	waiting     bool
@@ -92,6 +97,15 @@ func New(id int, clock *sim.Clock, ids *core.IDSource, mem, io core.Target) *Cor
 		c.clock.ScheduleCycles(1, c.stepFn)
 	}
 	return c
+}
+
+// AttachRecorder wires the ICN flight recorder into the issue path and
+// returns the hop id ("cpuN"). The core only ever issues packets, so it
+// is a trace source, never a span. Call before traffic.
+func (c *Core) AttachRecorder(r *trace.Recorder) int {
+	c.rec = r
+	c.hop = r.RegisterHop(fmt.Sprintf("cpu%d", c.ID))
+	return c.hop
 }
 
 // Run starts executing gen. A core runs one workload at a time.
@@ -182,6 +196,7 @@ func (c *Core) step() {
 		}
 		p := core.NewPacket(c.ids, kind, c.Tag.Get(), op.Addr, 64, c.engine.Now())
 		p.OnDone = c.memDoneFn
+		c.rec.Begin(c.hop, p)
 		c.outstanding++
 		c.mem.Request(p)
 		if c.outstanding < window {
@@ -203,6 +218,7 @@ func (c *Core) step() {
 		c.DiskOps++
 		p := core.NewPacket(c.ids, kind, c.Tag.Get(), op.Addr, op.Bytes, c.engine.Now())
 		p.OnDone = c.ioDoneFn
+		c.rec.Begin(c.hop, p)
 		c.io.Request(p)
 
 	case workload.OpDone:

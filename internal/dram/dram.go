@@ -13,6 +13,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/metric"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Config describes the controller and the attached DDR3 devices.
@@ -127,6 +128,10 @@ type Controller struct {
 	completeFn func(*core.Packet)
 	issueFn    func()
 
+	// Flight-recorder hop (nil rec disables; every rec call is nil-safe).
+	rec *trace.Recorder
+	hop int
+
 	// Measurement.
 	QueueDelay   []*metric.Histogram // per priority level, in memory cycles
 	qlatWin      map[core.DSID]*qlatWindow
@@ -181,7 +186,10 @@ func New(e *sim.Engine, ids *core.IDSource, cfg Config) *Controller {
 		qlatWin:  make(map[core.DSID]*qlatWindow),
 		bytesWin: make(map[core.DSID]*metric.Rate),
 	}
-	c.completeFn = func(p *core.Packet) { p.Complete(c.engine.Now()) }
+	c.completeFn = func(p *core.Packet) {
+		c.rec.Finish(c.hop, p)
+		p.Complete(c.engine.Now())
+	}
 	c.issueFn = c.issue
 	for i := range c.banks {
 		rows := make([]int64, cfg.RowBuffers)
@@ -219,6 +227,15 @@ func New(e *sim.Engine, ids *core.IDSource, cfg Config) *Controller {
 
 // Plane returns the memory control plane (nil in baseline mode).
 func (c *Controller) Plane() *core.Plane { return c.plane }
+
+// AttachRecorder wires the ICN flight recorder into this controller's
+// request path under the configured name and returns the hop id. Call
+// before traffic.
+func (c *Controller) AttachRecorder(r *trace.Recorder) int {
+	c.rec = r
+	c.hop = r.RegisterHop(c.cfg.Name)
+	return c.hop
+}
 
 // Config returns the configuration.
 func (c *Controller) Config() Config { return c.cfg }
@@ -287,11 +304,13 @@ func (c *Controller) burstCyclesOf(r *request) uint64 {
 // immediately, and the request completes without touching DRAM — the
 // containment half of the paper's "security policy" open problem.
 func (c *Controller) Request(p *core.Packet) {
+	c.rec.Enter(c.hop, p)
 	if c.plane != nil {
 		if limit := c.plane.Param(p.DSID, ParamAddrLimit); limit > 0 && p.Addr >= limit {
 			c.Violations++
 			c.plane.AddStat(p.DSID, StatViolations, 1)
 			c.plane.Evaluate(p.DSID)
+			c.rec.Finish(c.hop, p)
 			p.Complete(c.engine.Now())
 			return
 		}
@@ -471,6 +490,9 @@ func (c *Controller) earliestFree(now sim.Tick) sim.Tick {
 
 // service issues the DRAM command sequence for r at time now.
 func (c *Controller) service(r *request, level int, now sim.Tick) {
+	// FR-FCFS picked this request: its queue wait ends here; the bank/
+	// channel occupancy that follows is service time.
+	c.rec.Service(c.hop, r.pkt)
 	b := &c.banks[r.bank]
 	cyc := func(n uint64) sim.Tick { return sim.Tick(n) * c.cfg.TCK }
 

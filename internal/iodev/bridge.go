@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Bridge is the I/O bridge: it routes PIO requests from cores to devices
@@ -25,6 +26,10 @@ type Bridge struct {
 
 	Routed    uint64
 	Unclaimed uint64
+
+	// Flight-recorder hop (nil rec disables; every rec call is nil-safe).
+	rec *trace.Recorder
+	hop int
 }
 
 type window struct {
@@ -62,6 +67,14 @@ func NewBridge(e *sim.Engine, mem core.Target) *Bridge {
 // Plane returns the bridge control plane.
 func (b *Bridge) Plane() *core.Plane { return b.plane }
 
+// AttachRecorder wires the ICN flight recorder into the PIO routing
+// path as hop "bridge" and returns the hop id. Call before traffic.
+func (b *Bridge) AttachRecorder(r *trace.Recorder) int {
+	b.rec = r
+	b.hop = r.RegisterHop("bridge")
+	return b.hop
+}
+
 // Attach maps [base, base+size) to dev. Windows must not overlap.
 func (b *Bridge) Attach(name string, base, size uint64, dev core.Target) error {
 	for _, w := range b.windows {
@@ -80,6 +93,7 @@ func (b *Bridge) Request(p *core.Packet) {
 		panic(fmt.Sprintf("iodev: bridge received %v on the PIO path", p.Kind))
 	}
 	b.plane.AddStat(p.DSID, StatPIOCnt, 1)
+	b.rec.Enter(b.hop, p)
 	for _, w := range b.windows {
 		if p.Addr >= w.base && p.Addr < w.base+w.size {
 			b.Routed++
@@ -90,14 +104,22 @@ func (b *Bridge) Request(p *core.Packet) {
 			q.OnDone = nil
 			fwd := &q
 			fwd.OnDone = func(*core.Packet) { p.Complete(b.engine.Now()) }
-			b.engine.Schedule(b.PIOLatency, func() { dev.Request(fwd) })
+			b.engine.Schedule(b.PIOLatency, func() {
+				// fwd carries p's ID, so this closes the span Enter
+				// opened above before the device opens its own.
+				b.rec.Leave(b.hop, fwd)
+				dev.Request(fwd)
+			})
 			return
 		}
 	}
 	b.Unclaimed++
 	// Unclaimed PIO completes with no effect, like a read of an
 	// unmapped bus address.
-	b.engine.Schedule(b.PIOLatency, func() { p.Complete(b.engine.Now()) })
+	b.engine.Schedule(b.PIOLatency, func() {
+		b.rec.Finish(b.hop, p)
+		p.Complete(b.engine.Now())
+	})
 }
 
 // DMA forwards a device-originated memory packet, accounting its bytes

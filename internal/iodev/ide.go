@@ -6,6 +6,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/metric"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // IDEConfig describes the disk controller. Table 2's server has a
@@ -78,6 +79,10 @@ type IDE struct {
 
 	ServedBytes uint64
 	ServedOps   uint64
+
+	// Flight-recorder hop (nil rec disables; every rec call is nil-safe).
+	rec *trace.Recorder
+	hop int
 }
 
 // NewIDE builds the controller. mem receives DMA traffic; apic (optional)
@@ -117,6 +122,14 @@ func NewIDE(e *sim.Engine, ids *core.IDSource, cfg IDEConfig, mem core.Target, a
 // Plane returns the IDE control plane.
 func (d *IDE) Plane() *core.Plane { return d.plane }
 
+// AttachRecorder wires the ICN flight recorder into the transfer path
+// under the configured name and returns the hop id. Call before traffic.
+func (d *IDE) AttachRecorder(r *trace.Recorder) int {
+	d.rec = r
+	d.hop = r.RegisterHop(d.cfg.Name)
+	return d.hop
+}
+
 // Config returns the controller configuration.
 func (d *IDE) Config() IDEConfig { return d.cfg }
 
@@ -140,6 +153,7 @@ func (d *IDE) Request(p *core.Packet) {
 	if p.Kind != core.KindPIORead && p.Kind != core.KindPIOWrite {
 		panic(fmt.Sprintf("iodev: IDE received %v", p.Kind))
 	}
+	d.rec.Enter(d.hop, p)
 	if _, ok := d.queues[p.DSID]; !ok {
 		d.ring = append(d.ring, p.DSID)
 	}
@@ -154,6 +168,7 @@ func (d *IDE) Request(p *core.Packet) {
 	if d.cfg.QueueDepth > 0 && len(d.queues[p.DSID]) <= d.cfg.QueueDepth {
 		entry.acked = true
 		entry.pkt = nil
+		d.rec.Finish(d.hop, p)
 		p.Complete(d.engine.Now())
 	}
 	d.serveNext()
@@ -230,6 +245,11 @@ func (d *IDE) serveNext() {
 // releases the request.
 func (d *IDE) serve(entry *pendingReq) {
 	d.busy = true
+	if entry.pkt != nil {
+		// DRR wait is over for the un-acked submitter; the transfer that
+		// follows is service time.
+		d.rec.Service(d.hop, entry.pkt)
+	}
 	dur := sim.Tick(uint64(entry.size) * uint64(sim.Second) / d.cfg.BytesPerSec)
 	if dur == 0 {
 		dur = 1
@@ -257,6 +277,7 @@ func (d *IDE) serve(entry *pendingReq) {
 			d.apic.Request(intr)
 		}
 		if !entry.acked {
+			d.rec.Finish(d.hop, entry.pkt)
 			entry.pkt.Complete(d.engine.Now())
 			entry.pkt = nil
 		}
@@ -272,6 +293,7 @@ func (d *IDE) serve(entry *pendingReq) {
 					q[i].acked = true
 					pkt := q[i].pkt
 					q[i].pkt = nil
+					d.rec.Finish(d.hop, pkt)
 					pkt.Complete(d.engine.Now())
 					break
 				}

@@ -6,6 +6,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/metric"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // NICConfig describes the multi-queue NIC.
@@ -68,6 +69,10 @@ type NIC struct {
 	rxWin map[core.DSID]*metric.Rate
 
 	RxFrames, TxFrames, DroppedFrames uint64
+
+	// Flight-recorder hop (nil rec disables; every rec call is nil-safe).
+	rec *trace.Recorder
+	hop int
 }
 
 type vnic struct {
@@ -111,6 +116,14 @@ func NewNIC(e *sim.Engine, ids *core.IDSource, cfg NICConfig, mem core.Target, a
 
 // Plane returns the NIC control plane.
 func (n *NIC) Plane() *core.Plane { return n.plane }
+
+// AttachRecorder wires the ICN flight recorder into the TX path under
+// the configured name and returns the hop id. Call before traffic.
+func (n *NIC) AttachRecorder(r *trace.Recorder) int {
+	n.rec = r
+	n.hop = r.RegisterHop(n.cfg.Name)
+	return n.hop
+}
 
 // Config returns the adapter configuration.
 func (n *NIC) Config() NICConfig { return n.cfg }
@@ -249,17 +262,24 @@ func (n *NIC) Request(p *core.Packet) {
 	if p.Kind != core.KindPIOWrite {
 		panic(fmt.Sprintf("iodev: NIC received %v", p.Kind))
 	}
+	n.rec.Enter(n.hop, p)
 	n.TxFrames++
 	n.plane.AddStat(p.DSID, StatTxBytes, uint64(p.Size))
 	v := n.vnicByDS(p.DSID)
 	wireDelay := sim.Tick(uint64(p.Size) * uint64(sim.Second) / n.cfg.BytesPerSec)
 	if v == nil {
 		// No vNIC: transmit without DMA modeling.
-		n.engine.Schedule(wireDelay, func() { p.Complete(n.engine.Now()) })
+		n.engine.Schedule(wireDelay, func() {
+			n.rec.Finish(n.hop, p)
+			p.Complete(n.engine.Now())
+		})
 		return
 	}
 	v.dma.Transfer(p.Addr, p.Size, false, func() {
-		n.engine.Schedule(wireDelay, func() { p.Complete(n.engine.Now()) })
+		n.engine.Schedule(wireDelay, func() {
+			n.rec.Finish(n.hop, p)
+			p.Complete(n.engine.Now())
+		})
 	})
 }
 

@@ -80,6 +80,11 @@ type Firmware struct {
 	ldoms  map[core.DSID]*LDom
 	nextDS core.DSID
 
+	// extraStats holds per-CPA statistics leaves registered by the
+	// platform beyond the control-plane tables (e.g. the flight
+	// recorder's latency percentiles), added to every LDom subtree.
+	extraStats map[int][]ldomStat
+
 	// TriggersHandled counts actions run; ActionErrors counts failures.
 	TriggersHandled uint64
 	ActionErrors    uint64
@@ -97,9 +102,10 @@ func NewFirmware(e *sim.Engine, cfg Config, platform Platform) *Firmware {
 		cfg:      cfg,
 		fs:       NewFS(),
 		platform: platform,
-		actions:  make(map[string]Action),
-		bindings: make(map[slotKey]string),
-		ldoms:    make(map[core.DSID]*LDom),
+		actions:    make(map[string]Action),
+		bindings:   make(map[slotKey]string),
+		ldoms:      make(map[core.DSID]*LDom),
+		extraStats: make(map[int][]ldomStat),
 	}
 	fw.fs.Mkdir("/sys/cpa")
 	fw.fs.Mkdir("/log")
@@ -340,6 +346,36 @@ func (fw *Firmware) DestroyLDom(ds core.DSID) error {
 // LDoms returns the live LDom table.
 func (fw *Firmware) LDoms() map[core.DSID]*LDom { return fw.ldoms }
 
+// ldomStat is one platform-registered statistics leaf: its file name
+// and a reader parameterized by the owning LDom's DS-id.
+type ldomStat struct {
+	name string
+	read func(core.DSID) (string, error)
+}
+
+// AddLDomStat registers an extra statistics leaf for cpaIdx:
+// /sys/cpa/cpaN/ldoms/ldomK/statistics/<name> for every LDom K, current
+// and future. The platform uses this to expose measurements that live
+// outside the control-plane tables, like the flight recorder's
+// lat_{p50,p99}_{queue,service} percentiles.
+func (fw *Firmware) AddLDomStat(cpaIdx int, name string, read func(core.DSID) (string, error)) error {
+	if cpaIdx < 0 || cpaIdx >= len(fw.mounts) {
+		return fmt.Errorf("prm: AddLDomStat: no cpa%d mounted", cpaIdx)
+	}
+	fw.extraStats[cpaIdx] = append(fw.extraStats[cpaIdx], ldomStat{name: name, read: read})
+	for _, ds := range core.SortedKeys(fw.ldoms) {
+		ds := ds
+		path := fmt.Sprintf("/sys/cpa/cpa%d/ldoms/ldom%d/statistics/%s", cpaIdx, ds, name)
+		if fw.fs.Exists(path) {
+			continue
+		}
+		if err := fw.fs.AddFile(path, func() (string, error) { return read(ds) }, nil); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // addLDomTree builds /sys/cpa/cpaN/ldoms/ldomK with parameter and
 // statistic leaves whose callbacks perform live CPA MMIO.
 func (fw *Firmware) addLDomTree(cpaIdx int, ds core.DSID) {
@@ -378,6 +414,12 @@ func (fw *Firmware) addLDomTree(cpaIdx int, ds core.DSID) {
 				return "", err
 			}
 			return formatValue(col.Name, v), nil
+		}, nil)
+	}
+	for _, s := range fw.extraStats[cpaIdx] {
+		s := s
+		fw.fs.AddFile(base+"/statistics/"+s.name, func() (string, error) {
+			return s.read(ds)
 		}, nil)
 	}
 }

@@ -7,6 +7,12 @@ import (
 	"repro/internal/sim"
 )
 
+// DefaultMonitorMaxRows caps a monitor's retained data rows when
+// Monitor.MaxRows is unset — generous (a 1 ms interval fills it in 100
+// simulated seconds) but bounded, so long runs cannot grow the log
+// without limit.
+const DefaultMonitorMaxRows = 100000
+
 // Monitor is a firmware application (paper §7.1.1: "we implemented a
 // tool running on the firmware to periodically read data from the two
 // control planes"): it samples a set of device-file-tree paths on a
@@ -16,8 +22,14 @@ type Monitor struct {
 	Interval sim.Tick
 	Paths    []string
 
+	// MaxRows bounds retained data rows (0 = DefaultMonitorMaxRows).
+	// When the cap is hit the oldest rows are dropped and the rendered
+	// log records a "truncated,<dropped>" marker line after the header.
+	MaxRows int
+
 	fw      *Firmware
-	rows    []string
+	rows    []string // rows[0] is the header
+	dropped uint64
 	running bool
 	stopped bool
 }
@@ -42,13 +54,13 @@ func (fw *Firmware) StartMonitor(name string, interval sim.Tick, paths []string)
 	header := make([]string, 0, len(paths)+1)
 	header = append(header, "time_ms")
 	for _, p := range paths {
-		header = append(header, shortColumn(p))
+		header = append(header, csvField(shortColumn(p)))
 	}
 	m.rows = append(m.rows, strings.Join(header, ","))
 
 	logPath := "/log/" + name + ".csv"
 	if err := fw.fs.AddFile(logPath, func() (string, error) {
-		return strings.Join(m.rows, "\n"), nil
+		return m.render(), nil
 	}, nil); err != nil {
 		return nil, err
 	}
@@ -60,8 +72,27 @@ func (fw *Firmware) StartMonitor(name string, interval sim.Tick, paths []string)
 // Stop halts sampling; the accumulated log stays readable.
 func (m *Monitor) Stop() { m.stopped = true }
 
-// Samples returns the number of data rows collected.
+// Samples returns the number of data rows currently retained.
 func (m *Monitor) Samples() int { return len(m.rows) - 1 }
+
+// Dropped returns the number of data rows evicted by the row cap.
+func (m *Monitor) Dropped() uint64 { return m.dropped }
+
+// render assembles the CSV: header, a truncation marker when rows have
+// been evicted, then the retained data rows.
+func (m *Monitor) render() string {
+	if m.dropped == 0 {
+		return strings.Join(m.rows, "\n")
+	}
+	var b strings.Builder
+	b.WriteString(m.rows[0])
+	fmt.Fprintf(&b, "\ntruncated,%d", m.dropped)
+	for _, r := range m.rows[1:] {
+		b.WriteString("\n")
+		b.WriteString(r)
+	}
+	return b.String()
+}
 
 func (m *Monitor) tick() {
 	if m.stopped {
@@ -74,12 +105,44 @@ func (m *Monitor) tick() {
 	for _, p := range m.Paths {
 		v, err := m.fw.fs.ReadFile(p)
 		if err != nil {
-			v = "ERR"
+			v = "ERR: " + err.Error()
 		}
-		row = append(row, v)
+		row = append(row, csvField(v))
 	}
 	m.rows = append(m.rows, strings.Join(row, ","))
+
+	limit := m.MaxRows
+	if limit <= 0 {
+		limit = DefaultMonitorMaxRows
+	}
+	if len(m.rows)-1 > limit {
+		// Drop a chunk of the oldest data rows (amortized O(1) per tick
+		// rather than a full copy on every sample at the cap).
+		chunk := limit / 10
+		if chunk < 1 {
+			chunk = 1
+		}
+		if excess := len(m.rows) - 1 - limit; chunk < excess {
+			chunk = excess
+		}
+		copy(m.rows[1:], m.rows[1+chunk:])
+		for i := len(m.rows) - chunk; i < len(m.rows); i++ {
+			m.rows[i] = ""
+		}
+		m.rows = m.rows[:len(m.rows)-chunk]
+		m.dropped += uint64(chunk)
+	}
 	m.fw.engine.Schedule(m.Interval, m.tick)
+}
+
+// csvField escapes one CSV field per RFC 4180: values containing a
+// comma, quote, CR or LF are quoted, with embedded quotes doubled.
+// Plain values pass through unchanged.
+func csvField(v string) string {
+	if !strings.ContainsAny(v, ",\"\r\n") {
+		return v
+	}
+	return `"` + strings.ReplaceAll(v, `"`, `""`) + `"`
 }
 
 // shortColumn compresses "/sys/cpa/cpa0/ldoms/ldom1/statistics/miss_rate"

@@ -1,0 +1,119 @@
+package prm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// A sampled value containing commas, quotes and newlines must be
+// RFC 4180-escaped so the CSV stays one row per sample.
+func TestMonitorEscapesCSVFields(t *testing.T) {
+	e, fw, _, _, _ := newFirmware(t)
+	if err := fw.FS().AddFile("/sys/multi", func() (string, error) {
+		return "a,b\n\"c\"", nil
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+	m, err := fw.StartMonitor("esc", sim.Millisecond, []string{"/sys/multi"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Run(2500 * sim.Microsecond)
+	if m.Samples() < 2 {
+		t.Fatalf("samples = %d", m.Samples())
+	}
+	out, err := fw.Sh("cat /log/esc.csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "\"a,b\n\"\"c\"\"\""
+	if !strings.Contains(out, want) {
+		t.Fatalf("log missing escaped field %q:\n%s", want, out)
+	}
+	// The quoted newline must not have split the row: unquoted newline
+	// count == row count - 1.
+	rows := 1 + m.Samples()
+	unquoted := 0
+	inQ := false
+	for _, r := range out {
+		switch {
+		case r == '"':
+			inQ = !inQ
+		case r == '\n' && !inQ:
+			unquoted++
+		}
+	}
+	if unquoted != rows-1 {
+		t.Fatalf("unquoted newlines = %d, want %d (rows=%d)", unquoted, rows-1, rows)
+	}
+}
+
+// Read errors surface as escaped "ERR: <message>" fields rather than a
+// bare sentinel that loses the cause.
+func TestMonitorEscapesReadErrors(t *testing.T) {
+	e, fw, _, _, _ := newFirmware(t)
+	if err := fw.FS().AddFile("/sys/bad", func() (string, error) {
+		return "", fmt.Errorf("mmio fault, slot 3")
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fw.StartMonitor("bad", sim.Millisecond, []string{"/sys/bad"}); err != nil {
+		t.Fatal(err)
+	}
+	e.Run(1500 * sim.Microsecond)
+	out, err := fw.Sh("cat /log/bad.csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, `"ERR: mmio fault, slot 3"`) {
+		t.Fatalf("log missing escaped error field:\n%s", out)
+	}
+}
+
+// The row cap drops oldest rows and records a truncation marker.
+func TestMonitorRowCap(t *testing.T) {
+	e, fw, _, cp, _ := newFirmware(t)
+	fw.CreateLDom(LDomSpec{Name: "a"})
+	cp.SetStat(0, "miss_rate", 7)
+	m, err := fw.StartMonitor("cap", sim.Millisecond, []string{
+		"/sys/cpa/cpa0/ldoms/ldom0/statistics/miss_rate",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.MaxRows = 10
+	e.Run(50 * sim.Millisecond)
+
+	if m.Samples() > 10 {
+		t.Fatalf("samples = %d, want <= cap 10", m.Samples())
+	}
+	if m.Dropped() == 0 {
+		t.Fatal("no rows dropped after 50 samples at cap 10")
+	}
+	out, err := fw.Sh("cat /log/cap.csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(out, "\n")
+	if lines[0] != "time_ms,cpa0.ldom0.miss_rate" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	want := "truncated," + strconv.FormatUint(m.Dropped(), 10)
+	if lines[1] != want {
+		t.Fatalf("marker = %q, want %q", lines[1], want)
+	}
+	// Retained rows are the newest: the first data row's timestamp must
+	// be later than the dropped count's worth of intervals.
+	ts := strings.SplitN(lines[2], ",", 2)[0]
+	msF, err := strconv.ParseFloat(ts, 64)
+	if err != nil {
+		t.Fatalf("bad timestamp %q: %v", ts, err)
+	}
+	if msF < float64(m.Dropped()) {
+		t.Fatalf("first retained row at %vms, but %d rows were dropped", msF, m.Dropped())
+	}
+}

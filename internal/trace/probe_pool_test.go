@@ -1,0 +1,111 @@
+package trace
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// nopTarget absorbs packets without allocating, so AllocsPerRun below
+// measures the probe alone.
+type nopTarget struct{}
+
+func (nopTarget) Request(*core.Packet) {}
+
+// After Prealloc the steady-state Request path (counter update + ring
+// record of an in-range DS-id) must not allocate.
+func TestProbePreallocZeroAlloc(t *testing.T) {
+	e := sim.NewEngine()
+	p := NewProbe("mem", e, nopTarget{}, 8)
+	p.Prealloc(3)
+	ids := &core.IDSource{}
+	pkt := core.NewPacket(ids, core.KindMemRead, 2, 0x40, 64, 0)
+	if avg := testing.AllocsPerRun(1000, func() { p.Request(pkt) }); avg != 0 {
+		t.Fatalf("preallocated probe Request: %v allocs/op", avg)
+	}
+	if p.Count(core.KindMemRead, 2) < 1000 {
+		t.Fatalf("dense path lost counts: %d", p.Count(core.KindMemRead, 2))
+	}
+}
+
+// Dense rows and the map spill path must agree: counts, bytes, per-DSID
+// sums and the Summary rendering see one unified view, and a late
+// Prealloc migrates map entries without double counting.
+func TestProbeDenseMapEquivalence(t *testing.T) {
+	e := sim.NewEngine()
+	p := NewProbe("mem", e, nopTarget{}, 0)
+	ids := &core.IDSource{}
+	observe(p, ids, core.KindMemRead, 1, 5) // map path (no prealloc yet)
+	observe(p, ids, core.KindWriteback, 6, 2)
+
+	p.Prealloc(3) // migrates ds1 into dense; ds6 stays in the map
+	observe(p, ids, core.KindMemRead, 1, 4) // dense path
+	observe(p, ids, core.KindWriteback, 6, 1)
+
+	if got := p.Count(core.KindMemRead, 1); got != 9 {
+		t.Fatalf("Count(read, ds1) = %d, want 9 (migration double count?)", got)
+	}
+	if got := p.Bytes(core.KindMemRead, 1); got != 9*64 {
+		t.Fatalf("Bytes(read, ds1) = %d", got)
+	}
+	if got := p.Count(core.KindWriteback, 6); got != 3 {
+		t.Fatalf("Count(wb, ds6) = %d, want 3", got)
+	}
+	if p.CountByDSID(1) != 9 || p.CountByDSID(6) != 3 {
+		t.Fatalf("CountByDSID = %d/%d", p.CountByDSID(1), p.CountByDSID(6))
+	}
+	if p.Total() != 12 {
+		t.Fatalf("Total = %d", p.Total())
+	}
+	p.Reset()
+	if p.Total() != 0 || p.Count(core.KindMemRead, 1) != 0 || p.Count(core.KindWriteback, 6) != 0 {
+		t.Fatal("Reset left dense or map counters behind")
+	}
+	observe(p, ids, core.KindMemRead, 1, 2)
+	if p.Count(core.KindMemRead, 1) != 2 {
+		t.Fatal("dense rows unusable after Reset")
+	}
+}
+
+// A ring Record is a value snapshot: recycling the pooled packet that
+// produced it must not rewrite history. Run both ID-source modes — the
+// pooled one actually reuses the struct, the unpooled one guards the
+// same property when the allocator happens to reuse memory.
+func TestProbeRecordSurvivesPacketRecycle(t *testing.T) {
+	for _, pooled := range []bool{true, false} {
+		name := "unpooled"
+		if pooled {
+			name = "pooled"
+		}
+		t.Run(name, func(t *testing.T) {
+			e := sim.NewEngine()
+			ids := &core.IDSource{}
+			if pooled {
+				ids.EnablePool()
+			}
+			p := NewProbe("mem", e, nopTarget{}, 4)
+			pkt := core.NewPacket(ids, core.KindMemRead, 3, 0x1000, 64, e.Now())
+			firstID := pkt.ID
+			p.Request(pkt)
+			pkt.Complete(e.Now())
+
+			// With the pool on, this hands the same struct back with new
+			// identity fields.
+			next := core.NewPacket(ids, core.KindPIOWrite, 9, 0xdead, 4096, e.Now())
+			if pooled && next != pkt {
+				t.Fatal("pool did not recycle the packet struct (test premise)")
+			}
+			p.Request(next)
+
+			recent := p.Recent()
+			if len(recent) != 2 {
+				t.Fatalf("ring holds %d records", len(recent))
+			}
+			r := recent[0]
+			if r.ID != firstID || r.DSID != 3 || r.Addr != 0x1000 || r.Size != 64 || r.Kind != core.KindMemRead {
+				t.Fatalf("first record corrupted by recycle: %+v", r)
+			}
+		})
+	}
+}

@@ -1,0 +1,429 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/metric"
+	"repro/internal/sim"
+)
+
+// The Probe (trace.go) counts packets at one observation point. The
+// Recorder below is the ICN flight recorder: it follows sampled packets
+// across every instrumented hop (cores, caches, crossbar, memory
+// controller, I/O bridge and devices), splitting each hop's residency
+// into queue wait and service time, and aggregating the splits into
+// per-(hop, DS-id) latency histograms. It answers the question the
+// control-plane counters cannot: where a given LDom's latency went.
+//
+// Contract with the instrumented components:
+//
+//   - Begin(hop, p): p was just issued by hop (a request source).
+//   - Enter(hop, p): p arrived at hop; a span opens with service
+//     provisionally starting now.
+//   - Service(hop, p): hop started actively serving p (queue wait over).
+//     Optional: without it the hop reports zero queue wait.
+//   - Leave(hop, p): p departs hop toward another component.
+//   - Finish(hop, p): hop completes p. MUST run before p.Complete: a
+//     pooled packet is recycled the moment Complete returns, and the
+//     recorder snapshots the packet's identity fields by value.
+//
+// Every method is safe on a nil *Recorder and on unsampled packets, so
+// call sites are unconditional; the disabled path is a nil check and a
+// mask test, allocation-free (TestRecorderNilZeroAlloc).
+
+// MaxHopsPerPacket bounds the per-packet span array. A fixed array keeps
+// PacketTrace a flat value type — snapshotting one is a plain copy, so a
+// recycled pooled packet can never corrupt an archived trace.
+const MaxHopsPerPacket = 8
+
+// DefaultSpanCapacity bounds the completed-trace ring. Older traces are
+// overwritten first (flight-recorder semantics: recent history wins);
+// histograms keep aggregating regardless.
+const DefaultSpanCapacity = 16384
+
+// HopSpan is one packet's residency at one hop.
+type HopSpan struct {
+	Hop     int32
+	Enter   sim.Tick // arrival at the hop
+	Service sim.Tick // queue wait ends, active service begins
+	Done    sim.Tick // departure or completion
+}
+
+// QueueWait is the time spent waiting before service at this hop.
+func (s HopSpan) QueueWait() sim.Tick { return s.Service - s.Enter }
+
+// ServiceTime is the time spent being actively served at this hop.
+func (s HopSpan) ServiceTime() sim.Tick { return s.Done - s.Service }
+
+// PacketTrace is one sampled packet's life, decomposed into hop spans.
+// It is a flat value type: archiving one is a value copy, immune to the
+// packet pool recycling the *core.Packet it was captured from.
+type PacketTrace struct {
+	ID    uint64
+	Kind  core.Kind
+	DSID  core.DSID
+	Addr  uint64
+	Size  uint32
+	Src   int32 // issuing hop (Begin); -1 when first seen mid-flight
+	Issue sim.Tick
+	End   sim.Tick
+	NHops int
+	// Truncated marks a packet that crossed more than MaxHopsPerPacket
+	// hops; the overflow spans were dropped (and counted by the recorder).
+	Truncated bool
+	Hops      [MaxHopsPerPacket]HopSpan
+
+	open bool // the last span has not been closed yet
+}
+
+// Spans returns the recorded hop spans in traversal order.
+func (t *PacketTrace) Spans() []HopSpan { return t.Hops[:t.NHops] }
+
+type histKey struct {
+	hop int32
+	ds  core.DSID
+}
+
+type hopHist struct {
+	queue   *metric.Histogram
+	service *metric.Histogram
+}
+
+// Recorder is the flight recorder. Construct with NewRecorder and attach
+// to components before traffic; a nil *Recorder is the disabled state.
+type Recorder struct {
+	engine *sim.Engine
+	mask   uint64 // sample when ID&mask == 0
+	hops   []string
+
+	active map[uint64]*PacketTrace
+	pool   []*PacketTrace
+
+	spans   []PacketTrace // completed traces, bounded ring
+	spanCap int
+	spanPos int
+
+	hists map[histKey]*hopHist
+
+	finished uint64 // traces finalized (including ones the ring evicted)
+	dropped  uint64 // hop spans dropped by the MaxHopsPerPacket bound
+}
+
+// NewRecorder builds a recorder sampling one packet in sampleEvery by
+// packet ID. sampleEvery is rounded up to a power of two so the sample
+// test is a single mask; 0 or 1 samples everything.
+func NewRecorder(e *sim.Engine, sampleEvery uint64) *Recorder {
+	n := uint64(1)
+	for n < sampleEvery {
+		n <<= 1
+	}
+	return &Recorder{
+		engine:  e,
+		mask:    n - 1,
+		active:  make(map[uint64]*PacketTrace),
+		hists:   make(map[histKey]*hopHist),
+		spanCap: DefaultSpanCapacity,
+	}
+}
+
+// SampleEvery returns the effective (power-of-two) sampling divisor.
+func (r *Recorder) SampleEvery() uint64 { return r.mask + 1 }
+
+// SetSpanCapacity resizes the completed-trace ring (0 keeps histograms
+// only). Call before traffic.
+func (r *Recorder) SetSpanCapacity(n int) {
+	r.spanCap = n
+	r.spans = nil
+	r.spanPos = 0
+}
+
+// RegisterHop names a hop and returns its id, reusing the id of an
+// already-registered name.
+func (r *Recorder) RegisterHop(name string) int {
+	for i, h := range r.hops {
+		if h == name {
+			return i
+		}
+	}
+	r.hops = append(r.hops, name)
+	return len(r.hops) - 1
+}
+
+// HopName returns the name hop registered under.
+func (r *Recorder) HopName(hop int) string {
+	if hop < 0 || hop >= len(r.hops) {
+		return fmt.Sprintf("hop%d", hop)
+	}
+	return r.hops[hop]
+}
+
+// Hops returns the registered hop names in id order.
+func (r *Recorder) Hops() []string { return append([]string(nil), r.hops...) }
+
+// Sampled reports whether p is in the sample.
+func (r *Recorder) Sampled(p *core.Packet) bool {
+	return r != nil && p.ID&r.mask == 0
+}
+
+// state returns p's in-flight trace, creating it on first sight.
+func (r *Recorder) state(p *core.Packet) *PacketTrace {
+	if t, ok := r.active[p.ID]; ok {
+		return t
+	}
+	var t *PacketTrace
+	if n := len(r.pool); n > 0 {
+		t = r.pool[n-1]
+		r.pool[n-1] = nil
+		r.pool = r.pool[:n-1]
+	} else {
+		t = new(PacketTrace)
+	}
+	*t = PacketTrace{
+		ID: p.ID, Kind: p.Kind, DSID: p.DSID, Addr: p.Addr, Size: p.Size,
+		Src: -1, Issue: p.Issue,
+	}
+	r.active[p.ID] = t
+	return t
+}
+
+// Begin marks hop as p's issuing source. Call where the packet is
+// created, before the first Enter.
+func (r *Recorder) Begin(hop int, p *core.Packet) {
+	if r == nil || p.ID&r.mask != 0 {
+		return
+	}
+	r.state(p).Src = int32(hop)
+}
+
+// Enter opens a hop span: p arrived at hop now. Service provisionally
+// starts now too, so a hop that never calls Service reports pure
+// service time.
+func (r *Recorder) Enter(hop int, p *core.Packet) {
+	if r == nil || p.ID&r.mask != 0 {
+		return
+	}
+	t := r.state(p)
+	now := r.engine.Now()
+	if t.open {
+		// Defensive: the previous hop never closed its span (an
+		// uninstrumented exit path). Close it now so the invariant
+		// "only the last span can be open" holds.
+		s := &t.Hops[t.NHops-1]
+		s.Done = now
+		r.observe(s, t.DSID)
+		t.open = false
+	}
+	if t.NHops >= MaxHopsPerPacket {
+		t.Truncated = true
+		r.dropped++
+		return
+	}
+	t.Hops[t.NHops] = HopSpan{Hop: int32(hop), Enter: now, Service: now}
+	t.NHops++
+	t.open = true
+}
+
+// last returns p's trace and its open span iff that span belongs to hop.
+func (r *Recorder) last(p *core.Packet, hop int) (*PacketTrace, *HopSpan) {
+	t, ok := r.active[p.ID]
+	if !ok {
+		return nil, nil
+	}
+	if !t.open || t.NHops == 0 {
+		return t, nil
+	}
+	s := &t.Hops[t.NHops-1]
+	if s.Hop != int32(hop) {
+		return t, nil
+	}
+	return t, s
+}
+
+// Service marks the end of p's queue wait at hop: active service starts
+// now. Calling it again overwrites (the last dispatch wins, matching a
+// retried access).
+func (r *Recorder) Service(hop int, p *core.Packet) {
+	if r == nil || p.ID&r.mask != 0 {
+		return
+	}
+	if _, s := r.last(p, hop); s != nil {
+		s.Service = r.engine.Now()
+	}
+}
+
+// Leave closes p's span at hop: the packet departs toward another
+// component. The span's queue/service split feeds the histograms.
+func (r *Recorder) Leave(hop int, p *core.Packet) {
+	if r == nil || p.ID&r.mask != 0 {
+		return
+	}
+	t, s := r.last(p, hop)
+	if s == nil {
+		return
+	}
+	s.Done = r.engine.Now()
+	r.observe(s, t.DSID)
+	t.open = false
+}
+
+// Finish closes p's span at hop (if open) and finalizes the trace: the
+// packet's life ends here. It MUST run before p.Complete so the capture
+// happens while the packet's fields are still this request's.
+func (r *Recorder) Finish(hop int, p *core.Packet) {
+	if r == nil || p.ID&r.mask != 0 {
+		return
+	}
+	t, s := r.last(p, hop)
+	if t == nil {
+		return
+	}
+	now := r.engine.Now()
+	if s != nil {
+		s.Done = now
+		r.observe(s, t.DSID)
+		t.open = false
+	}
+	t.End = now
+	r.finished++
+	if r.spanCap > 0 {
+		// Archive by value: the active struct goes back to the pool and
+		// the packet may be recycled, but the ring entry is a copy.
+		if len(r.spans) < r.spanCap {
+			r.spans = append(r.spans, *t)
+		} else {
+			r.spans[r.spanPos] = *t
+			r.spanPos = (r.spanPos + 1) % r.spanCap
+		}
+	}
+	delete(r.active, p.ID)
+	r.pool = append(r.pool, t)
+}
+
+func (r *Recorder) observe(s *HopSpan, ds core.DSID) {
+	k := histKey{hop: s.Hop, ds: ds}
+	h, ok := r.hists[k]
+	if !ok {
+		h = &hopHist{queue: metric.NewHistogram(), service: metric.NewHistogram()}
+		r.hists[k] = h
+	}
+	h.queue.Observe(uint64(s.Service - s.Enter))
+	h.service.Observe(uint64(s.Done - s.Service))
+}
+
+// Finished returns the number of finalized traces.
+func (r *Recorder) Finished() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.finished
+}
+
+// DroppedSpans returns hop spans dropped by the per-packet bound.
+func (r *Recorder) DroppedSpans() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.dropped
+}
+
+// ActiveCount returns in-flight sampled packets (for tests).
+func (r *Recorder) ActiveCount() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.active)
+}
+
+// Traces returns the archived completed traces, oldest first.
+func (r *Recorder) Traces() []PacketTrace {
+	if r == nil {
+		return nil
+	}
+	if len(r.spans) < r.spanCap {
+		return append([]PacketTrace(nil), r.spans...)
+	}
+	out := make([]PacketTrace, 0, r.spanCap)
+	out = append(out, r.spans[r.spanPos:]...)
+	out = append(out, r.spans[:r.spanPos]...)
+	return out
+}
+
+// SpanCount returns the number of closed spans observed for (hop, ds).
+func (r *Recorder) SpanCount(hop int, ds core.DSID) uint64 {
+	if r == nil {
+		return 0
+	}
+	if h, ok := r.hists[histKey{hop: int32(hop), ds: ds}]; ok {
+		return h.queue.Count()
+	}
+	return 0
+}
+
+// Percentile returns the q-quantile of (hop, ds)'s service-time (service
+// true) or queue-wait (service false) distribution, in ticks. The PRM's
+// lat_{p50,p99}_{queue,service} statistics files read through here.
+func (r *Recorder) Percentile(hop int, ds core.DSID, service bool, q float64) uint64 {
+	if r == nil {
+		return 0
+	}
+	h, ok := r.hists[histKey{hop: int32(hop), ds: ds}]
+	if !ok {
+		return 0
+	}
+	if service {
+		return h.service.Percentile(q)
+	}
+	return h.queue.Percentile(q)
+}
+
+// Reset drops accumulated traces and histograms (warm-up/measure splits).
+// In-flight packets keep recording.
+func (r *Recorder) Reset() {
+	if r == nil {
+		return
+	}
+	r.spans = r.spans[:0]
+	r.spanPos = 0
+	r.hists = make(map[histKey]*hopHist)
+	r.finished = 0
+	r.dropped = 0
+}
+
+// BreakdownTable renders the per-(hop, DS-id) latency decomposition —
+// the console `trace` command's output.
+func (r *Recorder) BreakdownTable() string {
+	if r == nil {
+		return ""
+	}
+	keys := make([]histKey, 0, len(r.hists))
+	for k := range r.hists {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].hop != keys[j].hop {
+			return keys[i].hop < keys[j].hop
+		}
+		return keys[i].ds < keys[j].ds
+	})
+	var b strings.Builder
+	fmt.Fprintf(&b, "flight recorder: sampling 1-in-%d, %d packets finished, %d in flight, %d spans dropped\n",
+		r.SampleEvery(), r.finished, len(r.active), r.dropped)
+	fmt.Fprintf(&b, "  %-10s %-6s %8s %12s %12s %12s %12s\n",
+		"hop", "ds", "spans", "queue-p50", "queue-p99", "svc-p50", "svc-p99")
+	for _, k := range keys {
+		h := r.hists[k]
+		fmt.Fprintf(&b, "  %-10s %-6v %8d %12s %12s %12s %12s\n",
+			r.HopName(int(k.hop)), k.ds, h.queue.Count(),
+			fmtTicks(h.queue.Percentile(0.50)), fmtTicks(h.queue.Percentile(0.99)),
+			fmtTicks(h.service.Percentile(0.50)), fmtTicks(h.service.Percentile(0.99)))
+	}
+	return b.String()
+}
+
+// fmtTicks renders a tick count (1 tick = 1 ps) as nanoseconds.
+func fmtTicks(v uint64) string {
+	return fmt.Sprintf("%.1fns", float64(v)/1000)
+}

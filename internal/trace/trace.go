@@ -30,6 +30,10 @@ type Key struct {
 	DSID core.DSID
 }
 
+// numKinds sizes the dense per-DSID counter rows (core.Kind is a small
+// contiguous enum ending at KindInterrupt).
+const numKinds = int(core.KindInterrupt) + 1
+
 // Probe is a transparent core.Target wrapper.
 type Probe struct {
 	Name string
@@ -39,6 +43,13 @@ type Probe struct {
 
 	counts map[Key]uint64
 	bytes  map[Key]uint64
+
+	// Dense fast-path counters, indexed [DSID][Kind], active after
+	// Prealloc. The hot path then increments in place — no map-bucket
+	// allocation on first sight of a (kind, DS-id) pair. Out-of-range
+	// DS-ids fall back to the maps.
+	denseCounts [][numKinds]uint64
+	denseBytes  [][numKinds]uint64
 
 	ring    []Record
 	ringCap int
@@ -63,11 +74,44 @@ func NewProbe(name string, e *sim.Engine, next core.Target, ringCap int) *Probe 
 	}
 }
 
+// Prealloc sizes the dense counter index for DS-ids 0..maxDSID, so the
+// hot path stops allocating map buckets on first sight of each
+// (kind, DS-id). Counters already accumulated in the maps migrate into
+// the dense index; DS-ids above maxDSID keep using the maps.
+func (p *Probe) Prealloc(maxDSID core.DSID) {
+	n := int(maxDSID) + 1
+	if n <= len(p.denseCounts) {
+		return
+	}
+	dc := make([][numKinds]uint64, n)
+	db := make([][numKinds]uint64, n)
+	copy(dc, p.denseCounts)
+	copy(db, p.denseBytes)
+	p.denseCounts, p.denseBytes = dc, db
+	for k, c := range p.counts {
+		if int(k.DSID) < n && int(k.Kind) < numKinds {
+			p.denseCounts[k.DSID][k.Kind] += c
+			delete(p.counts, k)
+		}
+	}
+	for k, b := range p.bytes {
+		if int(k.DSID) < n && int(k.Kind) < numKinds {
+			p.denseBytes[k.DSID][k.Kind] += b
+			delete(p.bytes, k)
+		}
+	}
+}
+
 // Request records the packet and forwards it unchanged.
 func (p *Probe) Request(pkt *core.Packet) {
-	k := Key{Kind: pkt.Kind, DSID: pkt.DSID}
-	p.counts[k]++
-	p.bytes[k] += uint64(pkt.Size)
+	if int(pkt.DSID) < len(p.denseCounts) && int(pkt.Kind) < numKinds {
+		p.denseCounts[pkt.DSID][pkt.Kind]++
+		p.denseBytes[pkt.DSID][pkt.Kind] += uint64(pkt.Size)
+	} else {
+		k := Key{Kind: pkt.Kind, DSID: pkt.DSID}
+		p.counts[k]++
+		p.bytes[k] += uint64(pkt.Size)
+	}
 	p.total++
 	if p.ringCap > 0 && (p.Filter == nil || p.Filter(pkt)) {
 		r := Record{
@@ -89,12 +133,20 @@ func (p *Probe) Total() uint64 { return p.total }
 
 // Count returns the packet count for one (kind, DS-id).
 func (p *Probe) Count(kind core.Kind, ds core.DSID) uint64 {
-	return p.counts[Key{Kind: kind, DSID: ds}]
+	n := p.counts[Key{Kind: kind, DSID: ds}]
+	if int(ds) < len(p.denseCounts) && int(kind) < numKinds {
+		n += p.denseCounts[ds][kind]
+	}
+	return n
 }
 
 // Bytes returns accumulated bytes for one (kind, DS-id).
 func (p *Probe) Bytes(kind core.Kind, ds core.DSID) uint64 {
-	return p.bytes[Key{Kind: kind, DSID: ds}]
+	b := p.bytes[Key{Kind: kind, DSID: ds}]
+	if int(ds) < len(p.denseBytes) && int(kind) < numKinds {
+		b += p.denseBytes[ds][kind]
+	}
+	return b
 }
 
 // CountByDSID sums packet counts across kinds for ds.
@@ -102,6 +154,11 @@ func (p *Probe) CountByDSID(ds core.DSID) uint64 {
 	var n uint64
 	for k, c := range p.counts {
 		if k.DSID == ds {
+			n += c
+		}
+	}
+	if int(ds) < len(p.denseCounts) {
+		for _, c := range p.denseCounts[ds] {
 			n += c
 		}
 	}
@@ -119,25 +176,46 @@ func (p *Probe) Recent() []Record {
 	return out
 }
 
-// Reset clears counters and the ring.
+// Reset clears counters and the ring. A Prealloc'd dense index keeps
+// its capacity (zeroed), so the hot path stays allocation-free.
 func (p *Probe) Reset() {
 	p.counts = make(map[Key]uint64)
 	p.bytes = make(map[Key]uint64)
+	for i := range p.denseCounts {
+		p.denseCounts[i] = [numKinds]uint64{}
+		p.denseBytes[i] = [numKinds]uint64{}
+	}
 	p.ring = p.ring[:0]
 	p.ringPos = 0
 	p.total = 0
 }
 
+// each calls f for every (kind, DS-id) with a nonzero packet count,
+// merging the dense index and the overflow maps.
+func (p *Probe) each(f func(k Key, pkts, bytes uint64)) {
+	for i := range p.denseCounts {
+		for kind := 0; kind < numKinds; kind++ {
+			if c := p.denseCounts[i][kind]; c > 0 {
+				k := Key{Kind: core.Kind(kind), DSID: core.DSID(i)}
+				f(k, c, p.denseBytes[i][kind])
+			}
+		}
+	}
+	for k, c := range p.counts {
+		f(k, c, p.bytes[k])
+	}
+}
+
 // Summary renders the counter table sorted by count, for reports.
 func (p *Probe) Summary() string {
 	type row struct {
-		k Key
-		n uint64
+		k    Key
+		n, b uint64
 	}
 	rows := make([]row, 0, len(p.counts))
-	for k, n := range p.counts {
-		rows = append(rows, row{k, n})
-	}
+	p.each(func(k Key, n, b uint64) {
+		rows = append(rows, row{k, n, b})
+	})
 	sort.Slice(rows, func(i, j int) bool {
 		if rows[i].n != rows[j].n {
 			return rows[i].n > rows[j].n
@@ -151,7 +229,7 @@ func (p *Probe) Summary() string {
 	fmt.Fprintf(&b, "probe %s: %d packets\n", p.Name, p.total)
 	for _, r := range rows {
 		fmt.Fprintf(&b, "  %-10v %-6v %10d pkts %12d bytes\n",
-			r.k.Kind, r.k.DSID, r.n, p.bytes[r.k])
+			r.k.Kind, r.k.DSID, r.n, r.b)
 	}
 	return b.String()
 }

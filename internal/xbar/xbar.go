@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Config describes the crossbar.
@@ -62,6 +63,10 @@ type Crossbar struct {
 	grantFn func()
 	fwdFn   func(*core.Packet)
 
+	// Flight-recorder hop (nil rec disables; every rec call is nil-safe).
+	rec *trace.Recorder
+	hop int
+
 	Granted uint64
 }
 
@@ -87,7 +92,10 @@ func New(e *sim.Engine, clock *sim.Clock, cfg Config, out core.Target) *Crossbar
 		qlat:   make(map[core.DSID]*qlatWin),
 	}
 	x.grantFn = x.grant
-	x.fwdFn = func(p *core.Packet) { x.out.Request(p) }
+	x.fwdFn = func(p *core.Packet) {
+		x.rec.Leave(x.hop, p)
+		x.out.Request(p)
+	}
 	params := core.NewTable(
 		core.Column{Name: ParamWeight, Writable: true, Default: 1},
 	)
@@ -103,8 +111,18 @@ func New(e *sim.Engine, clock *sim.Clock, cfg Config, out core.Target) *Crossbar
 // Plane returns the crossbar control plane.
 func (x *Crossbar) Plane() *core.Plane { return x.plane }
 
+// AttachRecorder wires the ICN flight recorder into the arbitration
+// path under the configured name and returns the hop id. Call before
+// traffic.
+func (x *Crossbar) AttachRecorder(r *trace.Recorder) int {
+	x.rec = r
+	x.hop = r.RegisterHop(x.cfg.Name)
+	return x.hop
+}
+
 // Request enqueues a packet for arbitration.
 func (x *Crossbar) Request(p *core.Packet) {
+	x.rec.Enter(x.hop, p)
 	if _, ok := x.queues[p.DSID]; !ok {
 		x.ring = append(x.ring, p.DSID)
 	}
@@ -183,6 +201,8 @@ func (x *Crossbar) forward(ds core.DSID, e entry) {
 	}
 	w.sum += uint64((x.engine.Now() - e.enq) / x.clock.Period())
 	w.count++
+	// WRR arbitration wait is over; the traversal that follows is service.
+	x.rec.Service(x.hop, e.pkt)
 	e.pkt.ScheduleCall(x.clock, x.cfg.Latency, x.fwdFn)
 }
 

@@ -39,6 +39,14 @@ type Config struct {
 	// writeback and DMA packet — pardctl's `trace` command.
 	ProbeMemory bool
 
+	// TraceSample enables the ICN flight recorder (System.Recorder),
+	// sampling one packet in TraceSample by packet ID (rounded up to a
+	// power of two; 1 samples everything, 0 disables). Sampled packets
+	// get per-hop queue/service spans, per-(hop, DS-id) latency
+	// histograms, lat_{p50,p99}_{queue,service} statistics files in the
+	// PRM tree, and Perfetto export via Recorder.WritePerfetto.
+	TraceSample uint64
+
 	// SampleInterval is the statistics window used by all control
 	// planes when their own configs leave it zero.
 	SampleInterval sim.Tick

@@ -103,10 +103,17 @@ func Dispatch(sys *System, line string) (string, error) {
 		return b.String(), nil
 
 	case "trace":
-		if sys.MemProbe == nil {
-			return "", fmt.Errorf("memory probe not enabled (Config.ProbeMemory)")
+		if sys.Recorder == nil && sys.MemProbe == nil {
+			return "", fmt.Errorf("tracing not enabled (Config.TraceSample or Config.ProbeMemory)")
 		}
-		return strings.TrimRight(sys.MemProbe.Summary(), "\n"), nil
+		var parts []string
+		if sys.Recorder != nil {
+			parts = append(parts, strings.TrimRight(sys.Recorder.BreakdownTable(), "\n"))
+		}
+		if sys.MemProbe != nil {
+			parts = append(parts, strings.TrimRight(sys.MemProbe.Summary(), "\n"))
+		}
+		return strings.Join(parts, "\n"), nil
 	}
 	return sys.Sh(line)
 }

@@ -17,6 +17,8 @@
 package pard
 
 import (
+	"strconv"
+
 	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/cpu"
@@ -101,6 +103,11 @@ type System struct {
 	// Config.ProbeMemory is set; nil otherwise.
 	MemProbe *trace.Probe
 
+	// Recorder is the ICN flight recorder when Config.TraceSample > 0;
+	// nil otherwise (every instrumented hop's recorder call is nil-safe,
+	// so the disabled system pays a nil check per hook).
+	Recorder *trace.Recorder
+
 	Firmware *prm.Firmware
 
 	// InterruptsByCore counts APIC deliveries per core.
@@ -176,7 +183,69 @@ func NewSystemOn(cfg Config, e *sim.Engine, ids *core.IDSource) *System {
 	if s.Xbar != nil {
 		s.Firmware.Mount(core.NewCPA(s.Xbar.Plane(), 5))
 	}
+	if cfg.TraceSample > 0 {
+		s.attachRecorder(cfg.TraceSample)
+	}
 	return s
+}
+
+// attachRecorder builds the flight recorder, wires it into every hop
+// in a fixed order (hop ids are part of the trace's determinism
+// contract), and registers the per-LDom latency-percentile statistics
+// files for each control plane's resource.
+func (s *System) attachRecorder(sampleEvery uint64) {
+	rec := trace.NewRecorder(s.Engine, sampleEvery)
+	s.Recorder = rec
+	memHop := s.Mem.AttachRecorder(rec)
+	llcHop := s.LLC.AttachRecorder(rec)
+	xbarHop := -1
+	if s.Xbar != nil {
+		xbarHop = s.Xbar.AttachRecorder(rec)
+	}
+	for _, l1 := range s.L1s {
+		l1.AttachRecorder(rec)
+	}
+	for _, c := range s.Cores {
+		c.AttachRecorder(rec)
+	}
+	bridgeHop := s.Bridge.AttachRecorder(rec)
+	ideHop := s.IDE.AttachRecorder(rec)
+	nicHop := s.NIC.AttachRecorder(rec)
+
+	// lat_{p50,p99}_{queue,service} under each CPA's LDom statistics,
+	// reading the recorder's per-(hop, DS-id) histograms. Values are in
+	// ticks (1 tick = 1 ps).
+	hopByCPA := []struct {
+		cpa int
+		hop int
+	}{
+		{0, llcHop}, {1, memHop}, {2, bridgeHop}, {3, ideHop}, {4, nicHop},
+	}
+	if xbarHop >= 0 {
+		hopByCPA = append(hopByCPA, struct{ cpa, hop int }{5, xbarHop})
+	}
+	specs := []struct {
+		name    string
+		service bool
+		q       float64
+	}{
+		{"lat_p50_queue", false, 0.50},
+		{"lat_p99_queue", false, 0.99},
+		{"lat_p50_service", true, 0.50},
+		{"lat_p99_service", true, 0.99},
+	}
+	for _, hc := range hopByCPA {
+		hop := hc.hop
+		for _, sp := range specs {
+			sp := sp
+			err := s.Firmware.AddLDomStat(hc.cpa, sp.name, func(ds core.DSID) (string, error) {
+				return strconv.FormatUint(rec.Percentile(hop, ds, sp.service, sp.q), 10), nil
+			})
+			if err != nil {
+				panic("pard: " + err.Error())
+			}
+		}
+	}
 }
 
 func mustAttach(b *iodev.Bridge, name string, base, size uint64, dev core.Target) {
