@@ -1,5 +1,5 @@
 # Tier-1 gate: everything CI (and the next PR) runs.
-.PHONY: check build vet lint test race bench
+.PHONY: check build vet lint test race bench fuzz
 
 check: build vet lint test
 
@@ -24,3 +24,10 @@ race:
 
 bench:
 	go test -bench=. -benchmem
+
+# Policy-language parser fuzzing: no panics on arbitrary input, and
+# parse -> print -> parse is a fixpoint. CI runs a 30s smoke; crank
+# FUZZTIME for longer local campaigns.
+FUZZTIME ?= 30s
+fuzz:
+	go test ./internal/policy -fuzz FuzzParsePolicy -fuzztime $(FUZZTIME)

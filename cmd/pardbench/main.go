@@ -4,7 +4,12 @@
 // Usage:
 //
 //	pardbench [-run all|table2|table3|fig7|fig8|fig9|fig10|fig11|fig12|llclat|ablations]
-//	          [-scale quick|full] [-csv DIR] [-json FILE] [-trace FILE]
+//	          [-scale quick|full] [-csv DIR] [-json FILE] [-trace FILE] [-policy FILE]
+//
+// -policy FILE compiles FILE as a .pard policy (see internal/policy) and
+// uses it as the fig8/fig9 QoS rule in place of the built-in
+// llc_grow_to_half action; with examples/policies/llc_guard.pard the
+// output is byte-identical to the default run.
 //
 // -trace FILE runs a short two-LDom contention experiment with the ICN
 // flight recorder enabled (1-in-64 sampling) instead of the figure
@@ -49,7 +54,17 @@ func main() {
 	csvDir := flag.String("csv", "", "directory to export figure CSVs into")
 	jsonPath := flag.String("json", "", "file to write benchmark + headline JSON into")
 	tracePath := flag.String("trace", "", "file to write a Perfetto trace of a short two-LDom run into")
+	policyPath := flag.String("policy", "", "route the fig8/fig9 QoS rule through this .pard policy file instead of the built-in action")
 	flag.Parse()
+
+	if *policyPath != "" {
+		src, err := os.ReadFile(*policyPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pardbench:", err)
+			os.Exit(1)
+		}
+		exp.SetLLCGuardPolicy(string(src))
+	}
 
 	if *tracePath != "" {
 		if err := writeTrace(*tracePath); err != nil {

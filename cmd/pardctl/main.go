@@ -1,15 +1,23 @@
 // Command pardctl boots a PARD server and exposes the PRM firmware's
 // operator console on stdin — the paper's §5 interface. Beyond the
-// firmware commands (cat, echo, ls, tree, pardtrigger, ldoms, log) it
-// adds platform commands:
+// firmware commands (cat, echo, ls, tree, pardtrigger, policy, ldoms,
+// log) it adds platform commands:
 //
 //	create <name> <coreID> [priority]   create an LDom on a core
 //	workload <coreID> stream|flush|memcached|dd|lbm|leslie3d
 //	run <milliseconds>                  advance simulated time
+//	policy validate|apply <file.pard>   check or hot-load a policy file
 //	stats                               per-LDom LLC/memory summary
 //	trace                               per-hop latency breakdown + memory-path packet probe
 //	help
 //	exit
+//
+// It also runs non-interactively on policy files:
+//
+//	pardctl policy validate <file.pard>...   typecheck against a booted server
+//	pardctl policy show <file.pard>          print the canonical form
+//	pardctl policy apply <file.pard>...      load files, then open the console
+//	pardctl policy explain <file.pard>       load, drive contention, replay firings
 //
 // Example session:
 //
@@ -28,19 +36,32 @@ import (
 	"bufio"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
+	"repro/internal/policy"
+	"repro/internal/workload"
 	"repro/pard"
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "policy" {
+		os.Exit(policyMain(os.Args[2:]))
+	}
+	sys := bootSystem()
+	fmt.Println("PARD server booted: 4 cores, 4MB LLC, DDR3-1600, 5 control planes.")
+	fmt.Println("Type 'help' for commands.")
+	interact(sys)
+}
+
+func bootSystem() *pard.System {
 	cfg := pard.DefaultConfig()
 	cfg.ProbeMemory = true
 	cfg.TraceSample = 64 // flight recorder at 1-in-64 sampling
-	sys := pard.NewSystem(cfg)
-	fmt.Println("PARD server booted: 4 cores, 4MB LLC, DDR3-1600, 5 control planes.")
-	fmt.Println("Type 'help' for commands.")
+	return pard.NewSystem(cfg)
+}
 
+func interact(sys *pard.System) {
 	sc := bufio.NewScanner(os.Stdin)
 	for {
 		fmt.Print("prm> ")
@@ -63,4 +84,145 @@ func main() {
 			fmt.Println(out)
 		}
 	}
+}
+
+const policyUsage = "usage: pardctl policy {validate|show|apply|explain} <file.pard>..."
+
+// policyMain is the non-interactive `pardctl policy` entry point.
+func policyMain(args []string) int {
+	if len(args) < 2 {
+		fmt.Fprintln(os.Stderr, policyUsage)
+		return 2
+	}
+	sub, files := args[0], args[1:]
+	switch sub {
+	case "validate":
+		// Typecheck each file against a freshly booted server's control
+		// planes. LDom names need not exist yet; statistic and parameter
+		// names must.
+		sys := pard.NewSystem(pard.DefaultConfig())
+		bad := 0
+		for _, f := range files {
+			if err := sys.ValidatePolicyFile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				bad++
+				continue
+			}
+			fmt.Printf("%s: ok\n", f)
+		}
+		if bad > 0 {
+			return 1
+		}
+
+	case "show":
+		for _, f := range files {
+			src, err := os.ReadFile(f)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return 1
+			}
+			file, err := policy.Parse(filepath.Base(f), string(src))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return 1
+			}
+			fmt.Print(file.String())
+		}
+
+	case "apply":
+		sys := bootSystem()
+		for _, f := range files {
+			if err := sys.ApplyPolicyFile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return 1
+			}
+			fmt.Printf("applied %s\n", f)
+		}
+		fmt.Println("PARD server booted with policies loaded. Type 'help' for commands.")
+		interact(sys)
+
+	case "explain":
+		if len(files) != 1 {
+			fmt.Fprintln(os.Stderr, "usage: pardctl policy explain <file.pard>")
+			return 2
+		}
+		out, err := explainPolicy(files[0])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		fmt.Println(out)
+
+	default:
+		fmt.Fprintln(os.Stderr, policyUsage)
+		return 2
+	}
+	return 0
+}
+
+// explainPolicy demonstrates a policy file end to end: boot a small
+// contended server, create one LDom per name the policy references,
+// load the policy, run long enough for triggers to fire, and replay
+// the recorded firing history.
+func explainPolicy(path string) (string, error) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return "", err
+	}
+	cfg := pard.DefaultConfig()
+	cfg.LLC.SizeBytes = 256 * 1024 // small LLC so contention shows fast
+	cfg.SampleInterval = 50 * pard.Microsecond
+	sys := pard.NewSystem(cfg)
+
+	// A validation pass with unbound LDoms allowed reports the names the
+	// policy expects, in order of first reference.
+	prog, err := sys.Firmware.ValidatePolicy(filepath.Base(path), string(src))
+	if err != nil {
+		return "", err
+	}
+	names := prog.Unbound
+	if len(names) == 0 {
+		names = []string{"svc"}
+	}
+	for i, name := range names {
+		coreID := i % len(sys.Cores)
+		prio := uint64(0)
+		if i == 0 {
+			prio = 1
+		}
+		if _, err := sys.CreateLDom(pard.LDomConfig{
+			Name: name, Cores: []int{coreID},
+			MemBase: uint64(i) * (1 << 30), Priority: prio, RowBuf: prio,
+		}); err != nil {
+			return "", err
+		}
+	}
+	// Ensure at least two LDoms so there is someone to contend with.
+	if len(names) == 1 {
+		if _, err := sys.CreateLDom(pard.LDomConfig{
+			Name: "contender", Cores: []int{1 % len(sys.Cores)}, MemBase: 1 << 30,
+		}); err != nil {
+			return "", err
+		}
+	}
+
+	name := strings.TrimSuffix(filepath.Base(path), ".pard")
+	if err := sys.LoadPolicy(name, string(src)); err != nil {
+		return "", err
+	}
+
+	// The first LDom runs the service; everyone else thrashes the LLC.
+	sys.RunWorkload(0, &pard.Stream{Base: 0, Footprint: 100 << 10, Compute: 4})
+	contenders := len(names)
+	if contenders == 1 {
+		contenders = 2
+	}
+	for i := 1; i < contenders && i < len(sys.Cores); i++ {
+		sys.RunWorkload(i, &workload.CacheFlush{
+			Base: uint64(i) << 30, Footprint: 4 << 20, Seed: int64(i),
+		})
+	}
+	sys.Run(5 * pard.Millisecond)
+
+	return sys.Firmware.ExplainPolicies(name)
 }

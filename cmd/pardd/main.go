@@ -15,6 +15,8 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"strings"
 
 	"repro/pard"
 )
@@ -23,12 +25,16 @@ func main() {
 	listen := flag.String("listen", "127.0.0.1:9090", "address for the management console")
 	probe := flag.Bool("probe", true, "enable the memory trace probe")
 	sample := flag.Uint64("trace-sample", 64, "flight-recorder sampling (1-in-N packets, 0 disables)")
+	policyFile := flag.String("policy", "", "validate a .pard policy file at boot and load it (deferred to 'policy apply' if it names LDoms that don't exist yet)")
 	flag.Parse()
 
 	cfg := pard.DefaultConfig()
 	cfg.ProbeMemory = *probe
 	cfg.TraceSample = *sample
 	sys := pard.NewSystem(cfg)
+	if *policyFile != "" {
+		bootPolicy(sys, *policyFile)
+	}
 
 	console, err := pard.NewConsole(sys, *listen)
 	if err != nil {
@@ -43,4 +49,32 @@ func main() {
 	signal.Notify(sig, os.Interrupt)
 	<-sig
 	fmt.Println("pardd: shutting down")
+}
+
+// bootPolicy validates the -policy file and loads it immediately when
+// every LDom it names already exists. A freshly booted server has no
+// LDoms, so a policy that binds by name typically can't install yet;
+// it stays validated and the operator applies it from the console
+// after `create`-ing the LDoms. Any other validation error is fatal.
+func bootPolicy(sys *pard.System, path string) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pardd:", err)
+		os.Exit(1)
+	}
+	prog, err := sys.Firmware.ValidatePolicy(filepath.Base(path), string(src))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pardd:", err)
+		os.Exit(1)
+	}
+	if len(prog.Unbound) > 0 {
+		fmt.Printf("pardd: policy %q validated; waiting on LDom(s) %s — run `policy apply %s` on the console once they exist\n",
+			path, strings.Join(prog.Unbound, ", "), path)
+		return
+	}
+	if err := sys.ApplyPolicyFile(path); err != nil {
+		fmt.Fprintln(os.Stderr, "pardd:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("pardd: policy %q loaded\n", path)
 }

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// levelPlane builds a minimal plane with one stat column and captures
+// every notification the trigger raises.
+func levelPlane(t *testing.T) (*Plane, *[]Notification) {
+	t.Helper()
+	e := sim.NewEngine()
+	params := NewTable(Column{Name: "knob", Writable: true})
+	stats := NewTable(Column{Name: "load", Writable: true})
+	p := NewPlane(e, "TEST_CP", PlaneTypeCache, params, stats, 4)
+	var fired []Notification
+	p.SetInterrupt(func(n Notification) { fired = append(fired, n) })
+	p.CreateRow(7)
+	return p, &fired
+}
+
+func TestEdgeTriggerFiresOncePerEpisode(t *testing.T) {
+	p, fired := levelPlane(t)
+	if err := p.InstallTrigger(0, Trigger{DSID: 7, StatCol: 0, Op: OpGT, Value: 10, Action: 1, Enabled: true}); err != nil {
+		t.Fatal(err)
+	}
+	p.SetStat(7, "load", 50)
+	for i := 0; i < 5; i++ {
+		p.Evaluate(7)
+	}
+	if len(*fired) != 1 {
+		t.Fatalf("edge trigger fired %d times over a persistently-true episode, want 1", len(*fired))
+	}
+	// Condition clears: trigger re-arms; next episode fires again.
+	p.SetStat(7, "load", 5)
+	p.Evaluate(7)
+	p.SetStat(7, "load", 60)
+	p.Evaluate(7)
+	if len(*fired) != 2 {
+		t.Fatalf("re-armed edge trigger fired %d times total, want 2", len(*fired))
+	}
+}
+
+func TestLevelTriggerFiresEverySample(t *testing.T) {
+	p, fired := levelPlane(t)
+	if err := p.InstallTrigger(0, Trigger{DSID: 7, StatCol: 0, Op: OpGT, Value: 10, Action: 1, Enabled: true, Level: true}); err != nil {
+		t.Fatal(err)
+	}
+	p.SetStat(7, "load", 50)
+	for i := 0; i < 4; i++ {
+		p.Evaluate(7)
+	}
+	if len(*fired) != 4 {
+		t.Fatalf("level trigger fired %d times over 4 true samples, want 4", len(*fired))
+	}
+}
+
+func TestHysteresisRequiresConsecutiveSamples(t *testing.T) {
+	p, fired := levelPlane(t)
+	if err := p.InstallTrigger(0, Trigger{DSID: 7, StatCol: 0, Op: OpGT, Value: 10, Action: 1, Enabled: true, Hysteresis: 3}); err != nil {
+		t.Fatal(err)
+	}
+	// Two true samples, then a false one: the run resets and nothing fires.
+	p.SetStat(7, "load", 50)
+	p.Evaluate(7)
+	p.Evaluate(7)
+	p.SetStat(7, "load", 5)
+	p.Evaluate(7)
+	if len(*fired) != 0 {
+		t.Fatalf("hysteresis trigger fired after a broken run (%d firings), want 0", len(*fired))
+	}
+	// Three consecutive true samples fire exactly once (edge semantics).
+	p.SetStat(7, "load", 50)
+	for i := 0; i < 5; i++ {
+		p.Evaluate(7)
+	}
+	if len(*fired) != 1 {
+		t.Fatalf("hysteresis trigger fired %d times after 5 consecutive true samples, want 1", len(*fired))
+	}
+}
+
+func TestLevelHysteresisTriggerColumnsRoundTrip(t *testing.T) {
+	tr := Trigger{DSID: 3, StatCol: 1, Op: OpLE, Value: 42, Action: 2, Enabled: true, Level: true, Hysteresis: 5}
+	var out Trigger
+	for col := 0; col < NumTrigCols; col++ {
+		v, err := tr.Encode(col)
+		if err != nil {
+			t.Fatalf("Encode(%d): %v", col, err)
+		}
+		if err := out.Decode(col, v); err != nil {
+			t.Fatalf("Decode(%d): %v", col, err)
+		}
+	}
+	if out.Level != true || out.Hysteresis != 5 {
+		t.Fatalf("round trip lost level/hysteresis: %+v", out)
+	}
+	if len(TrigColumns) != NumTrigCols {
+		t.Fatalf("TrigColumns has %d names for %d columns", len(TrigColumns), NumTrigCols)
+	}
+}

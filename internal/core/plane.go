@@ -196,23 +196,30 @@ func (p *Plane) Evaluate(ds DSID) {
 			continue
 		}
 		cond := tr.Op.Eval(val, tr.Value)
-		switch {
-		case cond && !tr.fired:
-			tr.fired = true
-			p.TriggersFired++
-			if p.intr != nil {
-				p.intr(Notification{
-					Plane:  p,
-					Slot:   slot,
-					DSID:   ds,
-					Stat:   p.stats.Columns()[tr.StatCol].Name,
-					Value:  val,
-					Action: tr.Action,
-					When:   p.engine.Now(),
-				})
-			}
-		case !cond:
-			tr.fired = false
+		if !cond {
+			tr.fired = false // re-arm
+			tr.trueRun = 0
+			continue
+		}
+		tr.trueRun++
+		if tr.Hysteresis > 1 && tr.trueRun < tr.Hysteresis {
+			continue // not enough consecutive samples yet
+		}
+		if tr.fired && !tr.Level {
+			continue // edge-sensitive: already fired on this episode
+		}
+		tr.fired = true
+		p.TriggersFired++
+		if p.intr != nil {
+			p.intr(Notification{
+				Plane:  p,
+				Slot:   slot,
+				DSID:   ds,
+				Stat:   p.stats.Columns()[tr.StatCol].Name,
+				Value:  val,
+				Action: tr.Action,
+				When:   p.engine.Now(),
+			})
 		}
 	}
 }
@@ -235,6 +242,7 @@ func (p *Plane) InstallTrigger(slot int, tr Trigger) error {
 		return fmt.Errorf("core: trigger stat column %d out of range", tr.StatCol)
 	}
 	tr.fired = false
+	tr.trueRun = 0
 	*dst = tr
 	return nil
 }

@@ -70,23 +70,31 @@ func (o CmpOp) Eval(lhs, rhs uint64) bool {
 }
 
 // Trigger is one row of a control-plane trigger table: a condition over a
-// statistics column for one DS-id, bound to an action id. The trigger is
-// edge-sensitive: it fires when the condition becomes true and re-arms
-// when the condition becomes false, so a persistently-bad metric raises
-// one interrupt, not an interrupt storm.
+// statistics column for one DS-id, bound to an action id. By default the
+// trigger is edge-sensitive: it fires when the condition becomes true and
+// re-arms when the condition becomes false, so a persistently-bad metric
+// raises one interrupt, not an interrupt storm. Level-sensitive triggers
+// (Level=true) instead fire on every evaluation while the condition holds
+// — incremental policies (waymask += 2) need repeated firings, and rely
+// on the firmware's per-trigger cooldown to pace them. Hysteresis > 1
+// demands that many consecutive true samples before any firing, filtering
+// one-sample spikes (the policy language's "for N samples").
 type Trigger struct {
-	DSID    DSID
-	StatCol int // index into the statistics table
-	Op      CmpOp
-	Value   uint64
-	Action  int
-	Enabled bool
+	DSID       DSID
+	StatCol    int // index into the statistics table
+	Op         CmpOp
+	Value      uint64
+	Action     int
+	Enabled    bool
+	Level      bool
+	Hysteresis uint64 // consecutive true samples required; 0 and 1 mean "first"
 
-	fired bool
+	fired   bool
+	trueRun uint64 // consecutive evaluations the condition has held
 }
 
 // Armed reports whether the trigger can fire on its next true condition.
-func (tr *Trigger) Armed() bool { return tr.Enabled && !tr.fired }
+func (tr *Trigger) Armed() bool { return tr.Enabled && (tr.Level || !tr.fired) }
 
 // trigger table column layout used by the MMIO programming interface.
 // A trigger row serializes to these uint64 columns.
@@ -97,11 +105,13 @@ const (
 	TrigColValue
 	TrigColAction
 	TrigColEnabled
+	TrigColLevel
+	TrigColHyst
 	NumTrigCols
 )
 
 // TrigColumns names the trigger-table columns for the device file tree.
-var TrigColumns = []string{"dsid", "stat", "op", "value", "action", "enabled"}
+var TrigColumns = []string{"dsid", "stat", "op", "value", "action", "enabled", "level", "hysteresis"}
 
 // Encode serializes a trigger field for MMIO reads.
 func (tr *Trigger) Encode(col int) (uint64, error) {
@@ -121,6 +131,13 @@ func (tr *Trigger) Encode(col int) (uint64, error) {
 			return 1, nil
 		}
 		return 0, nil
+	case TrigColLevel:
+		if tr.Level {
+			return 1, nil
+		}
+		return 0, nil
+	case TrigColHyst:
+		return tr.Hysteresis, nil
 	}
 	return 0, fmt.Errorf("core: trigger column %d out of range", col)
 }
@@ -145,7 +162,12 @@ func (tr *Trigger) Decode(col int, v uint64) error {
 		tr.Enabled = v != 0
 		if !tr.Enabled {
 			tr.fired = false // disabling re-arms
+			tr.trueRun = 0
 		}
+	case TrigColLevel:
+		tr.Level = v != 0
+	case TrigColHyst:
+		tr.Hysteresis = v
 	default:
 		return fmt.Errorf("core: trigger column %d out of range", col)
 	}

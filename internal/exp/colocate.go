@@ -42,6 +42,31 @@ func memcachedModel(rps float64) *workload.Memcached {
 	})
 }
 
+// llcGuardPolicy, when set via SetLLCGuardPolicy, replaces the
+// hand-installed pardtrigger rule in the Figure 8/9 trigger arms with
+// a compiled .pard policy. The shipped examples/policies/llc_guard.pard
+// reproduces the built-in llc_grow_to_half action exactly, so the
+// experiment output is byte-identical either way (pardbench -policy
+// relies on this).
+var llcGuardPolicy string
+
+// SetLLCGuardPolicy routes the colocation experiments' QoS rule
+// through the policy engine instead of the built-in action.
+func SetLLCGuardPolicy(src string) { llcGuardPolicy = src }
+
+// installLLCGuard installs the paper's §7.1.2 rule —
+// LLC.miss_rate > 30% => grow memcached's LLC share to half —
+// either as the classic pardtrigger line or as a policy.
+func installLLCGuard(sys *pard.System) {
+	if llcGuardPolicy == "" {
+		sys.Firmware.MustSh("pardtrigger cpa0 -ldom=0 -stats=miss_rate -cond=gt,300 -action=llc_grow_to_half")
+		return
+	}
+	if err := sys.LoadPolicy("llc_guard", llcGuardPolicy); err != nil {
+		panic("exp: llc guard policy: " + err.Error())
+	}
+}
+
 // colocation is one assembled Figure 8/9 run.
 type colocation struct {
 	Sys *pard.System
@@ -65,7 +90,7 @@ func newColocation(rps float64, arm Arm, streamDelay sim.Tick) *colocation {
 		MemBase: 0, MemSize: 2 << 30, Priority: 1, RowBuf: 1,
 	})
 	if arm == ArmTrigger {
-		sys.Firmware.MustSh("pardtrigger cpa0 -ldom=0 -stats=miss_rate -cond=gt,300 -action=llc_grow_to_half")
+		installLLCGuard(sys)
 	}
 
 	mc := memcachedModel(rps)

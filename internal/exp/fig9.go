@@ -59,8 +59,7 @@ func Fig9(cfg Fig9Config) *Fig9Result {
 
 	e := c.Sys.Engine
 	e.Schedule(cfg.InstallAt, func() {
-		c.Sys.Firmware.MustSh(
-			"pardtrigger cpa0 -ldom=0 -stats=miss_rate -cond=gt,300 -action=llc_grow_to_half")
+		installLLCGuard(c.Sys)
 	})
 
 	var sample func()

@@ -71,7 +71,7 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 
 // All returns the full analyzer suite in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{DSIDProp, Determinism, PlaneAccess, ErrFlow}
+	return []*Analyzer{DSIDProp, Determinism, PlaneAccess, ErrFlow, PolicyAction}
 }
 
 // Run applies the analyzers to every package, drops suppressed

@@ -91,10 +91,11 @@ func checkFixture(t *testing.T, dir string) {
 	}
 }
 
-func TestDSIDPropFixture(t *testing.T)    { checkFixture(t, "fixtures/dsidprop") }
-func TestDeterminismFixture(t *testing.T) { checkFixture(t, "internal/sim") }
-func TestPlaneAccessFixture(t *testing.T) { checkFixture(t, "internal/dram") }
-func TestErrFlowFixture(t *testing.T)     { checkFixture(t, "fixtures/errflow") }
+func TestDSIDPropFixture(t *testing.T)     { checkFixture(t, "fixtures/dsidprop") }
+func TestDeterminismFixture(t *testing.T)  { checkFixture(t, "internal/sim") }
+func TestPlaneAccessFixture(t *testing.T)  { checkFixture(t, "internal/dram") }
+func TestErrFlowFixture(t *testing.T)      { checkFixture(t, "fixtures/errflow") }
+func TestPolicyActionFixture(t *testing.T) { checkFixture(t, "internal/prm") }
 
 // TestRepoCleanAtHead runs the full suite over the real module: the
 // tree must stay finding-free, which is the same gate `make check`

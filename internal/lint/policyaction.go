@@ -1,0 +1,48 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// policyPkgs are the packages where trigger actions and policy writes
+// live: the firmware dispatch layer, the policy compiler/runtime and
+// the public system API. An action that pokes a (*core.Table) directly
+// bypasses the validation and conflict accounting the policy engine is
+// built on — writability checks, the single CPA programming path, and
+// the (plane, ldom, parameter) write set that conflict detection
+// reasons about.
+var policyPkgs = map[string]bool{
+	"internal/prm":    true,
+	"internal/policy": true,
+	"pard":            true,
+}
+
+// PolicyAction enforces the action-side discipline: policy and
+// firmware code mutates planes only through Plane.SetParam or the CPA
+// MMIO interface, never through raw table writes.
+var PolicyAction = &Analyzer{
+	Name: "policyaction",
+	Doc:  "policy and firmware actions mutate planes via Plane.SetParam or CPA MMIO, not raw table writes",
+	Run:  runPolicyAction,
+}
+
+func runPolicyAction(pass *Pass) {
+	if !policyPkgs[pass.Pkg.RelPath] {
+		return
+	}
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(info, call)
+			if fn == nil || !tableMutators[fn.Name()] || !isCoreMethod(fn, "Table", fn.Name()) {
+				return true
+			}
+			pass.Reportf(call.Pos(), "policy-layer code writes a control-plane table via (*core.Table).%s: actions must go through Plane.SetParam or CPA.WriteEntry so writability checks and policy conflict accounting stay sound", fn.Name())
+			return true
+		})
+	}
+}

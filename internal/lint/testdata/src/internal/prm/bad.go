@@ -1,0 +1,23 @@
+// Package prmfix poses as the internal/prm firmware package and
+// exercises the policyaction analyzer: trigger actions that reach past
+// Plane.SetParam / CPA MMIO into the tables themselves.
+package prmfix
+
+import "repro/internal/core"
+
+type fw struct{ plane *core.Plane }
+
+// grow is an action body that programs the parameter table directly,
+// dodging writability checks and the policy engine's write accounting.
+func (f *fw) grow(ds core.DSID) {
+	err := f.plane.Params().SetName(ds, "waymask", 0xff00) // want policyaction "writes a control-plane table"
+	_ = err
+	f.plane.Params().Add(ds, 0, 2) // want policyaction "writes a control-plane table"
+}
+
+// forge fakes statistics and rips out rows under a loaded policy.
+func (f *fw) forge(ds core.DSID) {
+	f.plane.Stats().Sub(ds, 0, 1)  // want policyaction "writes a control-plane table"
+	f.plane.Params().DeleteRow(ds) // want policyaction "writes a control-plane table"
+	f.plane.Stats().EnsureRow(ds)  // want policyaction "writes a control-plane table"
+}

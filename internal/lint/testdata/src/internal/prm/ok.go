@@ -1,0 +1,23 @@
+package prmfix
+
+import "repro/internal/core"
+
+// apply uses the sanctioned write paths — the exported plane API and
+// the CPA MMIO window: no findings.
+func apply(p *core.Plane, cpa *core.CPA, ds core.DSID) error {
+	p.SetParam(ds, "waymask", 0xff00)
+	if err := cpa.WriteEntry(ds, 0, core.SelParameter, 0x00ff); err != nil {
+		return err
+	}
+	v, err := cpa.ReadEntry(ds, 0, core.SelParameter)
+	if err != nil {
+		return err
+	}
+	_ = v
+	return nil
+}
+
+// observe reads tables; reads never program anything.
+func observe(p *core.Plane, ds core.DSID) uint64 {
+	return p.Param(ds, "waymask") + p.Stat(ds, "miss_rate")
+}

@@ -1,0 +1,10 @@
+package prmfix
+
+import "repro/internal/core"
+
+// bringup materializes rows before the CPA window is mapped; the
+// finding is waived with a justification.
+func bringup(t *core.Table, ds core.DSID) {
+	//pardlint:ignore policyaction LDom bring-up predates the CPA mapping
+	t.EnsureRow(ds)
+}

@@ -1,0 +1,85 @@
+package policy
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestRuleStateRateWindow(t *testing.T) {
+	var st RuleState
+	const per = 1000
+	if !st.AllowRate(0, 2, per) {
+		t.Fatal("empty window refused")
+	}
+	st.Record(Firing{When: 0, Outcome: OutcomeApplied})
+	st.Record(Firing{When: 100, Outcome: OutcomeApplied})
+	if st.AllowRate(200, 2, per) {
+		t.Fatal("window full but firing allowed")
+	}
+	// First entry expires at t=1000.
+	if !st.AllowRate(1001, 2, per) {
+		t.Fatal("expired entry still counted")
+	}
+	if st.Fired != 2 {
+		t.Fatalf("Fired = %d, want 2", st.Fired)
+	}
+}
+
+func TestRuleStateHistoryRing(t *testing.T) {
+	var st RuleState
+	for i := 0; i < HistoryCap+5; i++ {
+		st.Record(Firing{When: sim.Tick(i), Outcome: OutcomeCooldown})
+	}
+	h := st.History()
+	if len(h) != HistoryCap {
+		t.Fatalf("history len = %d, want %d", len(h), HistoryCap)
+	}
+	if h[0].When != 5 || h[len(h)-1].When != sim.Tick(HistoryCap+4) {
+		t.Fatalf("ring kept wrong window: first=%d last=%d", h[0].When, h[len(h)-1].When)
+	}
+	if st.Suppressed != uint64(HistoryCap+5) {
+		t.Fatalf("Suppressed = %d", st.Suppressed)
+	}
+}
+
+func TestExplainRendersHistory(t *testing.T) {
+	prog, err := compileSrc(t,
+		`rule guard cpa llc ldom web: when miss_rate > 30% => waymask = 0xff00`, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cr := prog.Rules[0]
+	var st RuleState
+	st.Record(Firing{When: 1_200_000_000, Value: 412, Outcome: OutcomeApplied,
+		Detail: "waymask 0xffff -> 0xff00 (ldom 0)"})
+	st.Record(Firing{When: 1_500_000_000, Value: 387, Outcome: OutcomeCooldown})
+	out := Explain(cr, &st)
+	for _, want := range []string{
+		"rule guard",
+		"when miss_rate > 30%",
+		"fired=1 suppressed=1",
+		"[1.200ms] miss_rate=412 > 300 -> applied: waymask 0xffff -> 0xff00 (ldom 0)",
+		"[1.500ms] miss_rate=387 > 300 -> suppressed (cooldown)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Explain output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFormatTick(t *testing.T) {
+	cases := map[sim.Tick]string{
+		500:               "500ps",
+		2_000:             "2ns",
+		3_000_000:         "3us",
+		1_200_000_000:     "1.200ms",
+		2_000_000_000_000: "2000.000ms",
+	}
+	for in, want := range cases {
+		if got := FormatTick(in); got != want {
+			t.Errorf("FormatTick(%d) = %q, want %q", in, got, want)
+		}
+	}
+}

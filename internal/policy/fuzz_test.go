@@ -1,0 +1,50 @@
+package policy
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzParsePolicy asserts two parser invariants over arbitrary input:
+// the parser never panics, and printing a parsed file and parsing the
+// output again yields the same canonical text (print is a fixpoint of
+// parse∘print). Seeds are the shipped example policies plus inline
+// grammar corners.
+func FuzzParsePolicy(f *testing.F) {
+	seeds := []string{
+		"",
+		"# only a comment\n",
+		"cpa llc ldom web: when miss_rate > 300 => waymask = 1",
+		"rule r cpa llc ldom web: when miss_rate > 30% for 3 samples => waymask += 2 max 12 cooldown 1ms limit 4 per 10ms",
+		"cpa 0 ldom 3: when hit_cnt <= 5 => others waymask = 0x0f, all priority -= 1 min 0",
+		"cpa mem ldom batch: when avg_qlat >= 2 => cpa llc ldom web waymask = 0xff00",
+		"rule bad cpa llc ldom web when miss_rate > 1 => waymask = 1", // missing ':'
+		"cpa llc ldom web: when miss_rate > 0.30 => waymask = 1",
+		"cpa llc ldom web: when miss_rate > 184467440737095516150 => waymask = 1", // overflow
+	}
+	matches, _ := filepath.Glob(filepath.Join("..", "..", "examples", "policies", "*.pard"))
+	for _, m := range matches {
+		if src, err := os.ReadFile(m); err == nil {
+			seeds = append(seeds, string(src))
+		}
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+
+	f.Fuzz(func(t *testing.T, src string) {
+		file, err := Parse("fuzz.pard", src)
+		if err != nil {
+			return // rejected input: only the no-panic invariant applies
+		}
+		printed := file.String()
+		again, err := Parse("fuzz.pard", printed)
+		if err != nil {
+			t.Fatalf("printed form does not re-parse: %v\nprinted:\n%s", err, printed)
+		}
+		if got := again.String(); got != printed {
+			t.Fatalf("print is not a fixpoint:\nfirst:\n%s\nsecond:\n%s", printed, got)
+		}
+	})
+}

@@ -1,0 +1,154 @@
+package policy
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func mustParse(t *testing.T, src string) *File {
+	t.Helper()
+	f, err := Parse("test.pard", src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return f
+}
+
+func TestParseIssueExample(t *testing.T) {
+	// The exact surface syntax from the issue must parse.
+	f := mustParse(t, `cpa llc ldom web: when miss_rate > 0.30 for 3 samples => waymask += 2 max 12`)
+	if len(f.Rules) != 1 {
+		t.Fatalf("got %d rules, want 1", len(f.Rules))
+	}
+	r := f.Rules[0]
+	if r.Plane != "llc" || r.LDom.Name != "web" || r.Stat != "miss_rate" {
+		t.Fatalf("rule header mis-parsed: %+v", r)
+	}
+	if r.Op != core.OpGT || !r.Threshold.IsFloat || r.Threshold.Float != 0.30 {
+		t.Fatalf("condition mis-parsed: op=%v threshold=%+v", r.Op, r.Threshold)
+	}
+	if r.ForSamples != 3 {
+		t.Fatalf("ForSamples = %d, want 3", r.ForSamples)
+	}
+	if len(r.Actions) != 1 {
+		t.Fatalf("got %d actions, want 1", len(r.Actions))
+	}
+	a := r.Actions[0]
+	if a.Param != "waymask" || a.Op != AssignAdd || a.Operand.Uint != 2 {
+		t.Fatalf("action mis-parsed: %+v", a)
+	}
+	if a.Max == nil || a.Max.Uint != 12 || a.Min != nil {
+		t.Fatalf("clamps mis-parsed: max=%v min=%v", a.Max, a.Min)
+	}
+}
+
+func TestParseFullRule(t *testing.T) {
+	src := `
+# latency guard
+rule llc_grow cpa cache ldom memcached:
+    when miss_rate > 30% for 2 samples
+    => waymask = 0xff00, others waymask = 0x00ff, on mem priority = 1
+    cooldown 500us limit 4 per 10ms
+`
+	f := mustParse(t, src)
+	r := f.Rules[0]
+	if r.Name != "llc_grow" {
+		t.Fatalf("Name = %q", r.Name)
+	}
+	if !r.Threshold.IsPercent || r.Threshold.Uint != 30 || r.Threshold.Text != "30%" {
+		t.Fatalf("percent threshold mis-parsed: %+v", r.Threshold)
+	}
+	if len(r.Actions) != 3 {
+		t.Fatalf("got %d actions, want 3", len(r.Actions))
+	}
+	if r.Actions[1].Target != TargetOthers {
+		t.Fatalf("action 1 target = %v, want others", r.Actions[1].Target)
+	}
+	if r.Actions[2].Plane != "mem" || r.Actions[2].Param != "priority" {
+		t.Fatalf("cross-plane action mis-parsed: %+v", r.Actions[2])
+	}
+	if r.Cooldown == nil || r.Cooldown.N != 500 || r.Cooldown.Unit != "us" {
+		t.Fatalf("cooldown mis-parsed: %+v", r.Cooldown)
+	}
+	if r.LimitN != 4 || r.LimitPer == nil || r.LimitPer.String() != "10ms" {
+		t.Fatalf("limit mis-parsed: n=%d per=%v", r.LimitN, r.LimitPer)
+	}
+	if r.Actions[0].Operand.Text != "0xff00" {
+		t.Fatalf("hex literal text not preserved: %q", r.Actions[0].Operand.Text)
+	}
+}
+
+func TestParseMultipleRulesAndNumericRefs(t *testing.T) {
+	f := mustParse(t, `
+cpa 0 ldom 0: when miss_rate > 300 => waymask = 0xff00
+rule two cpa mem ldom 1: when avg_qlat > 1000 => rowbuf = 1
+`)
+	if len(f.Rules) != 2 {
+		t.Fatalf("got %d rules, want 2", len(f.Rules))
+	}
+	if f.Rules[0].Plane != "cpa0" || !f.Rules[0].LDom.IsNum || f.Rules[0].LDom.Num != 0 {
+		t.Fatalf("numeric refs mis-parsed: %+v", f.Rules[0])
+	}
+}
+
+func TestParseRoundTripFixpoint(t *testing.T) {
+	srcs := []string{
+		`cpa llc ldom web: when miss_rate > 0.30 for 3 samples => waymask += 2 max 12 cooldown 1ms`,
+		"rule a cpa cache ldom 0: when miss_rate >= 30% => waymask = 0xff00, others waymask = 0x00ff\n" +
+			"rule b cpa mem ldom batch: when avg_qlat > 500 => priority -= 1 min 0 cooldown 2ms limit 3 per 1s",
+		`cpa nic ldom 2: when dropped != 0 => on ide bandwidth = 100 max 200 min 50`,
+	}
+	for _, src := range srcs {
+		f1 := mustParse(t, src)
+		p1 := f1.String()
+		f2 := mustParse(t, p1)
+		p2 := f2.String()
+		if p1 != p2 {
+			t.Errorf("print fixpoint violated for %q:\nfirst:  %q\nsecond: %q", src, p1, p2)
+		}
+	}
+}
+
+func TestParseErrorsArePositionAccurate(t *testing.T) {
+	cases := []struct {
+		src     string
+		wantPos string // file:line[:col] prefix
+		wantSub string
+	}{
+		{"bogus", "test.pard:1:1", "expected 'rule' or 'cpa'"},
+		{"cpa llc ldom web when miss_rate > 1 => waymask = 1", "test.pard:1:18", "expected ':'"},
+		{"cpa llc ldom web: when miss_rate >> 1 => waymask = 1", "test.pard:1:", "expected number"},
+		{"cpa llc ldom web: when miss_rate > 1 => waymask 1", "test.pard:1:", "expected '=', '+=' or '-='"},
+		{"cpa llc ldom web: when miss_rate > 1 => waymask = 1 cooldown 5", "test.pard:1:", "duration unit"},
+		{"cpa llc ldom web: when miss_rate > 1 for 0 samples => waymask = 1", "test.pard:1:", "never fire"},
+		{"cpa llc ldom web: when miss_rate > 1 => waymask = 1 max 2 max 3", "test.pard:1:", "duplicate max"},
+		{"cpa llc ldom web: when miss_rate > 1.x => waymask = 1", "test.pard:1:", "digits required"},
+		{"cpa llc ldom web: when miss_rate > 1 => waymask = -3", "test.pard:1:", "'-='"},
+		{"# comment\n\ncpa llc ldom web:\n    wen miss_rate > 1 => waymask = 1", "test.pard:4:5", `expected "when"`},
+	}
+	for _, tc := range cases {
+		_, err := Parse("test.pard", tc.src)
+		if err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", tc.src)
+			continue
+		}
+		if !strings.HasPrefix(err.Error(), tc.wantPos) {
+			t.Errorf("Parse(%q) error %q, want position prefix %q", tc.src, err, tc.wantPos)
+		}
+		if tc.wantSub != "" && !strings.Contains(err.Error(), tc.wantSub) {
+			t.Errorf("Parse(%q) error %q, want substring %q", tc.src, err, tc.wantSub)
+		}
+	}
+}
+
+func TestParseCommentsAndEmpty(t *testing.T) {
+	f := mustParse(t, "# nothing but comments\n\n# more\n")
+	if len(f.Rules) != 0 {
+		t.Fatalf("comment-only file parsed %d rules", len(f.Rules))
+	}
+	if f.String() != "" {
+		t.Fatalf("empty file prints %q", f.String())
+	}
+}

@@ -31,6 +31,14 @@ type Config struct {
 	// HandlerLatency models the firmware's interrupt-to-action delay
 	// (the PRM is a 100 MHz embedded core; default 10 µs).
 	HandlerLatency sim.Tick
+
+	// TriggerCooldown is the default per-trigger re-fire cooldown
+	// applied by InstallTrigger: within the window after an action
+	// runs, further interrupts from the same slot are suppressed (and
+	// counted) instead of re-running the action. Zero disables the
+	// cooldown, preserving the historical dispatch behavior; policies
+	// set per-rule cooldowns explicitly via InstallTriggerSpec.
+	TriggerCooldown sim.Tick
 }
 
 // LDomSpec describes the resources of a logical domain.
@@ -62,6 +70,24 @@ type slotKey struct {
 	slot int
 }
 
+// binding is the firmware's per-trigger dispatch record: the bound
+// action plus the cooldown pacing state that prevents a persistently
+// true, level-sensitive trigger from re-running its action every
+// sample window (the re-fire storm fix).
+type binding struct {
+	action   string
+	cooldown sim.Tick // 0 = no pacing
+
+	lastRun    sim.Tick // engine time the action last ran
+	everRan    bool
+	handled    uint64 // interrupts that ran the action
+	suppressed uint64 // interrupts swallowed by the cooldown
+
+	// onCooldown observes suppressed firings (the policy runtime
+	// records them for `pardctl policy explain`).
+	onCooldown func(n core.Notification)
+}
+
 // Firmware is the PRM's resident software. It owns the device file
 // tree, the control-plane adaptors, the action registry and the LDom
 // table.
@@ -73,9 +99,13 @@ type Firmware struct {
 
 	mounts  []mount
 	actions map[string]Action
-	// bindings maps a fired trigger slot to its action name, mirroring
-	// the ".../triggers/N -> script" leaves of Figure 6.
-	bindings map[slotKey]string
+	// bindings maps a fired trigger slot to its action and pacing
+	// state, mirroring the ".../triggers/N -> script" leaves of
+	// Figure 6.
+	bindings map[slotKey]*binding
+
+	// policies holds the loaded pardpolicy sets by name.
+	policies map[string]*policySet
 
 	ldoms  map[core.DSID]*LDom
 	nextDS core.DSID
@@ -85,9 +115,12 @@ type Firmware struct {
 	// recorder's latency percentiles), added to every LDom subtree.
 	extraStats map[int][]ldomStat
 
-	// TriggersHandled counts actions run; ActionErrors counts failures.
-	TriggersHandled uint64
-	ActionErrors    uint64
+	// TriggersHandled counts actions run; ActionErrors counts
+	// failures; TriggersSuppressed counts interrupts swallowed by a
+	// trigger cooldown.
+	TriggersHandled    uint64
+	ActionErrors       uint64
+	TriggersSuppressed uint64
 
 	logLines []string
 }
@@ -98,12 +131,13 @@ func NewFirmware(e *sim.Engine, cfg Config, platform Platform) *Firmware {
 		cfg.HandlerLatency = 10 * sim.Microsecond
 	}
 	fw := &Firmware{
-		engine:   e,
-		cfg:      cfg,
-		fs:       NewFS(),
-		platform: platform,
+		engine:     e,
+		cfg:        cfg,
+		fs:         NewFS(),
+		platform:   platform,
 		actions:    make(map[string]Action),
-		bindings:   make(map[slotKey]string),
+		bindings:   make(map[slotKey]*binding),
+		policies:   make(map[string]*policySet),
 		ldoms:      make(map[core.DSID]*LDom),
 		extraStats: make(map[int][]ldomStat),
 	}
@@ -160,6 +194,23 @@ func (fw *Firmware) Mount(cpa *core.CPA) {
 	for ds := range fw.ldoms {
 		fw.addLDomTree(idx, ds)
 	}
+
+	// Surface cooldown-suppressed interrupt counts as a per-LDom
+	// statistic: the sum over this plane's trigger slots watching the
+	// LDom's DS-id.
+	_ = fw.AddLDomStat(idx, "trig_suppressed", func(ds core.DSID) (string, error) {
+		var sum uint64
+		for key, b := range fw.bindings {
+			if key.cpa != idx {
+				continue
+			}
+			tr, err := cpa.Plane.Trigger(key.slot)
+			if err == nil && tr.DSID == ds {
+				sum += b.suppressed
+			}
+		}
+		return strconv.FormatUint(sum, 10), nil
+	})
 }
 
 // CPA returns the mounted adaptor with the given index.
@@ -182,54 +233,105 @@ func (fw *Firmware) CPAByType(typ byte) (*core.CPA, error) {
 
 // handle runs when a trigger interrupt reaches the firmware.
 func (fw *Firmware) handle(cpaIdx int, n core.Notification) {
+	b := fw.bindings[slotKey{cpa: cpaIdx, slot: n.Slot}]
+	now := fw.engine.Now()
+	if b != nil && b.cooldown > 0 && b.everRan && now-b.lastRun < b.cooldown {
+		// Re-fire storm containment: the condition is still true and
+		// the trigger re-raised within the slot's cooldown window.
+		// Swallow the interrupt, count it, and let the policy runtime
+		// observe the suppression.
+		fw.TriggersSuppressed++
+		b.suppressed++
+		fw.Logf("[%v] cpa%d %s: trigger slot %d fired for %s (%s=%d)",
+			n.When, cpaIdx, n.Plane.Ident(), n.Slot, n.DSID, n.Stat, n.Value)
+		fw.Logf("  suppressed: action %q on cooldown (%v since last run, window %v)",
+			b.action, now-b.lastRun, b.cooldown)
+		if b.onCooldown != nil {
+			b.onCooldown(n)
+		}
+		return
+	}
+
 	fw.TriggersHandled++
 	fw.Logf("[%v] cpa%d %s: trigger slot %d fired for %s (%s=%d)",
 		n.When, cpaIdx, n.Plane.Ident(), n.Slot, n.DSID, n.Stat, n.Value)
 
-	name, ok := fw.bindings[slotKey{cpa: cpaIdx, slot: n.Slot}]
-	if !ok {
+	if b == nil {
 		fw.Logf("  no action bound; ignored")
 		return
 	}
-	fn, ok := fw.actions[name]
+	fn, ok := fw.actions[b.action]
 	if !ok {
 		fw.ActionErrors++
-		fw.Logf("  action %q not registered", name)
+		fw.Logf("  action %q not registered", b.action)
 		return
 	}
+	b.everRan = true
+	b.lastRun = now
+	b.handled++
 	if err := fn(fw, n); err != nil {
 		fw.ActionErrors++
-		fw.Logf("  action %q failed: %v", name, err)
+		fw.Logf("  action %q failed: %v", b.action, err)
 		return
 	}
-	fw.Logf("  action %q applied", name)
+	fw.Logf("  action %q applied", b.action)
+}
+
+// TriggerSpec describes a trigger installation: condition, firing
+// semantics, and the bound action with its dispatch cooldown.
+type TriggerSpec struct {
+	DSID       core.DSID
+	Stat       string
+	Op         core.CmpOp
+	Value      uint64
+	Level      bool   // fire every sample while true (needs a cooldown)
+	Hysteresis uint64 // consecutive true samples required before firing
+	Action     string
+	Cooldown   sim.Tick // per-slot dispatch cooldown; 0 = none
 }
 
 // InstallTrigger programs a trigger into a plane through its CPA MMIO
 // interface and binds an action name to the slot, creating the
-// ".../triggers/<slot>" leaf. It returns the slot used.
+// ".../triggers/<slot>" leaf. It returns the slot used. The slot
+// inherits Config.TriggerCooldown.
 func (fw *Firmware) InstallTrigger(cpaIdx int, ds core.DSID, stat string, op core.CmpOp, value uint64, action string) (int, error) {
+	return fw.InstallTriggerSpec(cpaIdx, TriggerSpec{
+		DSID: ds, Stat: stat, Op: op, Value: value,
+		Action: action, Cooldown: fw.cfg.TriggerCooldown,
+	})
+}
+
+// InstallTriggerSpec is InstallTrigger with full control over firing
+// semantics (level/hysteresis) and the dispatch cooldown — the policy
+// compiler's installation path.
+func (fw *Firmware) InstallTriggerSpec(cpaIdx int, spec TriggerSpec) (int, error) {
 	cpa, err := fw.CPA(cpaIdx)
 	if err != nil {
 		return 0, err
 	}
-	statCol, ok := cpa.Plane.Stats().ColumnIndex(stat)
+	statCol, ok := cpa.Plane.Stats().ColumnIndex(spec.Stat)
 	if !ok {
-		return 0, fmt.Errorf("prm: cpa%d has no statistic %q", cpaIdx, stat)
+		return 0, fmt.Errorf("prm: cpa%d has no statistic %q", cpaIdx, spec.Stat)
 	}
 	slot, err := fw.freeSlot(cpa)
 	if err != nil {
 		return 0, err
 	}
+	level := uint64(0)
+	if spec.Level {
+		level = 1
+	}
 	fields := []struct {
 		col int
 		val uint64
 	}{
-		{core.TrigColDSID, uint64(ds)},
+		{core.TrigColDSID, uint64(spec.DSID)},
 		{core.TrigColStat, uint64(statCol)},
-		{core.TrigColOp, uint64(op)},
-		{core.TrigColValue, value},
+		{core.TrigColOp, uint64(spec.Op)},
+		{core.TrigColValue, spec.Value},
 		{core.TrigColAction, uint64(slot)},
+		{core.TrigColLevel, level},
+		{core.TrigColHyst, spec.Hysteresis},
 		{core.TrigColEnabled, 1},
 	}
 	for _, f := range fields {
@@ -238,15 +340,38 @@ func (fw *Firmware) InstallTrigger(cpaIdx int, ds core.DSID, stat string, op cor
 		}
 	}
 	key := slotKey{cpa: cpaIdx, slot: slot}
-	fw.bindings[key] = action
-	path := fmt.Sprintf("/sys/cpa/cpa%d/ldoms/ldom%d/triggers/%d", cpaIdx, ds, slot)
+	b := &binding{action: spec.Action, cooldown: spec.Cooldown}
+	fw.bindings[key] = b
+	path := fmt.Sprintf("/sys/cpa/cpa%d/ldoms/ldom%d/triggers/%d", cpaIdx, spec.DSID, slot)
 	fw.fs.AddFile(path,
-		func() (string, error) { return fw.bindings[key], nil },
+		func() (string, error) { return b.action, nil },
 		func(s string) error {
-			fw.bindings[key] = s
+			b.action = s
 			return nil
 		})
 	return slot, nil
+}
+
+// removeTrigger disables a trigger slot through MMIO, unbinds it, and
+// removes its device-tree leaf (policy teardown path).
+func (fw *Firmware) removeTrigger(cpaIdx, slot int) error {
+	cpa, err := fw.CPA(cpaIdx)
+	if err != nil {
+		return err
+	}
+	tr, err := cpa.Plane.Trigger(slot)
+	if err != nil {
+		return err
+	}
+	ds := tr.DSID
+	for col := 0; col < core.NumTrigCols; col++ {
+		if err := cpa.WriteEntry(core.DSID(slot), col, core.SelTrigger, 0); err != nil {
+			return err
+		}
+	}
+	delete(fw.bindings, slotKey{cpa: cpaIdx, slot: slot})
+	fw.fs.Remove(fmt.Sprintf("/sys/cpa/cpa%d/ldoms/ldom%d/triggers/%d", cpaIdx, ds, slot))
+	return nil
 }
 
 // freeSlot scans the trigger table through MMIO for a disabled slot.

@@ -1,0 +1,219 @@
+package prm
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+const guardSrc = `
+rule guard cpa llc ldom web:
+    when miss_rate > 300
+    => waymask = 0xff00, others waymask = 0x00ff
+`
+
+func policyFirmware(t *testing.T) (*sim.Engine, *Firmware, *core.Plane) {
+	t.Helper()
+	e, fw, _, cp, _ := newFirmware(t)
+	for _, name := range []string{"web", "batch"} {
+		if _, err := fw.CreateLDom(LDomSpec{Name: name}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return e, fw, cp
+}
+
+func TestLoadPolicyInstallsAndFires(t *testing.T) {
+	e, fw, cp := policyFirmware(t)
+	if err := fw.LoadPolicy("guard", guardSrc); err != nil {
+		t.Fatal(err)
+	}
+
+	// The rule occupies a trigger slot bound to its synthesized action.
+	out, err := fw.FS().ReadFile("/sys/cpa/cpa0/ldoms/ldom0/triggers/0")
+	if err != nil || out != "policy/guard/guard" {
+		t.Fatalf("trigger leaf = %q, %v", out, err)
+	}
+
+	cp.SetStat(0, "miss_rate", 450)
+	cp.Evaluate(0)
+	e.Run(e.Now() + 20*sim.Microsecond)
+
+	for path, want := range map[string]string{
+		"/sys/cpa/cpa0/ldoms/ldom0/parameters/waymask": "0xff00",
+		"/sys/cpa/cpa0/ldoms/ldom1/parameters/waymask": "0xff",
+		"/sys/cpa/policy/guard/rules/guard/fired":      "1",
+		"/sys/cpa/policy/guard/rules/guard/suppressed": "0",
+	} {
+		got, err := fw.FS().ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		if got != want {
+			t.Errorf("%s = %q, want %q", path, got, want)
+		}
+	}
+
+	expl, err := fw.ExplainPolicies("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"policy guard", "miss_rate=450 > 300", "applied", "waymask 0xffff -> 0xff00"} {
+		if !strings.Contains(expl, want) {
+			t.Errorf("explain missing %q:\n%s", want, expl)
+		}
+	}
+}
+
+func TestLoadPolicyRejectsBadAndConflicting(t *testing.T) {
+	_, fw, _ := policyFirmware(t)
+
+	// Unknown statistic: position-accurate load error, nothing installed.
+	err := fw.LoadPolicy("bad", `cpa llc ldom web: when mis_rate > 1 => waymask = 1`)
+	if err == nil || !strings.Contains(err.Error(), `no statistic "mis_rate"`) {
+		t.Fatalf("bad stat error = %v", err)
+	}
+	if !strings.Contains(err.Error(), "bad.pard:1:") {
+		t.Fatalf("error lacks position: %v", err)
+	}
+	if len(fw.Policies()) != 0 {
+		t.Fatal("failed load left residue")
+	}
+
+	// A second policy writing the same (plane, ldom, param) conflicts.
+	if err := fw.LoadPolicy("guard", guardSrc); err != nil {
+		t.Fatal(err)
+	}
+	err = fw.LoadPolicy("guard2", `cpa llc ldom web: when capacity > 1 => waymask = 0x3`)
+	if err == nil || !strings.Contains(err.Error(), "both write") {
+		t.Fatalf("conflict error = %v", err)
+	}
+	if got := fw.Policies(); len(got) != 1 || got[0] != "guard" {
+		t.Fatalf("policies after rejected load = %v", got)
+	}
+	// Duplicate name is refused outright.
+	if err := fw.LoadPolicy("guard", guardSrc); err == nil {
+		t.Fatal("duplicate load succeeded")
+	}
+}
+
+func TestReloadPolicySwapsTriggersAtomically(t *testing.T) {
+	e, fw, cp := policyFirmware(t)
+	if err := fw.LoadPolicy("guard", guardSrc); err != nil {
+		t.Fatal(err)
+	}
+
+	// A broken replacement must leave the old policy running.
+	if err := fw.ReloadPolicy("guard", `cpa llc ldom web: when nope > 1 => waymask = 1`); err == nil {
+		t.Fatal("broken reload succeeded")
+	}
+	if out, err := fw.FS().ReadFile("/sys/cpa/policy/guard/rules/guard/state"); err != nil || !strings.Contains(out, "enabled") {
+		t.Fatalf("old policy not intact after failed reload: %q, %v", out, err)
+	}
+
+	// A good replacement tears the old trigger down and re-arms.
+	replacement := `rule guard2 cpa llc ldom batch: when miss_rate > 100 => waymask = 0x00f0`
+	if err := fw.ReloadPolicy("guard", replacement); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fw.FS().ReadFile("/sys/cpa/policy/guard/rules/guard/state"); err == nil {
+		t.Fatal("old rule node survived reload")
+	}
+	out, err := fw.FS().ReadFile("/sys/cpa/policy/guard/source")
+	if err != nil || !strings.Contains(out, "guard2") {
+		t.Fatalf("source node = %q, %v", out, err)
+	}
+
+	// Old trigger must not fire; new one must.
+	cp.SetStat(0, "miss_rate", 500) // web: old rule's condition
+	cp.Evaluate(0)
+	cp.SetStat(1, "miss_rate", 200) // batch: new rule's condition
+	cp.Evaluate(1)
+	e.Run(e.Now() + 20*sim.Microsecond)
+	way0, _ := fw.FS().ReadFile("/sys/cpa/cpa0/ldoms/ldom0/parameters/waymask")
+	way1, _ := fw.FS().ReadFile("/sys/cpa/cpa0/ldoms/ldom1/parameters/waymask")
+	if way0 != "0xffff" {
+		t.Fatalf("torn-down rule still fired: ldom0 waymask %q", way0)
+	}
+	if way1 != "0xf0" {
+		t.Fatalf("replacement rule did not fire: ldom1 waymask %q", way1)
+	}
+}
+
+func TestUnloadPolicyFreesSlotsAndNodes(t *testing.T) {
+	_, fw, _ := policyFirmware(t)
+	if err := fw.LoadPolicy("guard", guardSrc); err != nil {
+		t.Fatal(err)
+	}
+	if err := fw.UnloadPolicy("guard"); err != nil {
+		t.Fatal(err)
+	}
+	if len(fw.Policies()) != 0 || len(fw.bindings) != 0 {
+		t.Fatalf("unload left residue: policies=%v bindings=%d", fw.Policies(), len(fw.bindings))
+	}
+	cpa, _ := fw.CPA(0)
+	en, err := cpa.ReadEntry(0, core.TrigColEnabled, core.SelTrigger)
+	if err != nil || en != 0 {
+		t.Fatalf("trigger slot still enabled after unload: %d, %v", en, err)
+	}
+	// The slot is reusable.
+	if err := fw.LoadPolicy("guard", guardSrc); err != nil {
+		t.Fatalf("slot not reusable: %v", err)
+	}
+}
+
+func TestPolicyRateLimit(t *testing.T) {
+	e, fw, cp := policyFirmware(t)
+	src := `cpa llc ldom web: when miss_rate > 300 => waymask += 1 max 0xffff cooldown 2us limit 2 per 1ms`
+	if err := fw.LoadPolicy("lim", src); err != nil {
+		t.Fatal(err)
+	}
+	cp.SetStat(0, "miss_rate", 400)
+	for i := 1; i <= 10; i++ {
+		e.Schedule(sim.Tick(i)*5*sim.Microsecond, func() { cp.Evaluate(0) })
+	}
+	e.Run(e.Now() + 100*sim.Microsecond)
+
+	expl, err := fw.ExplainPolicies("lim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(expl, "rate limit") {
+		t.Fatalf("rate limit never engaged:\n%s", expl)
+	}
+	// Only 2 applications allowed inside the 1 ms window.
+	out, _ := fw.FS().ReadFile("/sys/cpa/policy/lim/rules/rule1/fired")
+	if out != "2" {
+		t.Fatalf("fired = %s, want 2 (limit 2 per 1ms)", out)
+	}
+}
+
+func TestShPolicyCommands(t *testing.T) {
+	_, fw, _ := policyFirmware(t)
+	if out, err := fw.Sh("policy"); err != nil || out != "no policies loaded" {
+		t.Fatalf("policy list empty = %q, %v", out, err)
+	}
+	if err := fw.LoadPolicy("guard", guardSrc); err != nil {
+		t.Fatal(err)
+	}
+	out, err := fw.Sh("policy")
+	if err != nil || !strings.Contains(out, "guard: 1 rules") {
+		t.Fatalf("policy list = %q, %v", out, err)
+	}
+	out, err = fw.Sh("policy show guard")
+	if err != nil || !strings.Contains(out, "rule guard cpa llc ldom web") {
+		t.Fatalf("policy show = %q, %v", out, err)
+	}
+	out, err = fw.Sh("policy explain guard")
+	if err != nil || !strings.Contains(out, "no firings recorded") {
+		t.Fatalf("policy explain = %q, %v", out, err)
+	}
+	if _, err := fw.Sh("policy unload guard"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fw.Sh("policy show guard"); err == nil {
+		t.Fatal("show after unload succeeded")
+	}
+}

@@ -16,6 +16,7 @@ import (
 //	ls <path>
 //	tree <path>
 //	pardtrigger <cpaN> -ldom=K -stats=NAME -cond=OP,VALUE -action=NAME
+//	policy [show <name> | explain [<name>] | unload <name>]
 //	ldoms
 //	log
 //
@@ -66,6 +67,9 @@ func (fw *Firmware) Sh(cmdline string) (string, error) {
 
 	case "pardtrigger":
 		return fw.shPardtrigger(fields[1:])
+
+	case "policy":
+		return fw.shPolicy(fields[1:])
 
 	case "ldoms":
 		var b strings.Builder

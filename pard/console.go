@@ -15,9 +15,13 @@ import (
 //	create <name> <coreID> [priority]
 //	workload <coreID> stream|flush|memcached|dd|lbm|leslie3d
 //	run <milliseconds>
+//	policy validate <file.pard>
+//	policy apply <file.pard>
 //	stats
 //	trace
 //	help
+//
+// plus the firmware's own `policy [show|explain|unload]` subcommands.
 //
 // pardctl uses it on stdin; the Console server exposes it over TCP
 // (the PRM's Ethernet adaptor).
@@ -28,8 +32,8 @@ func Dispatch(sys *System, line string) (string, error) {
 	}
 	switch fields[0] {
 	case "help":
-		return "firmware: cat echo ls tree pardtrigger ldoms log\n" +
-			"platform: create <name> <core> [prio] | workload <core> <kind> | run <ms> | stats | trace | exit", nil
+		return "firmware: cat echo ls tree pardtrigger policy ldoms log\n" +
+			"platform: create <name> <core> [prio] | workload <core> <kind> | run <ms> | policy validate|apply <file> | stats | trace | exit", nil
 
 	case "create":
 		if len(fields) < 3 {
@@ -101,6 +105,24 @@ func Dispatch(sys *System, line string) (string, error) {
 		}
 		fmt.Fprintf(&b, "server CPU utilization: %.0f%%", 100*sys.CPUUtilization())
 		return b.String(), nil
+
+	case "policy":
+		// File-based subcommands live here (the console can read the
+		// operator's filesystem; the firmware cannot). Everything else
+		// — list/show/explain/unload — falls through to the firmware.
+		if len(fields) == 3 && fields[1] == "validate" {
+			if err := sys.ValidatePolicyFile(fields[2]); err != nil {
+				return "", err
+			}
+			return fmt.Sprintf("%s: ok", fields[2]), nil
+		}
+		if len(fields) == 3 && fields[1] == "apply" {
+			if err := sys.ApplyPolicyFile(fields[2]); err != nil {
+				return "", err
+			}
+			return fmt.Sprintf("applied policy %q", policyNameFromPath(fields[2])), nil
+		}
+		return sys.Sh(line)
 
 	case "trace":
 		if sys.Recorder == nil && sys.MemProbe == nil {

@@ -17,7 +17,10 @@
 package pard
 
 import (
+	"os"
+	"path/filepath"
 	"strconv"
+	"strings"
 
 	"repro/internal/cache"
 	"repro/internal/core"
@@ -306,11 +309,51 @@ func (s *System) CreateLDom(cfg LDomConfig) (*LDom, error) {
 		return nil, err
 	}
 	if cfg.DiskQuota != 0 {
-		if err := s.IDE.Plane().Params().SetName(ld.DSID, iodev.ParamBandwidth, cfg.DiskQuota); err != nil {
-			return nil, err
-		}
+		s.IDE.Plane().SetParam(ld.DSID, iodev.ParamBandwidth, cfg.DiskQuota)
 	}
 	return ld, nil
+}
+
+// LoadPolicy compiles source against the live control planes and
+// installs it as a named policy set (see internal/policy for the
+// language). Load fails — with position-accurate errors and nothing
+// installed — on unknown names, conflicting rules or exhausted
+// trigger slots.
+func (s *System) LoadPolicy(name, source string) error {
+	return s.Firmware.LoadPolicy(name, source)
+}
+
+// ReloadPolicy atomically replaces a loaded policy set with a new
+// source: the replacement is fully validated before the old rules are
+// torn down, so a bad reload leaves the running policy untouched.
+func (s *System) ReloadPolicy(name, source string) error {
+	return s.Firmware.ReloadPolicy(name, source)
+}
+
+// ApplyPolicyFile loads (or hot-reloads) a .pard policy file; the
+// policy is named after the file's base name.
+func (s *System) ApplyPolicyFile(path string) error {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	return s.Firmware.ReloadPolicy(policyNameFromPath(path), string(src))
+}
+
+// ValidatePolicyFile parses and typechecks a .pard policy file against
+// this system's control planes without installing anything. LDom names
+// that do not exist yet are allowed (they bind at load time).
+func (s *System) ValidatePolicyFile(path string) error {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	_, err = s.Firmware.ValidatePolicy(filepath.Base(path), string(src))
+	return err
+}
+
+func policyNameFromPath(path string) string {
+	return strings.TrimSuffix(filepath.Base(path), ".pard")
 }
 
 // RunWorkload starts gen on a core.

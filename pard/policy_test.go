@@ -1,0 +1,181 @@
+package pard
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// llcGuardScenario runs the end-to-end repartitioning scenario of
+// TestEndToEndTriggerAdjustsPartition with a caller-chosen way of
+// installing the QoS rule, and returns a trajectory: per-sample LLC
+// and memory statistics for both LDoms plus the final parameter state.
+// Two installs are equivalent only if their trajectories are
+// byte-identical.
+func llcGuardScenario(t *testing.T, install func(*System)) string {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.LLC.SizeBytes = 256 * 1024
+	cfg.SampleInterval = 50 * Microsecond
+	sys := NewSystem(cfg)
+	if _, err := sys.CreateLDom(LDomConfig{Name: "memcached", Cores: []int{0}, Priority: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.CreateLDom(LDomConfig{Name: "bg", Cores: []int{1}}); err != nil {
+		t.Fatal(err)
+	}
+	install(sys)
+
+	sys.RunWorkload(0, &workload.Stream{Base: 0, Footprint: 100 << 10, Compute: 4})
+	sys.RunWorkload(1, &workload.CacheFlush{Base: 1 << 30, Footprint: 4 << 20, Seed: 1})
+
+	var b strings.Builder
+	var sample func()
+	sample = func() {
+		fmt.Fprintf(&b, "t=%d", sys.Engine.Now())
+		for ldom := 0; ldom < 2; ldom++ {
+			for _, stat := range []string{"hit_cnt", "miss_cnt"} {
+				v := sys.Firmware.MustSh(fmt.Sprintf("cat /sys/cpa/cpa0/ldoms/ldom%d/statistics/%s", ldom, stat))
+				fmt.Fprintf(&b, " %d.%s=%s", ldom, stat, v)
+			}
+			way := sys.Firmware.MustSh(fmt.Sprintf("cat /sys/cpa/cpa0/ldoms/ldom%d/parameters/waymask", ldom))
+			serv := sys.Firmware.MustSh(fmt.Sprintf("cat /sys/cpa/cpa1/ldoms/ldom%d/statistics/serv_cnt", ldom))
+			fmt.Fprintf(&b, " %d.waymask=%s %d.serv_cnt=%s", ldom, way, ldom, serv)
+		}
+		fmt.Fprintln(&b)
+		if sys.Engine.Now() < 5*Millisecond {
+			sys.Engine.Schedule(100*Microsecond, sample)
+		}
+	}
+	sys.Engine.Schedule(100*Microsecond, sample)
+	sys.Run(5 * Millisecond)
+
+	fmt.Fprintf(&b, "handled=%d occ0=%d occ1=%d\n",
+		sys.Firmware.TriggersHandled, sys.LLCOccupancyBytes(0), sys.LLCOccupancyBytes(1))
+	return b.String()
+}
+
+// TestPolicyFileMatchesHandCodedLLCAction is the satellite-1
+// acceptance check: the shipped llc_guard.pard policy and the built-in
+// llc_grow_to_half action drive the simulation through tick-for-tick
+// identical trajectories.
+func TestPolicyFileMatchesHandCodedLLCAction(t *testing.T) {
+	src, err := os.ReadFile("../examples/policies/llc_guard.pard")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	closure := llcGuardScenario(t, func(sys *System) {
+		sys.Firmware.MustSh("pardtrigger cpa0 -ldom=0 -stats=miss_rate -cond=gt,300 -action=llc_grow_to_half")
+	})
+	viaPolicy := llcGuardScenario(t, func(sys *System) {
+		if err := sys.LoadPolicy("llc_guard", string(src)); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	if !strings.Contains(closure, "0.waymask=0xff00") {
+		t.Fatalf("hand-coded action never repartitioned:\n%s", closure)
+	}
+	if closure != viaPolicy {
+		t.Fatalf("trajectories diverge.\n--- closure ---\n%s\n--- policy ---\n%s", closure, viaPolicy)
+	}
+}
+
+// TestPolicyFileMatchesHandCodedMemAction does the same for the
+// memory-priority bump: mem_priority.pard vs mem_raise_priority.
+func TestPolicyFileMatchesHandCodedMemAction(t *testing.T) {
+	src, err := os.ReadFile("../examples/policies/mem_priority.pard")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	scenario := func(install func(*System)) (string, *System) {
+		cfg := DefaultConfig()
+		cfg.SampleInterval = 50 * Microsecond
+		sys := NewSystem(cfg)
+		if _, err := sys.CreateLDom(LDomConfig{Name: "memcached", Cores: []int{0}}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sys.CreateLDom(LDomConfig{Name: "bg", Cores: []int{1}, MemBase: 2 << 30}); err != nil {
+			t.Fatal(err)
+		}
+		install(sys)
+		// Both LDoms hammer memory so the queues back up.
+		sys.RunWorkload(0, &workload.CacheFlush{Base: 0, Footprint: 16 << 20, Seed: 3})
+		sys.RunWorkload(1, &workload.CacheFlush{Base: 2 << 30, Footprint: 16 << 20, Seed: 4})
+
+		var b strings.Builder
+		var sample func()
+		sample = func() {
+			fmt.Fprintf(&b, "t=%d prio=%s qlat=%s serv0=%s serv1=%s\n",
+				sys.Engine.Now(),
+				sys.Firmware.MustSh("cat /sys/cpa/cpa1/ldoms/ldom0/parameters/priority"),
+				sys.Firmware.MustSh("cat /sys/cpa/cpa1/ldoms/ldom0/statistics/avg_qlat"),
+				sys.Firmware.MustSh("cat /sys/cpa/cpa1/ldoms/ldom0/statistics/serv_cnt"),
+				sys.Firmware.MustSh("cat /sys/cpa/cpa1/ldoms/ldom1/statistics/serv_cnt"))
+			if sys.Engine.Now() < 3*Millisecond {
+				sys.Engine.Schedule(100*Microsecond, sample)
+			}
+		}
+		sys.Engine.Schedule(100*Microsecond, sample)
+		sys.Run(3 * Millisecond)
+		return b.String(), sys
+	}
+
+	closure, csys := scenario(func(sys *System) {
+		sys.Firmware.MustSh("pardtrigger cpa1 -ldom=0 -stats=avg_qlat -cond=gt,10 -action=mem_raise_priority")
+	})
+	viaPolicy, _ := scenario(func(sys *System) {
+		if err := sys.LoadPolicy("mem_priority", string(src)); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	if csys.Firmware.TriggersHandled == 0 {
+		t.Fatalf("avg_qlat trigger never fired; scenario is vacuous:\n%s", closure)
+	}
+	if !strings.Contains(closure, "prio=1") {
+		t.Fatalf("hand-coded action never raised priority:\n%s", closure)
+	}
+	if closure != viaPolicy {
+		t.Fatalf("trajectories diverge.\n--- closure ---\n%s\n--- policy ---\n%s", closure, viaPolicy)
+	}
+}
+
+// TestConsolePolicyCommands exercises the operator-console policy
+// surface over the example files.
+func TestConsolePolicyCommands(t *testing.T) {
+	sys := NewSystem(DefaultConfig())
+	out, err := Dispatch(sys, "policy validate ../examples/policies/latency_guard.pard")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasSuffix(out, ": ok") {
+		t.Fatalf("validate output = %q", out)
+	}
+	if _, err := sys.CreateLDom(LDomConfig{Name: "memcached", Cores: []int{0}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Dispatch(sys, "policy apply ../examples/policies/latency_guard.pard"); err != nil {
+		t.Fatal(err)
+	}
+	out, err = Dispatch(sys, "policy")
+	if err != nil || !strings.Contains(out, "latency_guard: 1 rules") {
+		t.Fatalf("policy list = %q, %v", out, err)
+	}
+	out, err = Dispatch(sys, "policy show latency_guard")
+	if err != nil || !strings.Contains(out, "for 3 samples") {
+		t.Fatalf("policy show = %q, %v", out, err)
+	}
+	// Apply again: a hot reload, not a duplicate-name error.
+	if _, err := Dispatch(sys, "policy apply ../examples/policies/latency_guard.pard"); err != nil {
+		t.Fatalf("re-apply (hot reload) failed: %v", err)
+	}
+	if _, err := Dispatch(sys, "policy validate ../examples/policies/nope.pard"); err == nil {
+		t.Fatal("validating a missing file succeeded")
+	}
+}
