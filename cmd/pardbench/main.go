@@ -55,6 +55,7 @@ func main() {
 	jsonPath := flag.String("json", "", "file to write benchmark + headline JSON into")
 	tracePath := flag.String("trace", "", "file to write a Perfetto trace of a short two-LDom run into")
 	policyPath := flag.String("policy", "", "route the fig8/fig9 QoS rule through this .pard policy file instead of the built-in action")
+	shardsFlag := flag.String("shards", "", "comma-separated shard counts for the rack-scaling sweep (e.g. 1,2,4); first entry is the speedup baseline")
 	flag.Parse()
 
 	if *policyPath != "" {
@@ -112,9 +113,12 @@ func main() {
 	var wg sync.WaitGroup
 	for _, j := range selected {
 		wg.Add(1)
+		//pardlint:ignore determinism each job renders into a private buffer; output order below is canonical
 		go func(j *job) {
 			defer wg.Done()
+			//pardlint:ignore determinism semaphore bounds parallelism only, never reaches simulation state
 			sem <- struct{}{}
+			//pardlint:ignore determinism semaphore bounds parallelism only, never reaches simulation state
 			defer func() { <-sem }()
 			j.res = j.run(scale)
 			j.res.Print(&j.out)
@@ -137,8 +141,26 @@ func main() {
 		fmt.Printf("---- %s done ----\n\n", j.name)
 	}
 
+	var rackSweep *rackSweepJSON
+	if *shardsFlag != "" {
+		counts, err := parseShards(*shardsFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		sweep, block, err := runRackSweep(counts, scale)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		rackSweep = sweep
+		fmt.Printf("==== rack (scale=%s shards=%s) ====\n", *scaleFlag, *shardsFlag)
+		os.Stdout.WriteString(block)
+		fmt.Printf("---- rack done ----\n\n")
+	}
+
 	if *jsonPath != "" {
-		if err := writeBenchJSON(*jsonPath, *scaleFlag, selected); err != nil {
+		if err := writeBenchJSON(*jsonPath, *scaleFlag, selected, rackSweep); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -225,6 +247,9 @@ type benchJSON struct {
 	BaselineEngine engineBench `json:"baseline_engine"`
 	Engine         engineBench `json:"engine"`
 	Experiments    []expJSON   `json:"experiments"`
+	// RackParallel is the sharded-rack scaling curve; present only when
+	// -shards was given, so existing BENCH.json consumers see no change.
+	RackParallel *rackSweepJSON `json:"rack_parallel,omitempty"`
 }
 
 // benchTick is a self-rescheduling eventer: the same workload as
@@ -262,14 +287,16 @@ func measureEngine() engineBench {
 	}
 }
 
-// writeBenchJSON records the benchmark trajectory and every selected
-// experiment's headline metrics.
-func writeBenchJSON(path, scale string, jobs []*job) error {
+// writeBenchJSON records the benchmark trajectory, every selected
+// experiment's headline metrics, and the rack scaling sweep when one
+// ran.
+func writeBenchJSON(path, scale string, jobs []*job, rackSweep *rackSweepJSON) error {
 	doc := benchJSON{
 		Schema:         "pard-bench/v1",
 		Scale:          scale,
 		BaselineEngine: baselineEngine,
 		Engine:         measureEngine(),
+		RackParallel:   rackSweep,
 	}
 	for _, j := range jobs {
 		if h, ok := j.res.(exp.Headliner); ok {

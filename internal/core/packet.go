@@ -195,6 +195,18 @@ type IDSource struct {
 	free   []*Packet
 }
 
+// NewIDSource returns a pooled source — the standard per-server
+// configuration. Giving every server its own source keeps packet
+// recycling local to the engine the packets live on, which is what lets
+// a sharded rack run each server's pool lock-free, and makes packet ids
+// (and with them trace sampling) independent of how many servers share
+// a simulation.
+func NewIDSource() *IDSource {
+	s := &IDSource{}
+	s.EnablePool()
+	return s
+}
+
 // Next returns a fresh packet id.
 func (s *IDSource) Next() uint64 {
 	s.next++

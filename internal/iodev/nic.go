@@ -62,9 +62,16 @@ type NIC struct {
 	// hits override MAC classification.
 	flows map[uint64]core.DSID
 
-	// peer, when connected, receives transmitted frames after the wire
-	// delay (a point-to-point rack link).
-	peer *NIC
+	// links are the attached point-to-point wires. Transmitted frames
+	// are broadcast down every link (deterministic hub semantics); the
+	// far NIC's classifier keeps frames addressed to it and drops the
+	// rest, so multi-link topologies (rings, meshes) need no switching
+	// state in the sender.
+	links []nicLink
+
+	// linked tracks local peers for duplicate-link rejection. Lookup
+	// only, never iterated.
+	linked map[*NIC]bool
 
 	rxWin map[core.DSID]*metric.Rate
 
@@ -163,15 +170,87 @@ func (n *NIC) UnbindVNIC(mac uint64) {
 	delete(n.vnics, mac)
 }
 
-// ConnectPeer joins two NICs with a point-to-point link (both
-// directions): frames sent with SendFrame arrive at the peer's
+// Wire carries transmitted frames toward a peer NIC. Deliver is called
+// once per frame per link on the sending NIC's engine; delay is the
+// total transit time (serialization plus wire latency) from that
+// moment, and the implementation must arrange for the far NIC's
+// ReceiveFlow to run — on the far NIC's engine — delay ticks later.
+// localWire does this with a same-engine Schedule; pard.ParallelRack
+// provides a cross-shard wire that routes through the shard-runtime
+// mailboxes instead.
+type Wire interface {
+	Deliver(delay sim.Tick, flowID, dstMAC uint64, bytes uint32)
+}
+
+// nicLink is one attached wire plus its fixed latency (the conservative
+// lookahead a sharded simulation derives its window from).
+type nicLink struct {
+	wire    Wire
+	latency sim.Tick
+}
+
+// localWire is the same-engine link: both NICs share one event engine,
+// so delivery is a plain future schedule.
+type localWire struct {
+	engine *sim.Engine
+	peer   *NIC
+}
+
+func (w *localWire) Deliver(delay sim.Tick, flowID, dstMAC uint64, bytes uint32) {
+	w.engine.Schedule(delay, func() { w.peer.ReceiveFlow(flowID, dstMAC, bytes) })
+}
+
+// ConnectPeer joins two NICs with a zero-latency point-to-point link
+// (both directions): frames sent with SendFrame arrive at the peer's
 // classifier, so a flow id — and with it a DS-id — travels between
 // servers (paper §4.1 / §8: "integrate PARD and SDN so that DS-id can
-// be propagated in a data center wide").
-func (n *NIC) ConnectPeer(other *NIC) {
-	n.peer = other
-	other.peer = n
+// be propagated in a data center wide"). Linking the same pair twice is
+// an error: it used to silently re-link, now it would duplicate every
+// frame.
+func (n *NIC) ConnectPeer(other *NIC) error {
+	return n.ConnectPeerLatency(other, 0)
 }
+
+// ConnectPeerLatency is ConnectPeer with an explicit wire latency,
+// added on top of serialization delay in both directions. Both NICs
+// must share one engine; cross-engine links go through ConnectWire.
+func (n *NIC) ConnectPeerLatency(other *NIC, latency sim.Tick) error {
+	if other == nil || other == n {
+		return fmt.Errorf("iodev: NIC %q cannot link to itself", n.cfg.Name)
+	}
+	if n.linked[other] {
+		return fmt.Errorf("iodev: NICs %q and %q are already linked", n.cfg.Name, other.cfg.Name)
+	}
+	n.addLink(&localWire{engine: n.engine, peer: other}, latency)
+	other.addLink(&localWire{engine: other.engine, peer: n}, latency)
+	if n.linked == nil {
+		n.linked = make(map[*NIC]bool)
+	}
+	if other.linked == nil {
+		other.linked = make(map[*NIC]bool)
+	}
+	n.linked[other] = true
+	other.linked[n] = true
+	return nil
+}
+
+// ConnectWire attaches a one-directional outbound wire with the given
+// latency. The caller owns duplicate detection and the reverse
+// direction; this is the hook pard.ParallelRack uses to splice the
+// cross-shard mailbox path into the TX fan-out.
+func (n *NIC) ConnectWire(w Wire, latency sim.Tick) {
+	if w == nil {
+		panic("iodev: nil wire")
+	}
+	n.addLink(w, latency)
+}
+
+func (n *NIC) addLink(w Wire, latency sim.Tick) {
+	n.links = append(n.links, nicLink{wire: w, latency: latency})
+}
+
+// NumLinks returns the number of attached outbound wires.
+func (n *NIC) NumLinks() int { return len(n.links) }
 
 // SendFrame transmits a frame from an LDom: the payload is DMA-read
 // with the LDom's DS-id, and after the wire delay the frame arrives at
@@ -181,8 +260,8 @@ func (n *NIC) SendFrame(ds core.DSID, dstMAC, flowID uint64, addr uint64, bytes 
 	n.plane.AddStat(ds, StatTxBytes, uint64(bytes))
 	wireDelay := sim.Tick(uint64(bytes) * uint64(sim.Second) / n.cfg.BytesPerSec)
 	deliver := func() {
-		if n.peer != nil {
-			n.engine.Schedule(wireDelay, func() { n.peer.ReceiveFlow(flowID, dstMAC, bytes) })
+		for _, l := range n.links {
+			l.wire.Deliver(wireDelay+l.latency, flowID, dstMAC, bytes)
 		}
 	}
 	if v := n.vnicByDS(ds); v != nil {

@@ -2,6 +2,7 @@ package lint
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 )
 
@@ -51,6 +52,17 @@ var globalRand = map[string]bool{
 // differ between identical invocations). Map loops that are genuinely
 // order-independent carry a pardlint:ignore suppression with a
 // justification; everything else iterates core.SortedKeys.
+//
+// The analyzer also rejects raw concurrency — go statements, channel
+// sends/receives, select — everywhere except internal/sim itself, the
+// sanctioned shard runtime. Goroutine interleaving and channel delivery
+// order are scheduler-dependent, so any path from them into simulation
+// state breaks reproducibility; sim.ShardGroup confines that hazard
+// behind barrier windows and a deterministic mailbox merge
+// (internal/sim/shard.go). Concurrency whose results provably never
+// reach simulation state (e.g. fanning independent experiment runs into
+// private buffers printed in canonical order) carries a suppression
+// with that justification.
 var Determinism = &Analyzer{
 	Name: "determinism",
 	Doc:  "sim-clocked packages must be bit-reproducible",
@@ -61,6 +73,12 @@ func runDeterminism(pass *Pass) {
 	if !simClocked[pass.Pkg.RelPath] {
 		return
 	}
+	// internal/sim is the sanctioned shard runtime: its worker pool and
+	// mailbox barrier are the one place goroutines and channels are
+	// allowed to touch sim-clocked state, because the barrier protocol
+	// (and TestShardGroupDeterministicAcrossWorkers under -race) proves
+	// the interleaving never reaches simulation results.
+	shardRuntime := pass.Pkg.RelPath == "internal/sim"
 	info := pass.Pkg.Info
 	for _, f := range pass.Pkg.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
@@ -76,6 +94,22 @@ func runDeterminism(pass *Pass) {
 				case (path == "math/rand" || path == "math/rand/v2") && globalRand[n.Sel.Name]:
 					pass.Reportf(n.Pos(), "rand.%s uses the shared global source: draw from an explicitly seeded *rand.Rand instead", n.Sel.Name)
 				}
+			case *ast.GoStmt:
+				if !shardRuntime {
+					pass.Reportf(n.Pos(), "go statement in sim-clocked code: goroutine interleaving is scheduler-dependent; route parallelism through the shard runtime (sim.ShardGroup), or suppress with a justification if the goroutine provably never reaches simulation state")
+				}
+			case *ast.SendStmt:
+				if !shardRuntime {
+					pass.Reportf(n.Pos(), "channel send in sim-clocked code: delivery order is scheduler-dependent; cross-shard communication goes through sim.Shard.Send's barrier mailboxes, or suppress with a justification if the channel provably never reaches simulation state")
+				}
+			case *ast.UnaryExpr:
+				if n.Op == token.ARROW && !shardRuntime {
+					pass.Reportf(n.Pos(), "channel receive in sim-clocked code: delivery order is scheduler-dependent; cross-shard communication goes through sim.Shard.Send's barrier mailboxes, or suppress with a justification if the channel provably never reaches simulation state")
+				}
+			case *ast.SelectStmt:
+				if !shardRuntime {
+					pass.Reportf(n.Pos(), "select in sim-clocked code: case choice is scheduler-dependent and unreproducible; route event ordering through the discrete-event engine or the shard runtime")
+				}
 			case *ast.RangeStmt:
 				tv, ok := info.Types[n.X]
 				if !ok || tv.Type == nil {
@@ -83,6 +117,9 @@ func runDeterminism(pass *Pass) {
 				}
 				if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
 					pass.Reportf(n.Pos(), "range over %s: map iteration order is randomized per run; iterate core.SortedKeys(m), or suppress with a justification if provably order-independent", types.TypeString(tv.Type, types.RelativeTo(pass.Pkg.Types)))
+				}
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan && !shardRuntime {
+					pass.Reportf(n.Pos(), "range over channel in sim-clocked code: delivery order is scheduler-dependent; cross-shard communication goes through sim.Shard.Send's barrier mailboxes")
 				}
 			}
 			return true

@@ -93,6 +93,7 @@ func checkFixture(t *testing.T, dir string) {
 
 func TestDSIDPropFixture(t *testing.T)     { checkFixture(t, "fixtures/dsidprop") }
 func TestDeterminismFixture(t *testing.T)  { checkFixture(t, "internal/sim") }
+func TestConcurrencyFixture(t *testing.T)  { checkFixture(t, "internal/workload") }
 func TestPlaneAccessFixture(t *testing.T)  { checkFixture(t, "internal/dram") }
 func TestErrFlowFixture(t *testing.T)      { checkFixture(t, "fixtures/errflow") }
 func TestPolicyActionFixture(t *testing.T) { checkFixture(t, "internal/prm") }

@@ -1,0 +1,45 @@
+// Package workfix poses as the sim-clocked internal/workload package
+// and exercises the determinism analyzer's concurrency rules: raw
+// goroutines and channel operations are only legal inside the shard
+// runtime (internal/sim), where barrier windows make them deterministic.
+package workfix
+
+// results is shared mutable state a goroutine would race on.
+var results []int
+
+// fanOut spawns an unsynchronized goroutine: the interleaving is
+// scheduler-dependent, so anything it writes can differ between runs.
+func fanOut(n int) {
+	go func() { // want determinism "go statement"
+		results = append(results, n)
+	}()
+}
+
+// push hands work to another goroutine over a channel.
+func push(ch chan int, v int) {
+	ch <- v // want determinism "channel send"
+}
+
+// pull receives: delivery order across senders is scheduler-dependent.
+func pull(ch chan int) int {
+	return <-ch // want determinism "channel receive"
+}
+
+// drain ranges over a channel — a receive in loop clothing.
+func drain(ch chan int) int {
+	var sum int
+	for v := range ch { // want determinism "range over channel"
+		sum += v
+	}
+	return sum
+}
+
+// race lets the runtime pick which ready case wins.
+func race(a, b chan int) int {
+	select { // want determinism "select in sim-clocked code"
+	case v := <-a: // want determinism "channel receive"
+		return v
+	case v := <-b: // want determinism "channel receive"
+		return v
+	}
+}

@@ -1,0 +1,25 @@
+package workfix
+
+// Sequential event-style code — function values scheduled and invoked
+// in program order — is the sanctioned pattern: no findings.
+
+// queue is a deterministic stand-in for cross-entity communication:
+// FIFO order is a pure function of the call sequence.
+type queue struct{ fns []func() }
+
+func (q *queue) post(fn func()) { q.fns = append(q.fns, fn) }
+
+func (q *queue) drain() {
+	for len(q.fns) > 0 {
+		fn := q.fns[0]
+		q.fns = q.fns[1:]
+		fn()
+	}
+}
+
+// declareOnly shows that merely constructing a channel is not flagged —
+// only operations on one are (the shard runtime hands channels to
+// library code; holding a reference is harmless).
+func declareOnly() chan int {
+	return make(chan int, 4)
+}

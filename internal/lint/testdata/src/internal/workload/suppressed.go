@@ -1,0 +1,14 @@
+package workfix
+
+// report is a private rendering buffer: the goroutine writes only to
+// memory the spawner hands it and the caller joins before reading, so
+// the interleaving provably never reaches simulation state. That is
+// the one justification that waives the concurrency rules.
+func report(buf *[]byte, render func() []byte, done chan struct{}) {
+	//pardlint:ignore determinism renders into a private buffer joined before any read
+	go func() {
+		*buf = render()
+		//pardlint:ignore determinism join signal only, carries no simulation data
+		done <- struct{}{}
+	}()
+}

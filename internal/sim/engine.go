@@ -202,6 +202,30 @@ func (e *Engine) Run(until Tick) {
 	}
 }
 
+// RunBefore executes every event with timestamp strictly below until,
+// then advances the clock to until. It is the half-open window variant
+// of Run used by the shard runtime (shard.go): events exactly at a
+// window boundary belong to the next window, so a cross-shard message
+// stamped `when == boundary` is always injected before any event at
+// that tick has run on the destination shard.
+func (e *Engine) RunBefore(until Tick) {
+	for len(e.events) > 0 && e.events[0].when < until {
+		e.Step()
+	}
+	if e.now < until {
+		e.now = until
+	}
+}
+
+// NextEventTime returns the timestamp of the earliest queued event.
+// ok is false when the queue is empty.
+func (e *Engine) NextEventTime() (when Tick, ok bool) {
+	if len(e.events) == 0 {
+		return 0, false
+	}
+	return e.events[0].when, true
+}
+
 // StepUntil executes events until cond returns true or the queue
 // empties. It reports whether cond held when it stopped. Use it to wait
 // for a specific completion in systems with self-rescheduling periodic

@@ -1,0 +1,326 @@
+package sim
+
+// Conservative parallel discrete-event simulation (PDES) for rack-scale
+// runs. The topology is static and the only inter-shard coupling is the
+// point-to-point NIC link, whose fixed wire latency L is exactly the
+// lookahead a conservative scheme needs (the Chandy–Misra insight).
+// Because every link's latency is known up front, the general
+// null-message protocol degenerates into a cheap barrier-window scheme:
+//
+//   1. The coordinator picks a window [T, end) with end <= first + W,
+//      where first is the earliest pending event across all shards and
+//      W = min over links of their latency.
+//   2. Every shard runs its own Engine independently to the window end
+//      (exclusive). An event at tick t < end can only produce messages
+//      arriving at t + L >= first + W >= end, so nothing a shard does
+//      inside the window can affect another shard within it.
+//   3. Cross-shard sends land in per-(src,dst) single-producer /
+//      single-consumer mailboxes — written only by the source shard's
+//      worker during the window, drained only by the coordinator at the
+//      barrier (the barrier's happens-before edge is the only
+//      synchronization the mailboxes need).
+//   4. At the barrier the coordinator merges each destination's inbound
+//      messages in (when, sent, srcShard, seq) order and injects them
+//      into the destination engine, so the merged schedule is byte-for-
+//      byte reproducible and independent of worker count and shard
+//      placement. The pard equivalence suite asserts that an N-shard
+//      run produces output identical to the sequential single-engine
+//      run; see DESIGN.md §11 for the window protocol and the residual
+//      same-tick tie rule.
+//
+// Shards run on a fixed pool of worker goroutines. This file is the
+// sanctioned home of goroutines in sim-clocked code: pardlint's
+// determinism analyzer rejects raw `go` statements and channel
+// operations in every other sim-clocked package.
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// xmsg is one cross-shard message: fn runs on the destination shard's
+// engine at tick when. sent/src/seq exist only to make the barrier
+// merge a total, deterministic order.
+type xmsg struct {
+	when Tick   // destination-side delivery tick
+	sent Tick   // source-side tick at Send time
+	src  int    // source shard index
+	seq  uint64 // per-source FIFO sequence
+	fn   func()
+}
+
+// Shard is one partition of a sharded simulation: its own Engine plus
+// outbound mailboxes toward every other shard. All code driven by the
+// shard's engine runs on exactly one goroutine per window, so state
+// reachable only from one shard needs no locking (which is also what
+// keeps per-shard packet pools lock-free).
+type Shard struct {
+	group *ShardGroup
+	index int
+	eng   *Engine
+
+	// limit is the end of the window currently executing; Send asserts
+	// the conservative-lookahead invariant against it.
+	limit     Tick
+	inclusive bool
+
+	// out[dst] is the SPSC mailbox toward shard dst: appended by this
+	// shard's worker during a window, drained by the coordinator at the
+	// barrier. No locks — the barrier is the synchronization.
+	out [][]xmsg
+	seq uint64
+}
+
+// Engine returns the shard's private event engine.
+func (s *Shard) Engine() *Engine { return s.eng }
+
+// Index returns the shard's position in its group.
+func (s *Shard) Index() int { return s.index }
+
+// Send schedules fn to run on shard dst at delay ticks from this
+// shard's current time. It must be called either before the group runs
+// (setup) or from event code executing on this shard; the message is
+// buffered in the outbound mailbox and injected at the next barrier.
+//
+// Send panics when the delivery time falls inside the currently
+// executing window: that is a conservative-lookahead violation, meaning
+// the link's latency is smaller than the window the group was built
+// with, and the destination shard may already have run past the
+// delivery tick.
+func (s *Shard) Send(dst int, delay Tick, fn func()) {
+	if dst < 0 || dst >= len(s.out) {
+		panic(fmt.Sprintf("sim: cross-shard send to shard %d of %d", dst, len(s.out)))
+	}
+	if fn == nil {
+		panic("sim: nil cross-shard message")
+	}
+	now := s.eng.Now()
+	when := now + delay
+	if when < s.limit {
+		panic(fmt.Sprintf(
+			"sim: cross-shard send from shard %d into the current window: delivery at %v < window end %v (link latency below the group's lookahead window %v)",
+			s.index, when, s.limit, s.group.window))
+	}
+	s.seq++
+	s.out[dst] = append(s.out[dst], xmsg{when: when, sent: now, src: s.index, seq: s.seq, fn: fn})
+}
+
+// runWindow advances the shard's engine to the window bounds the
+// coordinator published before dispatch.
+func (s *Shard) runWindow() {
+	if s.inclusive {
+		s.eng.Run(s.limit)
+	} else {
+		s.eng.RunBefore(s.limit)
+	}
+}
+
+// ShardGroup coordinates a set of shards through barrier-synchronized
+// lookahead windows. Construct with NewShardGroup, wire cross-shard
+// links through Shard.Send, then drive with Run.
+type ShardGroup struct {
+	shards  []*Shard
+	window  Tick
+	workers int
+	now     Tick
+
+	// merge is the coordinator's scratch buffer for barrier injection.
+	merge []xmsg
+
+	// WindowsRun counts barrier windows executed; CrossSends counts
+	// messages carried through mailboxes. Both are deterministic for a
+	// given simulation and exposed for tests and BENCH.json.
+	WindowsRun uint64
+	CrossSends uint64
+}
+
+// NewShardGroup builds n shards synchronized on windows of the given
+// length (the group's lookahead; every cross-shard link must have
+// latency >= window). workers bounds the goroutine pool; 0 means
+// GOMAXPROCS, and a pool of 1 runs every window inline on the calling
+// goroutine — the degenerate sequential mode the equivalence tests
+// compare against.
+func NewShardGroup(n int, window Tick, workers int) *ShardGroup {
+	if n <= 0 {
+		panic("sim: shard group needs at least one shard")
+	}
+	if window == 0 {
+		panic("sim: shard window must be positive")
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	g := &ShardGroup{window: window, workers: workers}
+	for i := 0; i < n; i++ {
+		g.shards = append(g.shards, &Shard{
+			group: g,
+			index: i,
+			eng:   NewEngine(),
+			out:   make([][]xmsg, n),
+		})
+	}
+	return g
+}
+
+// Shard returns shard i.
+func (g *ShardGroup) Shard(i int) *Shard { return g.shards[i] }
+
+// NumShards returns the number of shards.
+func (g *ShardGroup) NumShards() int { return len(g.shards) }
+
+// Workers returns the size of the worker pool.
+func (g *ShardGroup) Workers() int { return g.workers }
+
+// Window returns the group's lookahead window.
+func (g *ShardGroup) Window() Tick { return g.window }
+
+// Now returns the group's global time (every shard engine agrees with
+// it between Run calls).
+func (g *ShardGroup) Now() Tick { return g.now }
+
+// Run advances the whole group by d, executing windows until every
+// event inside the horizon has run. Events exactly at the horizon are
+// executed (matching Engine.Run's inclusive semantics), including any
+// reachable through chains of cross-shard messages landing exactly on
+// the horizon.
+func (g *ShardGroup) Run(d Tick) {
+	target := g.now + d
+
+	// Setup-time Sends (issued before any window executed) are still
+	// sitting in mailboxes; inject them so nextEvent can see them.
+	g.mergeMailboxes()
+
+	// Fixed worker pool for the duration of this Run. With one worker
+	// (or one shard) windows execute inline: no goroutines, identical
+	// results — worker count never reaches simulation state.
+	var (
+		jobs chan *Shard
+		wg   sync.WaitGroup
+	)
+	parallel := g.workers > 1 && len(g.shards) > 1
+	if parallel {
+		jobs = make(chan *Shard, len(g.shards))
+		for w := 0; w < g.workers; w++ {
+			go func() {
+				for s := range jobs {
+					s.runWindow()
+					wg.Done()
+				}
+			}()
+		}
+		defer close(jobs)
+	}
+
+	for {
+		// Mailboxes are empty here: every barrier fully drains them.
+		first, any := g.nextEvent()
+		if !any || first > target {
+			g.advance(target)
+			return
+		}
+		// Conservative window: nothing runs before first, so any message
+		// produced inside the window arrives at >= first + latency >=
+		// first + window >= end. Empty stretches are skipped for free —
+		// the window starts at the first event, not at g.now.
+		end := first + g.window
+		inclusive := false
+		if end >= target {
+			end = target
+			inclusive = true
+		}
+		for _, s := range g.shards {
+			s.limit = end
+			s.inclusive = inclusive
+		}
+		if parallel {
+			wg.Add(len(g.shards))
+			for _, s := range g.shards {
+				jobs <- s
+			}
+			wg.Wait()
+		} else {
+			for _, s := range g.shards {
+				s.runWindow()
+			}
+		}
+		g.now = end
+		g.WindowsRun++
+		g.mergeMailboxes()
+		// An inclusive pass may have injected messages landing exactly
+		// on the horizon; the loop keeps running passes at target until
+		// the group is quiescent within it.
+	}
+}
+
+// nextEvent returns the earliest pending event tick across all shards.
+func (g *ShardGroup) nextEvent() (Tick, bool) {
+	var (
+		min Tick
+		any bool
+	)
+	for _, s := range g.shards {
+		if when, ok := s.eng.NextEventTime(); ok && (!any || when < min) {
+			min, any = when, true
+		}
+	}
+	return min, any
+}
+
+// advance moves every shard engine (and the group clock) to t without
+// executing anything past it.
+func (g *ShardGroup) advance(t Tick) {
+	for _, s := range g.shards {
+		if s.eng.Now() < t {
+			s.eng.Run(t)
+		}
+	}
+	if g.now < t {
+		g.now = t
+	}
+}
+
+// mergeMailboxes runs at the barrier, on the coordinator goroutine:
+// drain every (src, dst) mailbox, order each destination's messages by
+// (when, sent, srcShard, seq) — a total order, so injection is
+// deterministic regardless of worker scheduling — and inject them into
+// the destination engine, whose (tick, seq) heap then interleaves them
+// with the shard's own events.
+func (g *ShardGroup) mergeMailboxes() {
+	for dst, d := range g.shards {
+		m := g.merge[:0]
+		for _, src := range g.shards {
+			m = append(m, src.out[dst]...)
+			if n := len(src.out[dst]); n > 0 {
+				clear(src.out[dst])
+				src.out[dst] = src.out[dst][:0]
+			}
+		}
+		if len(m) == 0 {
+			continue
+		}
+		sort.Slice(m, func(i, j int) bool {
+			a, b := &m[i], &m[j]
+			if a.when != b.when {
+				return a.when < b.when
+			}
+			if a.sent != b.sent {
+				return a.sent < b.sent
+			}
+			if a.src != b.src {
+				return a.src < b.src
+			}
+			return a.seq < b.seq
+		})
+		for i := range m {
+			d.eng.At(m[i].when, m[i].fn)
+		}
+		g.CrossSends += uint64(len(m))
+		clear(m)
+		g.merge = m[:0]
+	}
+}

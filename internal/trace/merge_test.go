@@ -1,0 +1,63 @@
+package trace
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// record runs one packet through a recorder with the given issue and
+// finish times on the recorder's engine.
+func record(e *sim.Engine, r *Recorder, hop int, p *core.Packet, enter, done sim.Tick) {
+	e.At(enter, func() { r.Enter(hop, p) })
+	e.At(done, func() { r.Finish(hop, p) })
+}
+
+func TestMergeTracesOrdersAcrossRecorders(t *testing.T) {
+	// Two servers, each with its own engine, recorder and id source —
+	// the sharded-rack shape. Packet ids collide across servers on
+	// purpose: the merge must stay stable and ordered anyway.
+	e0, e1 := sim.NewEngine(), sim.NewEngine()
+	r0, r1 := NewRecorder(e0, 1), NewRecorder(e1, 1)
+	ids0, ids1 := &core.IDSource{}, &core.IDSource{}
+	h0 := r0.RegisterHop("nic")
+	h1 := r1.RegisterHop("nic")
+
+	// Server 0: packets issued at 10 and 30; server 1: at 20 and 30.
+	a := core.NewPacket(ids0, core.KindDMAWrite, 1, 0, 64, 10)
+	b := core.NewPacket(ids0, core.KindDMAWrite, 1, 0, 64, 30)
+	c := core.NewPacket(ids1, core.KindDMAWrite, 2, 0, 64, 20)
+	d := core.NewPacket(ids1, core.KindDMAWrite, 2, 0, 64, 30)
+	record(e0, r0, h0, a, 10, 15)
+	record(e0, r0, h0, b, 30, 35)
+	record(e1, r1, h1, c, 20, 25)
+	record(e1, r1, h1, d, 30, 35)
+	e0.Run(100)
+	e1.Run(100)
+
+	merged := MergeTraces(r0, nil, r1)
+	if len(merged) != 4 {
+		t.Fatalf("merged %d traces, want 4", len(merged))
+	}
+	wantIssues := []sim.Tick{10, 20, 30, 30}
+	for i, tr := range merged {
+		if tr.Issue != wantIssues[i] {
+			t.Fatalf("merged[%d].Issue = %v, want %v", i, tr.Issue, wantIssues[i])
+		}
+	}
+	// The two 30-tick traces tie on (Issue, End, ID): recorder argument
+	// order must break the tie, so server 0's comes first.
+	if merged[2].DSID != 1 || merged[3].DSID != 2 {
+		t.Fatalf("tie not broken by recorder order: ds %v then %v", merged[2].DSID, merged[3].DSID)
+	}
+}
+
+func TestMergeTracesEmpty(t *testing.T) {
+	if got := MergeTraces(); got != nil {
+		t.Fatalf("MergeTraces() = %v, want nil", got)
+	}
+	if got := MergeTraces(nil, nil); got != nil {
+		t.Fatalf("MergeTraces(nil, nil) = %v, want nil", got)
+	}
+}

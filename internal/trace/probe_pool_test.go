@@ -39,7 +39,7 @@ func TestProbeDenseMapEquivalence(t *testing.T) {
 	observe(p, ids, core.KindMemRead, 1, 5) // map path (no prealloc yet)
 	observe(p, ids, core.KindWriteback, 6, 2)
 
-	p.Prealloc(3) // migrates ds1 into dense; ds6 stays in the map
+	p.Prealloc(3)                           // migrates ds1 into dense; ds6 stays in the map
 	observe(p, ids, core.KindMemRead, 1, 4) // dense path
 	observe(p, ids, core.KindWriteback, 6, 1)
 

@@ -1,0 +1,92 @@
+package pard
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/trace"
+)
+
+// StateDigest renders every server's architectural end state as a
+// deterministic multi-line string: control-plane parameter and
+// statistics tables, device counters, PRM counters, and the flight
+// recorder's aggregate plus a hash over its archived spans. Two runs of
+// the same workload — sequential or sharded, any worker count — must
+// produce byte-identical digests; the equivalence suite and pardbench's
+// digest lines are built on this.
+func StateDigest(servers []*System) string {
+	var b strings.Builder
+	for i, s := range servers {
+		fmt.Fprintf(&b, "server %d\n", i)
+		planes := []*core.Plane{
+			s.LLC.Plane(), s.Mem.Plane(), s.Bridge.Plane(), s.IDE.Plane(), s.NIC.Plane(),
+		}
+		if s.Xbar != nil {
+			planes = append(planes, s.Xbar.Plane())
+		}
+		for _, p := range planes {
+			digestPlane(&b, p)
+		}
+		fmt.Fprintf(&b, "  mem served=%d\n", s.Mem.Served)
+		fmt.Fprintf(&b, "  nic rx=%d tx=%d dropped=%d\n",
+			s.NIC.RxFrames, s.NIC.TxFrames, s.NIC.DroppedFrames)
+		fmt.Fprintf(&b, "  intr %v\n", s.InterruptsByCore)
+		fmt.Fprintf(&b, "  prm suppressed=%d\n", s.Firmware.TriggersSuppressed)
+		if s.Recorder != nil {
+			fmt.Fprintf(&b, "  trace finished=%d dropped=%d spans=%#x\n",
+				s.Recorder.Finished(), s.Recorder.DroppedSpans(),
+				traceHash(s.Recorder.Traces()))
+			b.WriteString(indent(s.Recorder.BreakdownTable(), "  "))
+		}
+	}
+	return b.String()
+}
+
+// digestPlane appends one control plane's parameter and statistics
+// tables, rows in DS-id order, columns in layout order.
+func digestPlane(b *strings.Builder, p *core.Plane) {
+	fmt.Fprintf(b, "  plane %s\n", p.Ident())
+	digestTable(b, "param", p.Params())
+	digestTable(b, "stat", p.Stats())
+}
+
+func digestTable(b *strings.Builder, label string, t *core.Table) {
+	cols := t.Columns()
+	for _, ds := range t.Rows() {
+		fmt.Fprintf(b, "    %s %v", label, ds)
+		for ci, c := range cols {
+			v, _ := t.Get(ds, ci)
+			fmt.Fprintf(b, " %s=%d", c.Name, v)
+		}
+		b.WriteByte('\n')
+	}
+}
+
+// traceHash folds every archived span's fields into one FNV-1a value,
+// so "trace spans byte-identical" is checkable without rendering tens
+// of thousands of lines.
+func traceHash(traces []trace.PacketTrace) uint64 {
+	h := fnv.New64a()
+	for i := range traces {
+		t := &traces[i]
+		fmt.Fprintf(h, "%d|%d|%d|%#x|%d|%d|%d|%d|%v|",
+			t.ID, t.Kind, t.DSID, t.Addr, t.Size, t.Src, t.Issue, t.End, t.Truncated)
+		for _, s := range t.Spans() {
+			fmt.Fprintf(h, "%d:%d:%d:%d|", s.Hop, s.Enter, s.Service, s.Done)
+		}
+	}
+	return h.Sum64()
+}
+
+func indent(s, prefix string) string {
+	if s == "" {
+		return s
+	}
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	for i, l := range lines {
+		lines[i] = prefix + l
+	}
+	return strings.Join(lines, "\n") + "\n"
+}

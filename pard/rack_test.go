@@ -86,6 +86,61 @@ func TestRackSharedEngineDeterminism(t *testing.T) {
 	}
 }
 
+func TestRackDuplicateLinkRejected(t *testing.T) {
+	rack := NewRack(DefaultConfig(), 3)
+	if err := rack.Connect(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := rack.Connect(0, 1); err == nil {
+		t.Error("duplicate link 0-1 accepted")
+	}
+	if err := rack.Connect(1, 0); err == nil {
+		t.Error("reversed duplicate link 1-0 accepted")
+	}
+	if err := rack.Connect(1, 2); err != nil {
+		t.Errorf("distinct link rejected: %v", err)
+	}
+}
+
+func TestRackTopologyHelpers(t *testing.T) {
+	ring := NewRack(DefaultConfig(), 4)
+	if err := ring.ConnectRing(0); err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range ring.Servers {
+		if got := s.NIC.NumLinks(); got != 2 {
+			t.Errorf("ring: server %d has %d links, want 2", i, got)
+		}
+	}
+
+	pair := NewRack(DefaultConfig(), 2)
+	if err := pair.ConnectRing(0); err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range pair.Servers {
+		if got := s.NIC.NumLinks(); got != 1 {
+			t.Errorf("2-ring: server %d has %d links, want 1", i, got)
+		}
+	}
+
+	mesh := NewRack(DefaultConfig(), 4)
+	if err := mesh.ConnectFullMesh(0); err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range mesh.Servers {
+		if got := s.NIC.NumLinks(); got != 3 {
+			t.Errorf("mesh: server %d has %d links, want 3", i, got)
+		}
+	}
+
+	if err := NewRack(DefaultConfig(), 1).ConnectRing(0); err == nil {
+		t.Error("1-server ring accepted")
+	}
+	if err := NewRack(DefaultConfig(), 1).ConnectFullMesh(0); err == nil {
+		t.Error("1-server mesh accepted")
+	}
+}
+
 func TestRackValidation(t *testing.T) {
 	rack := NewRack(DefaultConfig(), 2)
 	for _, pair := range [][2]int{{0, 0}, {-1, 1}, {0, 5}} {

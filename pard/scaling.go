@@ -1,0 +1,49 @@
+package pard
+
+import "fmt"
+
+// ProvisionScalingWorkload installs the standard rack-scaling workload
+// on an already ring-linked set of servers: one LDom per server (MAC
+// 0xA0+i) running STREAM on core 0, an SDN flow rule at the ring
+// successor, and a pump of `frames` 1500-byte flow-tagged frames toward
+// it. Pump phases and periods are de-phased per server so deliveries
+// from different servers never tie at one receiver (see DESIGN.md §11
+// on the residual same-tick tie rule). The equivalence suite,
+// BenchmarkRackParallel* and `pardbench -shards` all drive exactly this
+// traffic, so they measure — and cross-check — the same simulation.
+func ProvisionScalingWorkload(servers []*System, frames int) error {
+	n := len(servers)
+	if n < 2 {
+		return fmt.Errorf("pard: scaling workload needs at least 2 servers, have %d", n)
+	}
+	lds := make([]*LDom, n)
+	for i, s := range servers {
+		ld, err := s.CreateLDom(LDomConfig{
+			Name: "svc", Cores: []int{0}, MemBase: 0,
+			MAC: uint64(0xA0 + i), NICBuf: 0x1000,
+		})
+		if err != nil {
+			return err
+		}
+		lds[i] = ld
+		s.RunWorkload(0, NewSTREAM(uint64(i)))
+	}
+	for i, s := range servers {
+		dst := (i + 1) % n
+		if err := servers[dst].NIC.BindFlow(uint64(100+i), lds[dst].DSID); err != nil {
+			return err
+		}
+		s, ld := s, lds[i]
+		flow, mac := uint64(100+i), uint64(0xA0+dst)
+		sent := 0
+		var pump func()
+		pump = func() {
+			s.NIC.SendFrame(ld.DSID, mac, flow, 0x4000, 1500)
+			if sent++; sent < frames {
+				s.Engine.Schedule(29*Microsecond+Tick(i)*1709*Nanosecond, pump)
+			}
+		}
+		s.Engine.At(3*Microsecond+Tick(i)*977*Nanosecond, pump)
+	}
+	return nil
+}
