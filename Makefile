@@ -1,5 +1,5 @@
 # Tier-1 gate: everything CI (and the next PR) runs.
-.PHONY: check build vet lint test race bench fuzz
+.PHONY: check build vet lint test race bench benchgate fuzz
 
 check: build vet lint test
 
@@ -24,6 +24,13 @@ race:
 
 bench:
 	go test -bench=. -benchmem
+
+# Trajectory-regression gate: re-measure the engine and LLC hit-path
+# micro-benchmarks and compare against the committed BENCH.json —
+# >10% ns/op regression or any allocs/op increase fails. Regenerate the
+# baseline with `go run ./cmd/pardbench -run all -json BENCH.json`.
+benchgate:
+	go run ./cmd/benchgate -baseline BENCH.json
 
 # Policy-language parser fuzzing: no panics on arbitrary input, and
 # parse -> print -> parse is a fixpoint. CI runs a 30s smoke; crank

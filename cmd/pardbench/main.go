@@ -40,10 +40,9 @@ import (
 	"os"
 	"runtime"
 	"sync"
-	"testing"
 
+	"repro/internal/bench"
 	"repro/internal/exp"
-	"repro/internal/sim"
 	"repro/internal/workload"
 	"repro/pard"
 )
@@ -58,13 +57,14 @@ func main() {
 	shardsFlag := flag.String("shards", "", "comma-separated shard counts for the rack-scaling sweep (e.g. 1,2,4); first entry is the speedup baseline")
 	flag.Parse()
 
+	var llcGuardPolicy string
 	if *policyPath != "" {
 		src, err := os.ReadFile(*policyPath)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "pardbench:", err)
 			os.Exit(1)
 		}
-		exp.SetLLCGuardPolicy(string(src))
+		llcGuardPolicy = string(src)
 	}
 
 	if *tracePath != "" {
@@ -85,8 +85,16 @@ func main() {
 		{name: "table2", run: func(exp.Scale) exp.Printable { return exp.Table2() }},
 		{name: "table3", run: func(exp.Scale) exp.Printable { return exp.Table3() }},
 		{name: "fig7", run: func(s exp.Scale) exp.Printable { return exp.Fig7(exp.DefaultFig7Config(s)) }},
-		{name: "fig8", run: func(s exp.Scale) exp.Printable { return exp.Fig8(exp.DefaultFig8Config(s)) }},
-		{name: "fig9", run: func(s exp.Scale) exp.Printable { return exp.Fig9(exp.DefaultFig9Config(s)) }},
+		{name: "fig8", run: func(s exp.Scale) exp.Printable {
+			cfg := exp.DefaultFig8Config(s)
+			cfg.LLCGuardPolicy = llcGuardPolicy
+			return exp.Fig8(cfg)
+		}},
+		{name: "fig9", run: func(s exp.Scale) exp.Printable {
+			cfg := exp.DefaultFig9Config(s)
+			cfg.LLCGuardPolicy = llcGuardPolicy
+			return exp.Fig9(cfg)
+		}},
 		{name: "fig10", run: func(s exp.Scale) exp.Printable { return exp.Fig10(exp.DefaultFig10Config(s)) }},
 		{name: "fig11", run: func(s exp.Scale) exp.Printable { return exp.Fig11(exp.DefaultFig11Config(s)) }},
 		{name: "fig12", run: func(exp.Scale) exp.Printable { return exp.Fig12() }},
@@ -215,20 +223,11 @@ type job struct {
 	out  bytes.Buffer
 }
 
-// engineBench is the event-engine micro-benchmark record.
-type engineBench struct {
-	Note           string  `json:"note,omitempty"`
-	EventsPerSec   float64 `json:"events_per_sec"`
-	NsPerEvent     float64 `json:"ns_per_event"`
-	AllocsPerEvent float64 `json:"allocs_per_event"`
-	BytesPerEvent  float64 `json:"bytes_per_event"`
-}
-
-// baselineEngine is the same micro-benchmark measured at the last commit
-// before the specialized heap and packet pool landed (container/heap,
-// closure events). Keeping it in every export turns each BENCH.json into
-// a self-contained trajectory: baseline vs current.
-var baselineEngine = engineBench{
+// baselineEngine is the engine micro-benchmark measured at the last
+// commit before the specialized heap and packet pool landed
+// (container/heap, closure events). Keeping it in every export turns
+// each BENCH.json into a self-contained trajectory: baseline vs current.
+var baselineEngine = bench.Micro{
 	Note:           "container/heap engine, pre-optimization",
 	EventsPerSec:   13.4e6,
 	NsPerEvent:     74.84,
@@ -244,58 +243,28 @@ type expJSON struct {
 type benchJSON struct {
 	Schema         string      `json:"schema"`
 	Scale          string      `json:"scale"`
-	BaselineEngine engineBench `json:"baseline_engine"`
-	Engine         engineBench `json:"engine"`
-	Experiments    []expJSON   `json:"experiments"`
+	BaselineEngine bench.Micro `json:"baseline_engine"`
+	Engine         bench.Micro `json:"engine"`
+	// LLCHitPath is the pooled end-to-end cache-hit round trip; together
+	// with Engine it is the pair cmd/benchgate holds against regression.
+	LLCHitPath  bench.Micro `json:"llc_hit_path"`
+	Experiments []expJSON   `json:"experiments"`
 	// RackParallel is the sharded-rack scaling curve; present only when
 	// -shards was given, so existing BENCH.json consumers see no change.
 	RackParallel *rackSweepJSON `json:"rack_parallel,omitempty"`
 }
 
-// benchTick is a self-rescheduling eventer: the same workload as
-// BenchmarkEngineThroughput in bench_test.go.
-type benchTick struct {
-	e        *sim.Engine
-	n, limit int
-}
-
-func (t *benchTick) RunEvent() {
-	t.n++
-	if t.n < t.limit {
-		t.e.ScheduleEventer(1, t)
-	}
-}
-
-// measureEngine runs the event-engine micro-benchmark in-process via
-// testing.Benchmark: schedule-dispatch round trips through the
-// specialized heap, one event in flight.
-func measureEngine() engineBench {
-	r := testing.Benchmark(func(b *testing.B) {
-		b.ReportAllocs()
-		e := sim.NewEngine()
-		tick := &benchTick{e: e, limit: b.N}
-		e.ScheduleEventer(1, tick)
-		b.ResetTimer()
-		e.Drain(0)
-	})
-	ns := float64(r.T.Nanoseconds()) / float64(r.N)
-	return engineBench{
-		EventsPerSec:   1e9 / ns,
-		NsPerEvent:     ns,
-		AllocsPerEvent: float64(r.AllocsPerOp()),
-		BytesPerEvent:  float64(r.AllocedBytesPerOp()),
-	}
-}
-
 // writeBenchJSON records the benchmark trajectory, every selected
 // experiment's headline metrics, and the rack scaling sweep when one
-// ran.
+// ran. The micro-benchmarks live in internal/bench so cmd/benchgate
+// replays the identical workloads when gating this file.
 func writeBenchJSON(path, scale string, jobs []*job, rackSweep *rackSweepJSON) error {
 	doc := benchJSON{
 		Schema:         "pard-bench/v1",
 		Scale:          scale,
 		BaselineEngine: baselineEngine,
-		Engine:         measureEngine(),
+		Engine:         bench.MeasureEngine(),
+		LLCHitPath:     bench.MeasureLLCHitPath(),
 		RackParallel:   rackSweep,
 	}
 	for _, j := range jobs {

@@ -99,14 +99,20 @@ func policyMain(args []string) int {
 	case "validate":
 		// Typecheck each file against a freshly booted server's control
 		// planes. LDom names need not exist yet; statistic and parameter
-		// names must.
+		// names must. Files that compile are also run through pardcheck,
+		// the interval-analysis linter: unreachable rules, dead triggers
+		// and undamped raise/lower pairs print as warnings.
 		sys := pard.NewSystem(pard.DefaultConfig())
 		bad := 0
 		for _, f := range files {
-			if err := sys.ValidatePolicyFile(f); err != nil {
+			issues, err := sys.LintPolicyFile(f)
+			if err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				bad++
 				continue
+			}
+			for _, issue := range issues {
+				fmt.Printf("%s: warning: %s\n", f, issue)
 			}
 			fmt.Printf("%s: ok\n", f)
 		}

@@ -1,19 +1,28 @@
 // Command pardlint runs the PARD domain-invariant static-analysis
-// suite: dsidprop (DS-id propagation), determinism (sim
-// reproducibility), planeaccess (control/data-plane discipline) and
-// errflow (MMIO error handling). See LINTING.md for what each invariant
-// protects and how to suppress a finding.
+// suite. Per-package analyzers — dsidprop (DS-id propagation),
+// determinism (sim reproducibility), planeaccess (control/data-plane
+// discipline), errflow (MMIO error handling), policyaction — are
+// joined by interprocedural analyzers over the module-wide call graph:
+// hotalloc (allocation-free hot paths), shardisolation (no mutable
+// state shared between shard engines), dsidflow (literal-0 DS-ids
+// flowing into packet tags), and pardcheck (abstract interpretation of
+// .pard policy files). See LINTING.md for what each invariant protects
+// and how to suppress a finding.
 //
 // Usage:
 //
-//	pardlint [packages]
+//	pardlint [-list] [-json] [-stale] [packages]
 //
 // Package patterns follow the go tool's shape ("./...", "./internal/sim");
-// with no arguments the whole module is analyzed. Exit status is 1 when
-// findings are reported, 2 on usage or load errors.
+// with no arguments the whole module is analyzed, including every
+// tracked .pard policy file. -json emits findings as a JSON array.
+// -stale restricts output to stale-suppression findings, printed as a
+// removal checklist. Exit status is 1 when findings are reported, 2 on
+// usage or load errors.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -21,26 +30,46 @@ import (
 	"strings"
 
 	"repro/internal/lint"
+	"repro/pard"
 )
+
+// jsonFinding is the -json output shape, one object per diagnostic.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
 
 func main() {
 	list := flag.Bool("list", false, "list analyzers and exit")
+	asJSON := flag.Bool("json", false, "emit findings as a JSON array")
+	staleOnly := flag.Bool("stale", false, "list only stale suppressions, as a removal checklist")
+	noPolicy := flag.Bool("nopolicy", false, "skip .pard policy files")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: pardlint [-list] [packages]\n")
+		fmt.Fprintf(os.Stderr, "usage: pardlint [-list] [-json] [-stale] [-nopolicy] [packages]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
 
 	if *list {
 		for _, a := range lint.All() {
-			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
 		}
+		fmt.Printf("%-16s %s\n", "pardcheck", "abstract interpretation of .pard policy files: unreachable rules, dead triggers, undamped raise/lower pairs")
 		return
 	}
 
 	patterns := flag.Args()
-	if len(patterns) == 0 {
+	wholeModule := len(patterns) == 0
+	if wholeModule {
 		patterns = []string{"./..."}
+	}
+	for _, p := range patterns {
+		if p == "./..." {
+			wholeModule = true
+		}
 	}
 
 	loader, err := lint.NewLoader(".")
@@ -55,18 +84,62 @@ func main() {
 	}
 
 	diags := lint.Run(pkgs, lint.All()...)
-	cwd, _ := os.Getwd()
-	for _, d := range diags {
-		name := d.Pos.Filename
-		if cwd != "" {
-			if rel, err := filepath.Rel(cwd, name); err == nil && !strings.HasPrefix(rel, "..") {
-				name = rel
+
+	// Policy files ride along on whole-module runs: boot a default
+	// system so pardcheck sees the real control-plane schemas.
+	if wholeModule && !*noPolicy {
+		sys := pard.NewSystem(pard.DefaultConfig())
+		policyDiags, err := lint.CheckPolicyFiles(".", sys.Firmware.ValidatePolicy)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pardlint:", err)
+			os.Exit(2)
+		}
+		diags = append(diags, policyDiags...)
+	}
+
+	if *staleOnly {
+		var stale []lint.Diagnostic
+		for _, d := range diags {
+			if d.Analyzer == "stalesuppression" {
+				stale = append(stale, d)
 			}
 		}
-		fmt.Printf("%s:%d:%d: %s: %s\n", name, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+		diags = stale
+	}
+
+	cwd, _ := os.Getwd()
+	rel := func(name string) string {
+		if cwd != "" {
+			if r, err := filepath.Rel(cwd, name); err == nil && !strings.HasPrefix(r, "..") {
+				return r
+			}
+		}
+		return name
+	}
+
+	if *asJSON {
+		out := make([]jsonFinding, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, jsonFinding{
+				File: rel(d.Pos.Filename), Line: d.Pos.Line, Col: d.Pos.Column,
+				Analyzer: d.Analyzer, Message: d.Message,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, "pardlint:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Printf("%s:%d:%d: %s: %s\n", rel(d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+		}
 	}
 	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "pardlint: %d finding(s) across %d package(s)\n", len(diags), len(pkgs))
+		if !*asJSON {
+			fmt.Fprintf(os.Stderr, "pardlint: %d finding(s) across %d package(s)\n", len(diags), len(pkgs))
+		}
 		os.Exit(1)
 	}
 }

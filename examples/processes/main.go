@@ -53,6 +53,7 @@ func run(partition bool) (svcMiss string) {
 type mem struct{ e *sim.Engine }
 
 func (m mem) Request(p *core.Packet) {
+	//pardlint:ignore hotalloc toy backing memory for an example: clarity over allocation discipline
 	m.e.Schedule(60*sim.Nanosecond, func() { p.Complete(m.e.Now()) })
 }
 

@@ -1,0 +1,95 @@
+// Package bench holds the in-process micro-benchmark measurements
+// shared by cmd/pardbench (which records them into BENCH.json) and
+// cmd/benchgate (which replays them against the committed record and
+// fails CI on a trajectory regression).
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// Micro is one micro-benchmark measurement, in the units BENCH.json's
+// pard-bench/v1 schema records.
+type Micro struct {
+	Note           string  `json:"note,omitempty"`
+	EventsPerSec   float64 `json:"events_per_sec"`
+	NsPerEvent     float64 `json:"ns_per_event"`
+	AllocsPerEvent float64 `json:"allocs_per_event"`
+	BytesPerEvent  float64 `json:"bytes_per_event"`
+}
+
+func fromResult(r testing.BenchmarkResult) Micro {
+	ns := float64(r.T.Nanoseconds()) / float64(r.N)
+	return Micro{
+		EventsPerSec:   1e9 / ns,
+		NsPerEvent:     ns,
+		AllocsPerEvent: float64(r.AllocsPerOp()),
+		BytesPerEvent:  float64(r.AllocedBytesPerOp()),
+	}
+}
+
+// engineTick is a self-rescheduling eventer: the same workload as
+// BenchmarkEngineThroughput in bench_test.go.
+type engineTick struct {
+	e        *sim.Engine
+	n, limit int
+}
+
+func (t *engineTick) RunEvent() {
+	t.n++
+	if t.n < t.limit {
+		t.e.ScheduleEventer(1, t)
+	}
+}
+
+// MeasureEngine times schedule-dispatch round trips through the
+// specialized event heap, one event in flight.
+func MeasureEngine() Micro {
+	return fromResult(testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		e := sim.NewEngine()
+		tick := &engineTick{e: e, limit: b.N}
+		e.ScheduleEventer(1, tick)
+		b.ResetTimer()
+		e.Drain(0)
+	}))
+}
+
+// nopMem completes every request on the spot: the cache's miss path
+// never runs, so the measurement isolates the hit path.
+type nopMem struct{ e *sim.Engine }
+
+func (m nopMem) Request(p *core.Packet) { p.Complete(m.e.Now()) }
+
+// MeasureLLCHitPath times a pooled cache-hit round trip end to end —
+// the same workload as BenchmarkLLCHitPathPooled: NewPacket recycles a
+// pooled packet, the lookup schedules through the packet's embedded
+// event slot, and Complete returns the packet to the pool. Steady state
+// allocates nothing, and benchgate holds that line.
+func MeasureLLCHitPath() Micro {
+	return fromResult(testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		e := sim.NewEngine()
+		ids := &core.IDSource{}
+		ids.EnablePool()
+		c := cache.New(e, sim.NewClock(e, 500), ids, cache.Config{
+			Name: "llc", SizeBytes: 4 << 20, Ways: 16, BlockSize: 64,
+			HitLatency: 20, ControlPlane: true,
+		}, nopMem{e})
+		warm := core.NewPacket(ids, core.KindMemRead, 1, 0, 64, 0)
+		c.Request(warm)
+		e.StepUntil(warm.Completed)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			p := core.NewPacket(ids, core.KindMemRead, 1, 0, 64, e.Now())
+			c.Request(p)
+			for !p.Completed() {
+				e.Step()
+			}
+		}
+	}))
+}

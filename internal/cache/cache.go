@@ -204,10 +204,13 @@ func New(e *sim.Engine, clock *sim.Clock, ids *core.IDSource, cfg Config, next c
 	if c.rng == 0 {
 		c.rng = 0x9E3779B97F4A7C15
 	}
+	//pardlint:hotpath prebound lookup callback: one per Request
 	c.lookupFn = func(p *core.Packet) { c.lookupStep(p, false) }
+	//pardlint:hotpath prebound retry callback after a structural stall
 	c.retryFn = func(p *core.Packet) { c.lookupStep(p, true) }
 	// A fill read's address and DS-id are exactly its MSHR key, so one
 	// shared completion callback serves every fill.
+	//pardlint:hotpath prebound fill-completion callback
 	c.fillDoneFn = func(p *core.Packet) {
 		c.fill(mshrKey{block: p.Addr, ds: p.DSID}, false)
 	}
@@ -388,6 +391,7 @@ func (c *Cache) getEntry() *mshrEntry {
 		c.entryPool = c.entryPool[:n-1]
 		return e
 	}
+	//pardlint:ignore hotalloc pool miss: amortized to zero once entryPool reaches steady-state depth
 	return &mshrEntry{}
 }
 
@@ -582,6 +586,7 @@ func (c *Cache) decOccupancy(ds core.DSID) {
 func (c *Cache) account(ds core.DSID, hit bool) {
 	r, ok := c.missRatio[ds]
 	if !ok {
+		//pardlint:ignore hotalloc first sight of a DS-id: bounded by LDom count, not request count
 		r = &metric.Ratio{}
 		c.missRatio[ds] = r
 	}

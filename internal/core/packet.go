@@ -109,6 +109,8 @@ func (p *Packet) String() string {
 // Completing a packet twice panics: it would corrupt latency accounting.
 // A pooled packet is recycled into its IDSource free list after OnDone
 // returns — see the lifetime rule on Packet.
+//
+//pardlint:hotpath every completed request funnels through here
 func (p *Packet) Complete(now sim.Tick) {
 	if p.completed {
 		panic("core: packet completed twice: " + p.String())
@@ -158,6 +160,8 @@ func (p *Packet) ScheduleCallAt(e *sim.Engine, when sim.Tick, fn func(*Packet)) 
 
 // RunEvent implements sim.Eventer: it clears and invokes the pending
 // scheduled call. The slot is cleared first so fn may schedule again.
+//
+//pardlint:hotpath engine dispatch target for every packet-embedded event
 func (p *Packet) RunEvent() {
 	fn := p.callFn
 	if fn == nil {
@@ -238,6 +242,8 @@ func (r *TagRegister) Get() DSID { return r.ds }
 // NewPacket is a convenience constructor stamping issue time and id. On
 // a pooled source it reuses a recycled packet when one is free, fully
 // resetting it; otherwise it allocates.
+//
+//pardlint:hotpath per-request packet acquisition
 func NewPacket(ids *IDSource, kind Kind, ds DSID, addr uint64, size uint32, now sim.Tick) *Packet {
 	id := ids.Next()
 	if ids.pooled {
@@ -247,6 +253,7 @@ func NewPacket(ids *IDSource, kind Kind, ds DSID, addr uint64, size uint32, now 
 			ids.free[n-1] = nil
 			ids.free = ids.free[:n-1]
 		} else {
+			//pardlint:ignore hotalloc pool miss: amortized to zero once the free list reaches steady-state depth
 			p = new(Packet)
 		}
 		*p = Packet{
@@ -260,6 +267,7 @@ func NewPacket(ids *IDSource, kind Kind, ds DSID, addr uint64, size uint32, now 
 		}
 		return p
 	}
+	//pardlint:ignore hotalloc unpooled sources are a test-only configuration; production servers pool
 	return &Packet{
 		ID:    id,
 		Kind:  kind,

@@ -84,6 +84,7 @@ func New(id int, clock *sim.Clock, ids *core.IDSource, mem, io core.Target) *Cor
 		io:     io,
 	}
 	c.stepFn = c.step
+	//pardlint:hotpath prebound memory-completion callback
 	c.memDoneFn = func(*core.Packet) {
 		c.outstanding--
 		if c.waiting {
@@ -92,6 +93,7 @@ func New(id int, clock *sim.Clock, ids *core.IDSource, mem, io core.Target) *Cor
 			c.clock.ScheduleCycles(1, c.stepFn)
 		}
 	}
+	//pardlint:hotpath prebound I/O-completion callback
 	c.ioDoneFn = func(done *core.Packet) {
 		c.StallTicks += done.Latency()
 		c.clock.ScheduleCycles(1, c.stepFn)
@@ -148,6 +150,7 @@ func (c *Core) Interrupt(vector uint8) {
 	c.pendingIntr += h
 }
 
+//pardlint:hotpath prebound per-cycle core step (stepFn)
 func (c *Core) step() {
 	if !c.running {
 		return

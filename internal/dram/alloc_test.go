@@ -1,0 +1,23 @@
+package dram
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// latencyOf and service used to bind a cycle-conversion closure on
+// every call; cyc is a method now. The scheduler probe path runs once
+// per candidate request per command slot, so it must not allocate.
+func TestLatencyProbeAllocFree(t *testing.T) {
+	e, c, ids := newCtrl(false)
+	p := core.NewPacket(ids, core.KindMemRead, 1, 0x2000, 64, e.Now())
+	r := c.getReq()
+	r.pkt, r.bank, r.row = p, 0, 3
+	r.rbuf = c.rowBufOf(p.DSID)
+	if avg := testing.AllocsPerRun(200, func() {
+		_ = c.latencyOf(r, e.Now())
+	}); avg != 0 {
+		t.Fatalf("latencyOf allocates %.1f objects per scheduler probe", avg)
+	}
+}

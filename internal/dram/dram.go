@@ -186,6 +186,7 @@ func New(e *sim.Engine, ids *core.IDSource, cfg Config) *Controller {
 		qlatWin:  make(map[core.DSID]*qlatWindow),
 		bytesWin: make(map[core.DSID]*metric.Rate),
 	}
+	//pardlint:hotpath prebound burst-completion callback
 	c.completeFn = func(p *core.Packet) {
 		c.rec.Finish(c.hop, p)
 		p.Complete(c.engine.Now())
@@ -337,6 +338,7 @@ func (c *Controller) getReq() *request {
 		c.reqPool = c.reqPool[:n-1]
 		return r
 	}
+	//pardlint:ignore hotalloc pool miss: amortized to zero once reqPool reaches steady-state depth
 	return new(request)
 }
 
@@ -366,6 +368,8 @@ func (c *Controller) pump() {
 // issue runs the DRAM scheduler for one command slot: high-priority
 // queues first, FR-FCFS (row hit first, then oldest) within a queue
 // (paper Figure 5 step 4).
+//
+//pardlint:hotpath prebound scheduler slot (issueFn)
 func (c *Controller) issue() {
 	c.pumping = false
 	now := c.engine.Now()
@@ -390,23 +394,27 @@ func (c *Controller) issue() {
 	}
 }
 
+// cyc converts DRAM command cycles to engine ticks. A method rather
+// than a per-call closure: latencyOf and service run once per scheduler
+// slot, where even a stack-spilled closure binding is measurable.
+func (c *Controller) cyc(n uint64) sim.Tick { return sim.Tick(n) * c.cfg.TCK }
+
 // latencyOf computes the access latency r would see if issued now,
 // without mutating bank state.
 func (c *Controller) latencyOf(r *request, now sim.Tick) sim.Tick {
 	b := &c.banks[r.bank]
-	cyc := func(n uint64) sim.Tick { return sim.Tick(n) * c.cfg.TCK }
 	burst := c.burstCyclesOf(r)
 	switch {
 	case b.rows[r.rbuf] == int64(r.row):
-		return cyc(c.cfg.TCL + burst)
+		return c.cyc(c.cfg.TCL + burst)
 	case b.rows[r.rbuf] == -1:
-		return cyc(c.cfg.TRCD + c.cfg.TCL + burst)
+		return c.cyc(c.cfg.TRCD + c.cfg.TCL + burst)
 	default:
 		start := now
-		if min := b.lastAct + cyc(c.cfg.TRAS); min > start {
+		if min := b.lastAct + c.cyc(c.cfg.TRAS); min > start {
 			start = min
 		}
-		return (start - now) + cyc(c.cfg.TRP+c.cfg.TRCD+c.cfg.TCL+burst)
+		return (start - now) + c.cyc(c.cfg.TRP+c.cfg.TRCD+c.cfg.TCL+burst)
 	}
 }
 
@@ -420,6 +428,7 @@ func (c *Controller) busConflicts(end, width, now sim.Tick) bool {
 		if w.End <= now {
 			continue // burst fully drained; forget it
 		}
+		//pardlint:ignore hotalloc live aliases c.bursts[:0], so this filtered append never outgrows the existing backing array
 		live = append(live, w)
 		// [end-width, end] and [w.End-w.Width, w.End] overlap?
 		if end > w.End-w.Width && w.End > end-width {
@@ -494,7 +503,6 @@ func (c *Controller) service(r *request, level int, now sim.Tick) {
 	// channel occupancy that follows is service time.
 	c.rec.Service(c.hop, r.pkt)
 	b := &c.banks[r.bank]
-	cyc := func(n uint64) sim.Tick { return sim.Tick(n) * c.cfg.TCK }
 
 	latency := c.latencyOf(r, now)
 	switch {
@@ -505,10 +513,10 @@ func (c *Controller) service(r *request, level int, now sim.Tick) {
 	default: // conflict: precharge (after tRAS) + activate
 		c.RowConflicts++
 		start := now
-		if min := b.lastAct + cyc(c.cfg.TRAS); min > start {
+		if min := b.lastAct + c.cyc(c.cfg.TRAS); min > start {
 			start = min
 		}
-		b.lastAct = start + cyc(c.cfg.TRP)
+		b.lastAct = start + c.cyc(c.cfg.TRP)
 	}
 	b.rows[r.rbuf] = int64(r.row)
 	b.busyTill = now + latency
@@ -531,6 +539,7 @@ func (c *Controller) service(r *request, level int, now sim.Tick) {
 	ds := r.pkt.DSID
 	w, ok := c.qlatWin[ds]
 	if !ok {
+		//pardlint:ignore hotalloc first sight of a DS-id: bounded by LDom count, not request count
 		w = &qlatWindow{}
 		c.qlatWin[ds] = w
 	}
@@ -538,6 +547,7 @@ func (c *Controller) service(r *request, level int, now sim.Tick) {
 	w.count++
 	rate, ok := c.bytesWin[ds]
 	if !ok {
+		//pardlint:ignore hotalloc first sight of a DS-id: bounded by LDom count, not request count
 		rate = &metric.Rate{}
 		c.bytesWin[ds] = rate
 	}

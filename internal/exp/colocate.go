@@ -42,27 +42,22 @@ func memcachedModel(rps float64) *workload.Memcached {
 	})
 }
 
-// llcGuardPolicy, when set via SetLLCGuardPolicy, replaces the
-// hand-installed pardtrigger rule in the Figure 8/9 trigger arms with
-// a compiled .pard policy. The shipped examples/policies/llc_guard.pard
-// reproduces the built-in llc_grow_to_half action exactly, so the
-// experiment output is byte-identical either way (pardbench -policy
-// relies on this).
-var llcGuardPolicy string
-
-// SetLLCGuardPolicy routes the colocation experiments' QoS rule
-// through the policy engine instead of the built-in action.
-func SetLLCGuardPolicy(src string) { llcGuardPolicy = src }
-
 // installLLCGuard installs the paper's §7.1.2 rule —
 // LLC.miss_rate > 30% => grow memcached's LLC share to half —
-// either as the classic pardtrigger line or as a policy.
-func installLLCGuard(sys *pard.System) {
-	if llcGuardPolicy == "" {
+// either as the classic pardtrigger line or, when policy source is
+// given (Fig8Config/Fig9Config.LLCGuardPolicy, pardbench -policy), as a
+// compiled .pard policy. The shipped examples/policies/llc_guard.pard
+// reproduces the built-in llc_grow_to_half action exactly, so the
+// experiment output is byte-identical either way. The source rides in
+// the per-run config rather than a package global: experiment code is
+// shard-executable, and shardisolation proves no cross-shard mutable
+// state hides here.
+func installLLCGuard(sys *pard.System, policy string) {
+	if policy == "" {
 		sys.Firmware.MustSh("pardtrigger cpa0 -ldom=0 -stats=miss_rate -cond=gt,300 -action=llc_grow_to_half")
 		return
 	}
-	if err := sys.LoadPolicy("llc_guard", llcGuardPolicy); err != nil {
+	if err := sys.LoadPolicy("llc_guard", policy); err != nil {
 		panic("exp: llc guard policy: " + err.Error())
 	}
 }
@@ -80,7 +75,7 @@ type colocation struct {
 // first:
 //
 //	LLC.miss_rate > 30% => llc_grow_to_half
-func newColocation(rps float64, arm Arm, streamDelay sim.Tick) *colocation {
+func newColocation(rps float64, arm Arm, streamDelay sim.Tick, guardPolicy string) *colocation {
 	cfg := pard.DefaultConfig()
 	cfg.SampleInterval = 50 * sim.Microsecond
 	sys := pard.NewSystem(cfg)
@@ -90,7 +85,7 @@ func newColocation(rps float64, arm Arm, streamDelay sim.Tick) *colocation {
 		MemBase: 0, MemSize: 2 << 30, Priority: 1, RowBuf: 1,
 	})
 	if arm == ArmTrigger {
-		installLLCGuard(sys)
+		installLLCGuard(sys, guardPolicy)
 	}
 
 	mc := memcachedModel(rps)

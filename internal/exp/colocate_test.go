@@ -1,0 +1,24 @@
+package exp
+
+import "testing"
+
+// The LLC guard policy source used to ride in a package-level variable
+// (SetLLCGuardPolicy), which every shard of a parallel rack would have
+// shared and raced on — the exact class of bug the shardisolation
+// analyzer exists to catch. It now rides in the per-run config; two
+// colocations built back to back must not see each other's setting.
+func TestGuardPolicyIsPerRun(t *testing.T) {
+	const src = `rule llc_grow cpa llc ldom memcached:
+    when miss_rate > 30%
+    => waymask = 0xff00, others waymask = 0x00ff
+`
+	withPolicy := newColocation(1000, ArmTrigger, 0, src)
+	builtin := newColocation(1000, ArmTrigger, 0, "")
+
+	if got := withPolicy.Sys.Firmware.Policies(); len(got) != 1 || got[0] != "llc_guard" {
+		t.Fatalf("policy-configured run should carry exactly [llc_guard], got %v", got)
+	}
+	if got := builtin.Sys.Firmware.Policies(); len(got) != 0 {
+		t.Fatalf("guard policy leaked into a run configured without one: %v", got)
+	}
+}

@@ -66,6 +66,7 @@ func (d *DMAEngine) Transfer(addr uint64, n uint32, toMem bool, onDone func()) {
 		last := i == remaining-1
 		if last && onDone != nil {
 			done := onDone
+			//pardlint:ignore hotalloc one completion wrapper per DMA transfer, amortized against the microsecond-scale transfer it tails
 			p.OnDone = func(*core.Packet) { done() }
 		}
 		d.Transferred += uint64(sz)

@@ -2,6 +2,7 @@ package iodev
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/core"
 	"repro/internal/metric"
@@ -56,6 +57,11 @@ type NIC struct {
 	plane *core.Plane
 	vnics map[uint64]*vnic // MAC -> vNIC
 
+	// macOrder holds the bound MACs in ascending order, maintained at
+	// bind/unbind time so the per-frame DS-id classification in vnicByDS
+	// never sorts (or allocates) on the TX path.
+	macOrder []uint64
+
 	// flows maps OpenFlow-style flow ids to DS-ids — the paper's §4.1
 	// alternative of integrating PARD with an SDN so a DS-id travels
 	// across servers correlated with the network flowid. Flow-table
@@ -74,6 +80,10 @@ type NIC struct {
 	linked map[*NIC]bool
 
 	rxWin map[core.DSID]*metric.Rate
+
+	// Prebound TX completion callback: closes the recorder span and
+	// completes the packet without a per-frame closure.
+	txDoneFn func(*core.Packet)
 
 	RxFrames, TxFrames, DroppedFrames uint64
 
@@ -118,6 +128,11 @@ func NewNIC(e *sim.Engine, ids *core.IDSource, cfg NICConfig, mem core.Target, a
 		core.Column{Name: StatDropped},
 	)
 	n.plane = core.NewPlane(e, "NIC_CP", core.PlaneTypeNIC, params, stats, cfg.TriggerSlots)
+	//pardlint:hotpath prebound TX-completion callback
+	n.txDoneFn = func(p *core.Packet) {
+		n.rec.Finish(n.hop, p)
+		p.Complete(n.engine.Now())
+	}
 	return n
 }
 
@@ -148,6 +163,10 @@ func (n *NIC) BindVNIC(mac uint64, ds core.DSID, buf uint64) error {
 	v.tag.Set(ds)
 	v.dma.Program(ds)
 	n.vnics[mac] = v
+	i := sort.Search(len(n.macOrder), func(i int) bool { return n.macOrder[i] >= mac })
+	n.macOrder = append(n.macOrder, 0)
+	copy(n.macOrder[i+1:], n.macOrder[i:])
+	n.macOrder[i] = mac
 	n.plane.SetParam(ds, ParamVNICMac, mac)
 	return nil
 }
@@ -168,6 +187,9 @@ func (n *NIC) UnbindVNIC(mac uint64) {
 	}
 	n.plane.DeleteRow(ds)
 	delete(n.vnics, mac)
+	if i := sort.Search(len(n.macOrder), func(i int) bool { return n.macOrder[i] >= mac }); i < len(n.macOrder) && n.macOrder[i] == mac {
+		n.macOrder = append(n.macOrder[:i], n.macOrder[i+1:]...)
+	}
 }
 
 // Wire carries transmitted frames toward a peer NIC. Deliver is called
@@ -348,24 +370,20 @@ func (n *NIC) Request(p *core.Packet) {
 	wireDelay := sim.Tick(uint64(p.Size) * uint64(sim.Second) / n.cfg.BytesPerSec)
 	if v == nil {
 		// No vNIC: transmit without DMA modeling.
-		n.engine.Schedule(wireDelay, func() {
-			n.rec.Finish(n.hop, p)
-			p.Complete(n.engine.Now())
-		})
+		p.ScheduleCallAt(n.engine, n.engine.Now()+wireDelay, n.txDoneFn)
 		return
 	}
+	//pardlint:ignore hotalloc one closure per DMA-programmed TX frame, amortized against the microsecond-scale DMA plus wire latency it waits on
 	v.dma.Transfer(p.Addr, p.Size, false, func() {
-		n.engine.Schedule(wireDelay, func() {
-			n.rec.Finish(n.hop, p)
-			p.Complete(n.engine.Now())
-		})
+		p.ScheduleCallAt(n.engine, n.engine.Now()+wireDelay, n.txDoneFn)
 	})
 }
 
 func (n *NIC) vnicByDS(ds core.DSID) *vnic {
-	// Sorted iteration: with duplicate DS-id bindings the lowest-MAC
-	// vNIC must win on every run, not whichever the map yields first.
-	for _, mac := range core.SortedKeys(n.vnics) {
+	// macOrder is kept sorted at bind time: with duplicate DS-id bindings
+	// the lowest-MAC vNIC must win on every run, not whichever the map
+	// yields first — and classifying a frame must not sort per packet.
+	for _, mac := range n.macOrder {
 		if v := n.vnics[mac]; v.tag.Get() == ds {
 			return v
 		}

@@ -1,0 +1,55 @@
+package iodev
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// vnicByDS used to sort the MAC map per transmitted frame; the sorted
+// macOrder slice is now maintained at bind/unbind time instead. These
+// tests pin both halves of that change: the lookup still resolves
+// duplicate DS-id bindings to the lowest MAC, and classification no
+// longer allocates on the TX path.
+
+func TestVNICLookupLowestMACWins(t *testing.T) {
+	e := sim.NewEngine()
+	n := NewNIC(e, &core.IDSource{}, DefaultNICConfig(), &sinkMem{e: e}, nil)
+	// Bind out of MAC order, with two vNICs sharing DS-id 7.
+	for _, b := range []struct {
+		mac uint64
+		ds  core.DSID
+	}{{0xCC, 7}, {0xAA, 7}, {0xBB, 3}} {
+		if err := n.BindVNIC(b.mac, b.ds, 0x1000); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if v := n.vnicByDS(7); v == nil || v.mac != 0xAA {
+		t.Fatalf("duplicate DS-id binding must resolve to the lowest MAC, got %+v", v)
+	}
+	n.UnbindVNIC(0xAA)
+	if v := n.vnicByDS(7); v == nil || v.mac != 0xCC {
+		t.Fatalf("after unbinding 0xAA, DS-id 7 should map to 0xCC, got %+v", v)
+	}
+	if v := n.vnicByDS(3); v == nil || v.mac != 0xBB {
+		t.Fatalf("unbind disturbed an unrelated binding: %+v", v)
+	}
+}
+
+func TestVNICLookupAllocFree(t *testing.T) {
+	e := sim.NewEngine()
+	n := NewNIC(e, &core.IDSource{}, DefaultNICConfig(), &sinkMem{e: e}, nil)
+	for mac := uint64(1); mac <= 8; mac++ {
+		if err := n.BindVNIC(mac, core.DSID(mac), 0x1000); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if avg := testing.AllocsPerRun(200, func() {
+		if n.vnicByDS(8) == nil {
+			t.Fatal("lookup lost a binding")
+		}
+	}); avg != 0 {
+		t.Fatalf("vnicByDS allocates %.1f objects per frame classification", avg)
+	}
+}

@@ -1,0 +1,472 @@
+package lint
+
+// Interprocedural layer: a monomorphized call graph over every loaded
+// package. Nodes are function bodies (declarations and literals); edges
+// are direct calls, interface calls devirtualized over the module's
+// known component set, and function/method values bound for later
+// invocation. The graph is the substrate for the whole-program
+// analyzers (hotalloc, shardisolation, dsidflow) and the worklist
+// fixpoint engine in dataflow.go.
+//
+// Soundness limits (documented in DESIGN.md §12): values stored into
+// func-typed fields cannot be resolved at the load site, so hot-path
+// roots are declared with //pardlint:hotpath annotations on the bound
+// targets instead; reflection and unsafe are invisible; interface calls
+// devirtualize only to implementations inside the loaded packages.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+)
+
+// EdgeKind classifies how a caller reaches a callee.
+type EdgeKind int
+
+// Edge kinds.
+const (
+	EdgeCall   EdgeKind = iota // direct static call
+	EdgeDevirt                 // interface method call, devirtualized
+	EdgeRef                    // function/method value bound (may run later)
+)
+
+func (k EdgeKind) String() string {
+	switch k {
+	case EdgeDevirt:
+		return "devirt"
+	case EdgeRef:
+		return "ref"
+	}
+	return "call"
+}
+
+// Edge is one call-graph edge at a specific source site.
+type Edge struct {
+	Kind   EdgeKind
+	Callee *Node
+	Pos    token.Pos
+	// Cold marks sites inside panic-terminated regions: blocks whose
+	// last statement panics, and panic call arguments. Failure paths
+	// may allocate (error text formatting); the hot-path analysis skips
+	// cold edges and cold allocation sites.
+	Cold bool
+}
+
+// Node is one function body in the graph: a declared function/method or
+// a function literal.
+type Node struct {
+	Fn   *types.Func   // nil for literals
+	Lit  *ast.FuncLit  // nil for declarations
+	Decl *ast.FuncDecl // nil for literals
+	Pkg  *Package
+	Name string // display name, e.g. "internal/cache.(*Cache).lookupStep"
+	Pos  token.Pos
+	Hot  bool // carries a //pardlint:hotpath root annotation
+
+	Out []Edge
+	In  []*Node // distinct caller nodes, for bottom-up propagation
+}
+
+// Body returns the node's function body.
+func (n *Node) Body() *ast.BlockStmt {
+	if n.Lit != nil {
+		return n.Lit.Body
+	}
+	return n.Decl.Body
+}
+
+// Graph is the module call graph over a set of loaded packages.
+type Graph struct {
+	Nodes []*Node // deterministic: package load order, then position
+	Fset  *token.FileSet
+
+	byFunc map[*types.Func]*Node
+	byLit  map[*ast.FuncLit]*Node
+
+	// named lists every defined (non-interface) package-level type in
+	// the loaded set — the "known component set" interface calls are
+	// devirtualized over.
+	named []*types.Named
+
+	// devirtCache memoizes implementer lookups per (interface, method).
+	devirtCache map[devirtKey][]*Node
+}
+
+type devirtKey struct {
+	iface *types.Interface
+	name  string
+}
+
+// NodeOf returns the graph node for a declared function, or nil when fn
+// has no body in the loaded set.
+func (g *Graph) NodeOf(fn *types.Func) *Node { return g.byFunc[fn] }
+
+var hotpathRe = regexp.MustCompile(`^//\s*pardlint:hotpath\b`)
+
+// BuildGraph constructs the call graph for the loaded packages.
+func BuildGraph(pkgs []*Package) *Graph {
+	g := &Graph{
+		byFunc:      make(map[*types.Func]*Node),
+		byLit:       make(map[*ast.FuncLit]*Node),
+		devirtCache: make(map[devirtKey][]*Node),
+	}
+	if len(pkgs) > 0 {
+		g.Fset = pkgs[0].Fset
+	}
+
+	// Pass 1: nodes for every declared function with a body, hot-root
+	// annotations, and the defined-type universe for devirtualization.
+	for _, pkg := range pkgs {
+		hot := hotpathLines(pkg)
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				n := &Node{
+					Fn:   fn,
+					Decl: fd,
+					Pkg:  pkg,
+					Name: pkg.RelPath + "." + declName(fd),
+					Pos:  fd.Pos(),
+					Hot:  declIsHot(pkg, fd, hot),
+				}
+				g.Nodes = append(g.Nodes, n)
+				g.byFunc[fn] = n
+			}
+		}
+		g.collectNamed(pkg)
+	}
+
+	// Pass 2: edges. Function literals get their own nodes as they are
+	// discovered; their bodies are walked attributed to the literal.
+	for _, pkg := range pkgs {
+		hot := hotpathLines(pkg)
+		// Snapshot: pass 2 appends literal nodes to g.Nodes.
+		decls := make([]*Node, 0)
+		for _, n := range g.Nodes {
+			if n.Pkg == pkg && n.Decl != nil {
+				decls = append(decls, n)
+			}
+		}
+		for _, n := range decls {
+			g.walkBody(n, hot)
+		}
+	}
+
+	// Deduplicate In lists deterministically.
+	for _, n := range g.Nodes {
+		for _, e := range n.Out {
+			e.Callee.In = append(e.Callee.In, n)
+		}
+	}
+	for _, n := range g.Nodes {
+		n.In = dedupNodes(n.In)
+	}
+	return g
+}
+
+// hotpathLines collects //pardlint:hotpath directive lines per file.
+func hotpathLines(pkg *Package) map[string]map[int]bool {
+	out := make(map[string]map[int]bool)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !hotpathRe.MatchString(c.Text) {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				if out[pos.Filename] == nil {
+					out[pos.Filename] = make(map[int]bool)
+				}
+				out[pos.Filename][pos.Line] = true
+			}
+		}
+	}
+	return out
+}
+
+// declIsHot reports whether fd carries a hotpath annotation, either in
+// its doc comment or on the line directly above the declaration.
+func declIsHot(pkg *Package, fd *ast.FuncDecl, hot map[string]map[int]bool) bool {
+	if fd.Doc != nil {
+		for _, c := range fd.Doc.List {
+			if hotpathRe.MatchString(c.Text) {
+				return true
+			}
+		}
+	}
+	pos := pkg.Fset.Position(fd.Pos())
+	return hot[pos.Filename][pos.Line-1]
+}
+
+// litIsHot reports whether a function literal sits on or directly below
+// a hotpath directive line (annotating prebound-callback assignments).
+func litIsHot(pkg *Package, lit *ast.FuncLit, hot map[string]map[int]bool) bool {
+	pos := pkg.Fset.Position(lit.Pos())
+	return hot[pos.Filename][pos.Line] || hot[pos.Filename][pos.Line-1]
+}
+
+// declName renders "Func" or "(*Recv).Method" for display names.
+func declName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		if id, ok := star.X.(*ast.Ident); ok {
+			return "(*" + id.Name + ")." + fd.Name.Name
+		}
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name + "." + fd.Name.Name
+	}
+	return fd.Name.Name
+}
+
+// collectNamed records the package's defined non-interface types.
+func (g *Graph) collectNamed(pkg *Package) {
+	if pkg.Types == nil {
+		return
+	}
+	scope := pkg.Types.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok || types.IsInterface(named) {
+			continue
+		}
+		g.named = append(g.named, named)
+	}
+}
+
+// walkBody scans one node's body for call-graph edges, creating nodes
+// for nested function literals and recursing into them.
+func (g *Graph) walkBody(n *Node, hot map[string]map[int]bool) {
+	body := n.Body()
+	if body == nil {
+		return
+	}
+	cold := coldRanges(body)
+	isCold := func(p token.Pos) bool {
+		for _, r := range cold {
+			if p >= r[0] && p <= r[1] {
+				return true
+			}
+		}
+		return false
+	}
+	// calleeExprs holds each call's Fun expression so the value-reference
+	// pass below does not double-count it; Inspect is pre-order, so a
+	// CallExpr registers its Fun before the Fun itself is visited.
+	calleeExprs := make(map[ast.Expr]bool)
+	info := n.Pkg.Info
+
+	// calledLits are immediately-invoked literals already edged as calls;
+	// the later FuncLit visit must not add a second (ref) edge.
+	calledLits := make(map[*ast.FuncLit]bool)
+
+	ast.Inspect(body, func(node ast.Node) bool {
+		switch x := node.(type) {
+		case *ast.FuncLit:
+			lit := g.litNode(n.Pkg, x, hot)
+			if !calledLits[x] {
+				n.Out = append(n.Out, Edge{Kind: EdgeRef, Callee: lit, Pos: x.Pos(), Cold: isCold(x.Pos())})
+			}
+			return false // the literal's body belongs to the literal's node
+
+		case *ast.CallExpr:
+			fun := ast.Unparen(x.Fun)
+			calleeExprs[fun] = true
+			c := isCold(x.Pos())
+			switch fn := fun.(type) {
+			case *ast.SelectorExpr:
+				g.selectorEdges(n, fn, EdgeCall, c)
+			case *ast.Ident:
+				if callee, ok := info.Uses[fn].(*types.Func); ok {
+					g.addEdge(n, callee, EdgeCall, x.Pos(), c)
+				}
+			case *ast.FuncLit:
+				lit := g.litNode(n.Pkg, fn, hot)
+				n.Out = append(n.Out, Edge{Kind: EdgeCall, Callee: lit, Pos: x.Pos(), Cold: c})
+				calledLits[fn] = true
+			}
+			return true
+
+		case *ast.SelectorExpr:
+			if calleeExprs[x] {
+				return true
+			}
+			// Method value (p.Complete as a value) or method expression
+			// (T.Method): the target may run later — a ref edge.
+			g.selectorEdges(n, x, EdgeRef, isCold(x.Pos()))
+			return true
+
+		case *ast.Ident:
+			if calleeExprs[x] {
+				return true
+			}
+			if fn, ok := info.Uses[x].(*types.Func); ok && fn.Type() != nil {
+				if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() == nil {
+					// A package-level function used as a value.
+					g.addEdge(n, fn, EdgeRef, x.Pos(), isCold(x.Pos()))
+				}
+			}
+			return true
+		}
+		return true
+	})
+}
+
+// selectorEdges resolves a selector that names a function: a direct
+// method, a package-qualified function, an interface method (devirt),
+// or a method expression.
+func (g *Graph) selectorEdges(n *Node, sel *ast.SelectorExpr, kind EdgeKind, cold bool) {
+	info := n.Pkg.Info
+	if s, ok := info.Selections[sel]; ok {
+		fn, ok := s.Obj().(*types.Func)
+		if !ok {
+			return
+		}
+		switch s.Kind() {
+		case types.MethodVal:
+			if types.IsInterface(s.Recv()) {
+				g.devirtEdges(n, s.Recv(), fn.Name(), sel.Pos(), cold)
+				return
+			}
+			g.addEdge(n, fn, kind, sel.Pos(), cold)
+		case types.MethodExpr:
+			g.addEdge(n, fn, kind, sel.Pos(), cold)
+		}
+		return
+	}
+	// Package-qualified reference: pkg.Func.
+	if fn, ok := info.Uses[sel.Sel].(*types.Func); ok {
+		g.addEdge(n, fn, kind, sel.Pos(), cold)
+	}
+}
+
+// devirtEdges adds an edge to every loaded implementation of the
+// interface method — the monomorphization step.
+func (g *Graph) devirtEdges(n *Node, recv types.Type, method string, pos token.Pos, cold bool) {
+	iface, ok := recv.Underlying().(*types.Interface)
+	if !ok || iface.NumMethods() == 0 {
+		return
+	}
+	for _, callee := range g.implementers(iface, method) {
+		n.Out = append(n.Out, Edge{Kind: EdgeDevirt, Callee: callee, Pos: pos, Cold: cold})
+	}
+}
+
+// implementers returns the nodes for method on every defined type whose
+// pointer method set satisfies iface.
+func (g *Graph) implementers(iface *types.Interface, method string) []*Node {
+	key := devirtKey{iface: iface, name: method}
+	if nodes, ok := g.devirtCache[key]; ok {
+		return nodes
+	}
+	var out []*Node
+	for _, named := range g.named {
+		if !types.Implements(named, iface) && !types.Implements(types.NewPointer(named), iface) {
+			continue
+		}
+		obj, _, _ := types.LookupFieldOrMethod(types.NewPointer(named), true, named.Obj().Pkg(), method)
+		fn, ok := obj.(*types.Func)
+		if !ok {
+			continue
+		}
+		if node := g.byFunc[fn]; node != nil {
+			out = append(out, node)
+		}
+	}
+	g.devirtCache[key] = out
+	return out
+}
+
+// litNode returns the node for a function literal, creating it and
+// walking its body on first sight.
+func (g *Graph) litNode(pkg *Package, lit *ast.FuncLit, hot map[string]map[int]bool) *Node {
+	if n, ok := g.byLit[lit]; ok {
+		return n
+	}
+	pos := pkg.Fset.Position(lit.Pos())
+	n := &Node{
+		Lit:  lit,
+		Pkg:  pkg,
+		Name: pkg.RelPath + ".func@" + pos.String(),
+		Pos:  lit.Pos(),
+		Hot:  litIsHot(pkg, lit, hot),
+	}
+	g.Nodes = append(g.Nodes, n)
+	g.byLit[lit] = n
+	g.walkBody(n, hot)
+	return n
+}
+
+// addEdge links n to the node of callee, if callee's body was loaded.
+func (g *Graph) addEdge(n *Node, callee *types.Func, kind EdgeKind, pos token.Pos, cold bool) {
+	if node := g.byFunc[callee]; node != nil {
+		n.Out = append(n.Out, Edge{Kind: kind, Callee: node, Pos: pos, Cold: cold})
+	}
+}
+
+type posRange [2]token.Pos
+
+// coldRanges collects panic-terminated regions inside body: any block
+// whose final statement is a panic call, and the arguments of every
+// panic call. Code there runs at most once before the program dies, so
+// the hot-path analysis must not charge its allocations (error-message
+// formatting) to the steady state.
+func coldRanges(body ast.Node) []posRange {
+	var out []posRange
+	ast.Inspect(body, func(node ast.Node) bool {
+		switch x := node.(type) {
+		case *ast.BlockStmt:
+			if len(x.List) > 0 && isPanicStmt(x.List[len(x.List)-1]) {
+				out = append(out, posRange{x.Pos(), x.End()})
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				out = append(out, posRange{x.Pos(), x.End()})
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func isPanicStmt(s ast.Stmt) bool {
+	es, ok := s.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	return ok && id.Name == "panic"
+}
+
+func dedupNodes(ns []*Node) []*Node {
+	sort.Slice(ns, func(i, j int) bool { return ns[i].Pos < ns[j].Pos })
+	out := ns[:0]
+	var prev *Node
+	for _, n := range ns {
+		if n != prev {
+			out = append(out, n)
+		}
+		prev = n
+	}
+	return out
+}

@@ -1,0 +1,196 @@
+package lint
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// loadGraphFixture builds the call graph over testdata/src/fixtures/
+// callgraph, a package shaped to exhibit every edge kind.
+func loadGraphFixture(t *testing.T) *Graph {
+	t.Helper()
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.LoadDir(filepath.Join("testdata", "src", "fixtures", "callgraph"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return BuildGraph([]*Package{pkg})
+}
+
+// nodeByName resolves a node by display-name suffix ("english.greet").
+func nodeByName(t *testing.T, g *Graph, suffix string) *Node {
+	t.Helper()
+	for _, n := range g.Nodes {
+		if strings.HasSuffix(n.Name, suffix) {
+			return n
+		}
+	}
+	t.Fatalf("no node with name suffix %q", suffix)
+	return nil
+}
+
+func edgesTo(n *Node, callee *Node) []Edge {
+	var out []Edge
+	for _, e := range n.Out {
+		if e.Callee == callee {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+func TestGraphDirectCallEdge(t *testing.T) {
+	g := loadGraphFixture(t)
+	direct := nodeByName(t, g, ".direct")
+	speak := nodeByName(t, g, ".speak")
+	es := edgesTo(direct, speak)
+	if len(es) != 1 || es[0].Kind != EdgeCall {
+		t.Fatalf("direct -> speak: want one call edge, got %v", es)
+	}
+}
+
+// TestGraphDevirtualization: an interface call monomorphizes to exactly
+// the loaded implementations with a matching method — signature
+// mismatches (mute) are excluded.
+func TestGraphDevirtualization(t *testing.T) {
+	g := loadGraphFixture(t)
+	speak := nodeByName(t, g, ".speak")
+	var callees []string
+	for _, e := range speak.Out {
+		if e.Kind != EdgeDevirt {
+			t.Fatalf("speak has a non-devirt edge: %v -> %s", e.Kind, e.Callee.Name)
+		}
+		callees = append(callees, e.Callee.Name)
+	}
+	if len(callees) != 2 {
+		t.Fatalf("speak devirt callees = %v, want english.greet and french.greet", callees)
+	}
+	joined := strings.Join(callees, " ")
+	for _, want := range []string{"english.greet", "french.greet"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("devirt misses %s (got %v)", want, callees)
+		}
+	}
+	if strings.Contains(joined, "mute") {
+		t.Errorf("mute.greet has the wrong signature and must not devirtualize: %v", callees)
+	}
+}
+
+func TestGraphFunctionValueEdge(t *testing.T) {
+	g := loadGraphFixture(t)
+	bind := nodeByName(t, g, ".bind")
+	direct := nodeByName(t, g, ".direct")
+	es := edgesTo(bind, direct)
+	if len(es) != 1 || es[0].Kind != EdgeRef {
+		t.Fatalf("bind -> direct: want one ref edge, got %v", es)
+	}
+}
+
+func TestGraphMethodValueEdge(t *testing.T) {
+	g := loadGraphFixture(t)
+	bm := nodeByName(t, g, ".bindMethod")
+	eg := nodeByName(t, g, "english.greet")
+	es := edgesTo(bm, eg)
+	if len(es) != 1 || es[0].Kind != EdgeRef {
+		t.Fatalf("bindMethod -> english.greet: want one ref edge, got %v", es)
+	}
+}
+
+// TestGraphImmediateLiteralSingleEdge: an immediately-invoked literal
+// produces one call edge to the literal's node, not a call plus a ref.
+func TestGraphImmediateLiteralSingleEdge(t *testing.T) {
+	g := loadGraphFixture(t)
+	im := nodeByName(t, g, ".immediate")
+	if len(im.Out) != 1 {
+		t.Fatalf("immediate has %d out edges, want 1: %v", len(im.Out), im.Out)
+	}
+	e := im.Out[0]
+	if e.Kind != EdgeCall || e.Callee.Lit == nil {
+		t.Fatalf("immediate's edge = kind %v to %s, want a call to a literal node", e.Kind, e.Callee.Name)
+	}
+}
+
+func TestGraphColdEdges(t *testing.T) {
+	g := loadGraphFixture(t)
+	fails := nodeByName(t, g, ".fails")
+	cold := edgesTo(fails, nodeByName(t, g, ".helperCold"))
+	hot := edgesTo(fails, nodeByName(t, g, ".helperHot"))
+	if len(cold) != 1 || !cold[0].Cold {
+		t.Errorf("fails -> helperCold: want one cold edge, got %v", cold)
+	}
+	if len(hot) != 1 || hot[0].Cold {
+		t.Errorf("fails -> helperHot: want one non-cold edge, got %v", hot)
+	}
+}
+
+// TestGraphHotRootReachability: reachability from the annotated root
+// follows call and devirt edges, skips cold ones, and Path explains the
+// chain.
+func TestGraphHotRootReachability(t *testing.T) {
+	g := loadGraphFixture(t)
+	root := nodeByName(t, g, ".hotRoot")
+	if !root.Hot {
+		t.Fatal("hotRoot lost its //pardlint:hotpath annotation")
+	}
+	reach := g.Reachable([]*Node{root})
+	for _, suffix := range []string{".direct", ".speak", "english.greet", "french.greet", ".helperHot"} {
+		if !reach.Has(nodeByName(t, g, suffix)) {
+			t.Errorf("%s should be hot-reachable from hotRoot", suffix)
+		}
+	}
+	for _, suffix := range []string{".helperCold", ".bindMethod", ".immediate"} {
+		if reach.Has(nodeByName(t, g, suffix)) {
+			t.Errorf("%s must not be hot-reachable from hotRoot", suffix)
+		}
+	}
+	path := reach.Path(nodeByName(t, g, "english.greet"), 3)
+	if !strings.Contains(path, "speak") {
+		t.Errorf("Path(english.greet) = %q, want the speak hop in it", path)
+	}
+}
+
+// TestGraphInEdges: In lists are the deduplicated reverse of Out.
+func TestGraphInEdges(t *testing.T) {
+	g := loadGraphFixture(t)
+	direct := nodeByName(t, g, ".direct")
+	var callers []string
+	for _, n := range direct.In {
+		callers = append(callers, n.Name)
+	}
+	joined := strings.Join(callers, " ")
+	if !strings.Contains(joined, "bind") || !strings.Contains(joined, "hotRoot") {
+		t.Errorf("direct.In = %v, want bind (ref) and hotRoot (call)", callers)
+	}
+}
+
+// TestFixpointTransitiveClosure drives the worklist engine with a
+// transitive-callee summary: monotone growth over a finite powerset must
+// converge, and the closure must cross devirtualized edges.
+func TestFixpointTransitiveClosure(t *testing.T) {
+	g := loadGraphFixture(t)
+	closure := make(map[*Node]map[*Node]bool)
+	g.Fixpoint(func(n *Node) bool {
+		next := make(map[*Node]bool)
+		for _, e := range n.Out {
+			next[e.Callee] = true
+			for m := range closure[e.Callee] {
+				next[m] = true
+			}
+		}
+		if len(next) == len(closure[n]) {
+			return false // monotone: equal size means equal set
+		}
+		closure[n] = next
+		return true
+	})
+	direct := nodeByName(t, g, ".direct")
+	for _, suffix := range []string{".speak", "english.greet", "french.greet"} {
+		if !closure[direct][nodeByName(t, g, suffix)] {
+			t.Errorf("transitive closure of direct misses %s", suffix)
+		}
+	}
+}

@@ -1,0 +1,123 @@
+package lint
+
+// Worklist fixpoint engine over per-function summaries. Analyzers keep
+// their summaries in their own maps keyed by *Node; the engine only
+// decides evaluation order and re-enqueues callers when a callee's
+// summary grows. Because every summary domain used here is a finite
+// powerset (parameters that reach a sink, globals written) and transfer
+// functions are monotone, the iteration terminates.
+
+import "sort"
+
+// Fixpoint runs update over the graph until no summary changes. update
+// recomputes one node's summary from its callees' summaries and reports
+// whether it changed; when it does, the node's callers are re-enqueued.
+// Nodes are first processed in reverse order (callees tend to precede
+// callers in a bottom-up pass over position-sorted nodes, so most
+// summaries settle in one sweep).
+func (g *Graph) Fixpoint(update func(*Node) bool) {
+	queued := make(map[*Node]bool, len(g.Nodes))
+	queue := make([]*Node, 0, len(g.Nodes))
+	push := func(n *Node) {
+		if !queued[n] {
+			queued[n] = true
+			queue = append(queue, n)
+		}
+	}
+	for i := len(g.Nodes) - 1; i >= 0; i-- {
+		push(g.Nodes[i])
+	}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		queued[n] = false
+		if update(n) {
+			for _, caller := range n.In {
+				push(caller)
+			}
+		}
+	}
+}
+
+// Reach is the result of a forward reachability pass: for each reached
+// node, the edge that first reached it (for path reconstruction).
+type Reach struct {
+	from map[*Node]reachStep
+}
+
+type reachStep struct {
+	caller *Node
+	kind   EdgeKind
+}
+
+// Reachable computes forward reachability from the given roots,
+// following non-cold edges only. Ref edges are followed too: a bound
+// function may run wherever the binding escapes to, and for the
+// invariants checked here (allocation freedom, shard isolation) the
+// conservative direction is to include it.
+func (g *Graph) Reachable(roots []*Node) *Reach {
+	r := &Reach{from: make(map[*Node]reachStep)}
+	var stack []*Node
+	for _, root := range roots {
+		if _, ok := r.from[root]; !ok {
+			r.from[root] = reachStep{}
+			stack = append(stack, root)
+		}
+	}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range n.Out {
+			if e.Cold {
+				continue
+			}
+			if _, ok := r.from[e.Callee]; !ok {
+				r.from[e.Callee] = reachStep{caller: n, kind: e.Kind}
+				stack = append(stack, e.Callee)
+			}
+		}
+	}
+	return r
+}
+
+// Has reports whether n was reached.
+func (r *Reach) Has(n *Node) bool {
+	_, ok := r.from[n]
+	return ok
+}
+
+// Nodes returns the reached nodes in deterministic (position) order.
+func (r *Reach) Nodes() []*Node {
+	out := make([]*Node, 0, len(r.from))
+	for n := range r.from {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pkg != b.Pkg && a.Pkg != nil && b.Pkg != nil && a.Pkg.RelPath != b.Pkg.RelPath {
+			return a.Pkg.RelPath < b.Pkg.RelPath
+		}
+		return a.Pos < b.Pos
+	})
+	return out
+}
+
+// Path renders the call chain from a root to n ("a <- b <- c"), capped
+// at depth hops, for diagnostics that must explain *why* a function is
+// considered hot or shard-executable.
+func (r *Reach) Path(n *Node, depth int) string {
+	s := n.Name
+	cur := n
+	for i := 0; i < depth; i++ {
+		step, ok := r.from[cur]
+		if !ok || step.caller == nil {
+			break
+		}
+		s += " <- " + step.caller.Name
+		cur = step.caller
+	}
+	if step, ok := r.from[cur]; ok && step.caller != nil {
+		s += " <- ..."
+	}
+	return s
+}

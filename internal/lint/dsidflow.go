@@ -1,0 +1,224 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// DSIDFlow upgrades dsidprop from per-site syntactic checks to
+// interprocedural taint tracking: it computes, for every function in
+// the module, which parameters flow into a packet's DS-id tag — by
+// direct field store, by core.Packet composite literal, by the DS-id
+// argument of core.NewPacket, or transitively by being passed to
+// another function whose parameter is already known to flow — and then
+// flags every call site that feeds the literal constant 0 into such a
+// parameter. dsidprop catches `NewPacket(ids, kind, 0, ...)`; dsidflow
+// catches the same mistake laundered through any chain of helpers:
+//
+//	func issue(ds core.DSID) { core.NewPacket(ids, kind, ds, ...) }
+//	...
+//	issue(0) // caught here
+//
+// The summary is a monotone powerset over parameter indices, computed
+// bottom-up with the worklist fixpoint engine, so mutual recursion
+// converges. internal/core itself is exempt (it defines the default),
+// and intentional default-row traffic spells core.DSIDDefault, which is
+// never flagged.
+var DSIDFlow = &Analyzer{
+	Name:       "dsidflow",
+	Doc:        "literal-0 DS-ids must not flow into packet tags across call boundaries",
+	RunProgram: runDSIDFlow,
+}
+
+func runDSIDFlow(pass *ProgramPass) {
+	g := pass.Graph
+
+	// sinkParams[n] is the set of parameter indices of n that reach a
+	// DS-id sink.
+	sinkParams := make(map[*Node]map[int]bool)
+
+	g.Fixpoint(func(n *Node) bool {
+		next := computeSinkParams(g, n, sinkParams)
+		cur := sinkParams[n]
+		if len(next) == len(cur) {
+			same := true
+			for i := range next {
+				if !cur[i] {
+					same = false
+					break
+				}
+			}
+			if same {
+				return false
+			}
+		}
+		sinkParams[n] = next
+		return true
+	})
+
+	// Report literal-0 arguments feeding sink parameters. The direct
+	// NewPacket case is dsidprop's finding; dsidflow reports only the
+	// laundered, cross-call cases to keep the two analyzers disjoint.
+	for _, n := range g.Nodes {
+		if n.Pkg == nil || n.Pkg.RelPath == "internal/core" {
+			continue
+		}
+		body := n.Body()
+		if body == nil {
+			continue
+		}
+		info := n.Pkg.Info
+		ast.Inspect(body, func(node ast.Node) bool {
+			if _, ok := node.(*ast.FuncLit); ok {
+				return false // literals are their own nodes
+			}
+			call, ok := node.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := calleeFunc(info, call)
+			if callee == nil || isNewPacket(callee) {
+				return true
+			}
+			cn := g.NodeOf(callee)
+			if cn == nil {
+				return true
+			}
+			sinks := sinkParams[cn]
+			if len(sinks) == 0 {
+				return true
+			}
+			for i, arg := range call.Args {
+				if sinks[i] && isZeroLiteral(arg) {
+					pass.Reportf(arg.Pos(), "literal-0 DS-id flows into a packet tag through %s (parameter %s): pass the request's tag, or core.DSIDDefault for platform traffic",
+						callee.Name(), paramName(cn, i))
+				}
+			}
+			return true
+		})
+	}
+}
+
+// computeSinkParams derives one function's summary from its body and
+// its callees' current summaries.
+func computeSinkParams(g *Graph, n *Node, sinkParams map[*Node]map[int]bool) map[int]bool {
+	body := n.Body()
+	if body == nil {
+		return nil
+	}
+	params := paramVars(n)
+	if len(params) == 0 {
+		return nil
+	}
+	indexOf := make(map[*types.Var]int, len(params))
+	for i, p := range params {
+		indexOf[p] = i
+	}
+	info := n.Pkg.Info
+	out := make(map[int]bool)
+	mark := func(e ast.Expr) {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok {
+			return
+		}
+		if v, ok := info.Uses[id].(*types.Var); ok {
+			if i, isParam := indexOf[v]; isParam {
+				out[i] = true
+			}
+		}
+	}
+
+	ast.Inspect(body, func(node ast.Node) bool {
+		switch x := node.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.AssignStmt:
+			if len(x.Lhs) != len(x.Rhs) {
+				return true
+			}
+			for i, lhs := range x.Lhs {
+				sel, ok := lhs.(*ast.SelectorExpr)
+				if ok && sel.Sel.Name == "DSID" && isCorePacket(info.Types[sel.X].Type) {
+					mark(x.Rhs[i])
+				}
+			}
+		case *ast.CompositeLit:
+			if !isCorePacket(info.Types[x].Type) {
+				return true
+			}
+			for _, elt := range x.Elts {
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					if id, ok := kv.Key.(*ast.Ident); ok && id.Name == "DSID" {
+						mark(kv.Value)
+					}
+				}
+			}
+		case *ast.CallExpr:
+			callee := calleeFunc(info, x)
+			if callee == nil {
+				return true
+			}
+			if isNewPacket(callee) {
+				// Intrinsic: NewPacket's third argument is the tag. This
+				// holds even when internal/core is outside the loaded set
+				// (single-package fixture runs).
+				if len(x.Args) >= 3 {
+					mark(x.Args[2])
+				}
+				return true
+			}
+			cn := g.NodeOf(callee)
+			if cn == nil {
+				return true
+			}
+			for i, arg := range x.Args {
+				if sinkParams[cn][i] {
+					mark(arg)
+				}
+			}
+		}
+		return true
+	})
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// paramVars returns a node's declared parameters in order (receiver
+// excluded; literals use their own parameter list).
+func paramVars(n *Node) []*types.Var {
+	var ft *ast.FuncType
+	if n.Decl != nil {
+		ft = n.Decl.Type
+	} else if n.Lit != nil {
+		ft = n.Lit.Type
+	}
+	if ft == nil || ft.Params == nil {
+		return nil
+	}
+	var out []*types.Var
+	for _, field := range ft.Params.List {
+		for _, name := range field.Names {
+			if v, ok := n.Pkg.Info.Defs[name].(*types.Var); ok {
+				out = append(out, v)
+			}
+		}
+	}
+	return out
+}
+
+func paramName(n *Node, i int) string {
+	params := paramVars(n)
+	if i < len(params) {
+		return params[i].Name()
+	}
+	return "#" + strconv.Itoa(i)
+}
+
+func isNewPacket(fn *types.Func) bool {
+	return fn.Name() == "NewPacket" && fn.Pkg() != nil &&
+		strings.HasSuffix(fn.Pkg().Path(), "internal/core")
+}

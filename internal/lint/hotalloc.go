@@ -1,0 +1,364 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HotAlloc makes PR 2's zero-alloc event hot path a static guarantee
+// instead of an AllocsPerRun assertion: starting from functions
+// annotated //pardlint:hotpath (engine dispatch, the prebound callbacks
+// in cache/dram/xbar/cpu, pooled-packet Complete paths), it walks the
+// call graph — including devirtualized interface calls and bound
+// function values — and flags every heap-allocation site reachable on
+// the way:
+//
+//   - escaping composite literals (&T{...}, slice and map literals)
+//   - new(T) and make(map/chan/slice)
+//   - append to a function-local slice (fresh backing growth; appends
+//     to long-lived fields are amortized by reuse and stay legal)
+//   - closures that capture variables, and method values (each binds a
+//     fresh allocation; prebind in the constructor instead)
+//   - interface boxing of non-pointer values at call and assignment
+//     sites
+//   - string concatenation/conversion and calls into known-allocating
+//     stdlib packages (fmt, strconv, strings, errors, sort, bytes)
+//
+// Panic-terminated blocks and panic arguments are cold: a failure
+// message may format; the steady state may not. One-time pool-miss and
+// first-sight allocations on otherwise-hot paths carry a
+// //pardlint:ignore hotalloc suppression with that justification.
+var HotAlloc = &Analyzer{
+	Name:       "hotalloc",
+	Doc:        "no heap allocation reachable from annotated hot-path roots",
+	RunProgram: runHotAlloc,
+}
+
+// allocPkgs are stdlib packages whose calls allocate (or cannot be
+// audited because their bodies are outside the module): calling them
+// from the hot path is a finding in itself.
+var allocPkgs = map[string]bool{
+	"fmt": true, "strconv": true, "strings": true,
+	"errors": true, "sort": true, "bytes": true,
+}
+
+func runHotAlloc(pass *ProgramPass) {
+	g := pass.Graph
+	var roots []*Node
+	for _, n := range g.Nodes {
+		if n.Hot {
+			roots = append(roots, n)
+		}
+	}
+	if len(roots) == 0 {
+		return
+	}
+	reach := g.Reachable(roots)
+	for _, n := range reach.Nodes() {
+		scanHotBody(pass, n, reach)
+	}
+}
+
+// scanHotBody reports every allocation site in one hot function,
+// skipping panic-cold regions.
+func scanHotBody(pass *ProgramPass, n *Node, reach *Reach) {
+	body := n.Body()
+	if body == nil {
+		return
+	}
+	cold := coldRanges(body)
+	isCold := func(p token.Pos) bool {
+		for _, r := range cold {
+			if p >= r[0] && p <= r[1] {
+				return true
+			}
+		}
+		return false
+	}
+	info := n.Pkg.Info
+	report := func(pos token.Pos, what string) {
+		pass.Reportf(pos, "hot-path allocation: %s (hot via %s)", what, reach.Path(n, 2))
+	}
+	// Track call Fun expressions so method values used as callees are
+	// not flagged as closure-binding sites (pre-order guarantees the
+	// CallExpr registers before its Fun is visited).
+	calleeExprs := make(map[ast.Expr]bool)
+
+	ast.Inspect(body, func(node ast.Node) bool {
+		if node == nil {
+			return true
+		}
+		if isCold(node.Pos()) {
+			return false
+		}
+		switch x := node.(type) {
+		case *ast.FuncLit:
+			if caps := captures(info, x); len(caps) > 0 {
+				report(x.Pos(), "closure captures "+caps[0]+" and allocates per binding; prebind it in the constructor")
+			}
+			return false // the literal's own body is audited via its graph node
+
+		case *ast.UnaryExpr:
+			if x.Op == token.AND {
+				if _, ok := ast.Unparen(x.X).(*ast.CompositeLit); ok {
+					report(x.Pos(), "&composite literal escapes to the heap")
+					return false // don't re-flag the literal itself
+				}
+			}
+
+		case *ast.CompositeLit:
+			if t := info.Types[x].Type; t != nil {
+				switch t.Underlying().(type) {
+				case *types.Slice:
+					report(x.Pos(), "slice literal allocates its backing array")
+				case *types.Map:
+					report(x.Pos(), "map literal allocates")
+				}
+			}
+
+		case *ast.CallExpr:
+			calleeExprs[ast.Unparen(x.Fun)] = true
+			checkHotCall(pass, n, x, report)
+
+		case *ast.SelectorExpr:
+			if calleeExprs[x] {
+				return true
+			}
+			if s, ok := info.Selections[x]; ok && s.Kind() == types.MethodVal {
+				report(x.Pos(), "method value "+x.Sel.Name+" allocates a closure per use; prebind it once")
+			}
+
+		case *ast.BinaryExpr:
+			if x.Op == token.ADD {
+				if tv, ok := info.Types[x]; ok && tv.Value == nil && tv.Type != nil {
+					if b, ok := tv.Type.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+						report(x.Pos(), "string concatenation allocates")
+					}
+				}
+			}
+
+		case *ast.AssignStmt:
+			checkHotBoxingAssign(info, x, report)
+		}
+		return true
+	})
+}
+
+// checkHotCall classifies one hot-path call: allocating builtins,
+// allocating stdlib packages, allocating conversions, and interface
+// boxing at the argument positions of resolvable signatures.
+func checkHotCall(pass *ProgramPass, n *Node, call *ast.CallExpr, report func(token.Pos, string)) {
+	info := n.Pkg.Info
+	fun := ast.Unparen(call.Fun)
+
+	if id, ok := fun.(*ast.Ident); ok {
+		switch id.Name {
+		case "new":
+			if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+				report(call.Pos(), "new(...) allocates")
+				return
+			}
+		case "make":
+			if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+				report(call.Pos(), "make(...) allocates")
+				return
+			}
+		case "append":
+			if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin && len(call.Args) > 0 {
+				if localSliceVar(info, call.Args[0]) {
+					report(call.Pos(), "append to a function-local slice grows a fresh backing array")
+				}
+				return
+			}
+		}
+	}
+
+	if sel, ok := fun.(*ast.SelectorExpr); ok {
+		if path, ok := importedPkgPath(info, sel.X); ok && allocPkgs[path] {
+			report(call.Pos(), "call into "+path+"."+sel.Sel.Name+" allocates")
+			return
+		}
+	}
+
+	// Conversions: T(x) where the callee is a type, not a function.
+	if tv, ok := info.Types[fun]; ok && tv.IsType() {
+		checkHotConversion(info, call, tv.Type, report)
+		return
+	}
+
+	// Interface boxing at argument positions.
+	sig := callSignature(info, call)
+	if sig == nil {
+		return
+	}
+	for i, arg := range call.Args {
+		pt := paramType(sig, i, call.Ellipsis.IsValid())
+		if pt == nil {
+			continue
+		}
+		if boxes(info, pt, arg) {
+			report(arg.Pos(), "argument boxes a non-pointer value into an interface")
+		}
+	}
+}
+
+// checkHotConversion flags conversions that copy: string<->[]byte/[]rune
+// and boxing conversions into interface types.
+func checkHotConversion(info *types.Info, call *ast.CallExpr, to types.Type, report func(token.Pos, string)) {
+	if len(call.Args) != 1 {
+		return
+	}
+	arg := call.Args[0]
+	from := info.Types[arg].Type
+	if from == nil {
+		return
+	}
+	toU, fromU := to.Underlying(), from.Underlying()
+	toStr := isStringType(toU)
+	fromStr := isStringType(fromU)
+	_, toSlice := toU.(*types.Slice)
+	_, fromSlice := fromU.(*types.Slice)
+	switch {
+	case toStr && fromSlice, fromStr && toSlice:
+		report(call.Pos(), "string<->slice conversion copies and allocates")
+	case types.IsInterface(to):
+		if boxes(info, to, arg) {
+			report(call.Pos(), "conversion boxes a non-pointer value into an interface")
+		}
+	}
+}
+
+// checkHotBoxingAssign flags assignments that box a concrete non-pointer
+// value into an interface-typed destination.
+func checkHotBoxingAssign(info *types.Info, as *ast.AssignStmt, report func(token.Pos, string)) {
+	if len(as.Lhs) != len(as.Rhs) {
+		return
+	}
+	for i, lhs := range as.Lhs {
+		lt := info.Types[lhs].Type
+		if lt == nil {
+			if id, ok := lhs.(*ast.Ident); ok {
+				if obj, ok := info.Defs[id].(*types.Var); ok {
+					lt = obj.Type()
+				}
+			}
+		}
+		if lt == nil || !types.IsInterface(lt) {
+			continue
+		}
+		if boxes(info, lt, as.Rhs[i]) {
+			report(as.Rhs[i].Pos(), "assignment boxes a non-pointer value into an interface")
+		}
+	}
+}
+
+// boxes reports whether storing arg into an interface of type to
+// allocates: the static type is concrete and not pointer-shaped, and
+// the value is not a constant (small constants are interned by the
+// runtime) or nil.
+func boxes(info *types.Info, to types.Type, arg ast.Expr) bool {
+	if !types.IsInterface(to) {
+		return false
+	}
+	tv, ok := info.Types[arg]
+	if !ok || tv.Type == nil || tv.Value != nil || tv.IsNil() {
+		return false
+	}
+	at := tv.Type
+	if types.IsInterface(at) {
+		return false
+	}
+	switch at.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return false // pointer-shaped: stored directly in the iface word
+	case *types.TypeParam:
+		return false
+	}
+	return true
+}
+
+// callSignature resolves the signature of a call through any callable
+// expression — named functions, methods, and func-typed fields alike.
+func callSignature(info *types.Info, call *ast.CallExpr) *types.Signature {
+	tv, ok := info.Types[ast.Unparen(call.Fun)]
+	if !ok || tv.Type == nil || tv.IsType() {
+		return nil
+	}
+	sig, _ := tv.Type.Underlying().(*types.Signature)
+	return sig
+}
+
+// paramType returns the static parameter type for argument index i,
+// unrolling variadics (unless the call spreads with ...).
+func paramType(sig *types.Signature, i int, hasEllipsis bool) types.Type {
+	params := sig.Params()
+	n := params.Len()
+	if n == 0 {
+		return nil
+	}
+	if sig.Variadic() && !hasEllipsis && i >= n-1 {
+		if s, ok := params.At(n - 1).Type().(*types.Slice); ok {
+			return s.Elem()
+		}
+		return nil
+	}
+	if i >= n {
+		return nil
+	}
+	return params.At(i).Type()
+}
+
+func isStringType(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// localSliceVar reports whether e names a slice variable declared
+// inside a function (append growth there builds a fresh backing array
+// every call; long-lived fields amortize to zero through reuse).
+func localSliceVar(info *types.Info, e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	v, ok := info.Uses[id].(*types.Var)
+	if !ok || v.IsField() {
+		return false
+	}
+	if v.Parent() == nil || v.Pkg() == nil {
+		return false
+	}
+	if v.Parent() == v.Pkg().Scope() {
+		return false // package-level slice: long-lived
+	}
+	_, isSlice := v.Type().Underlying().(*types.Slice)
+	return isSlice
+}
+
+// captures lists variable names a function literal closes over:
+// identifiers resolving to non-field variables declared outside the
+// literal's span but not at package scope.
+func captures(info *types.Info, lit *ast.FuncLit) []string {
+	var out []string
+	seen := make(map[*types.Var]bool)
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok || v.IsField() || seen[v] {
+			return true
+		}
+		if v.Pkg() == nil || v.Parent() == nil || v.Parent() == v.Pkg().Scope() {
+			return true
+		}
+		if v.Pos() < lit.Pos() || v.Pos() > lit.End() {
+			seen[v] = true
+			out = append(out, v.Name())
+		}
+		return true
+	})
+	return out
+}

@@ -9,10 +9,23 @@
 //   - planeaccess: control-plane tables are mutated only through the
 //     exported plane/MMIO API, never directly from resource packages
 //   - errflow: MMIO and trigger-installation errors are never dropped
+//   - policyaction: policy-layer writes go through the sanctioned paths
+//   - hotalloc: no heap allocation reachable from //pardlint:hotpath
+//     roots (interprocedural, over the call graph)
+//   - shardisolation: no package-level mutable state reachable from
+//     shard-executable code (interprocedural)
+//   - dsidflow: literal-0 DS-ids caught across call boundaries
+//     (interprocedural taint, worklist fixpoint)
+//   - stalesuppression: ignore directives that suppress nothing
+//
+// pardcheck — the .pard policy abstract interpreter — lives in
+// internal/policy (interp.go) and is wired into module-wide runs by
+// pardcheck.go in this package plus cmd/pardlint.
 //
 // The suite is built on the standard library only (go/ast, go/parser,
 // go/types); see load.go for how packages are loaded and type-checked
-// without golang.org/x/tools.
+// without golang.org/x/tools, and callgraph.go/dataflow.go for the
+// interprocedural substrate (DESIGN.md §12).
 //
 // Diagnostics can be suppressed with a comment on the offending line or
 // on the line directly above it:
@@ -45,12 +58,16 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
 }
 
-// Analyzer is one invariant checker. Run inspects a loaded package and
-// reports findings through the pass.
+// Analyzer is one invariant checker. Per-package analyzers set Run and
+// inspect one package at a time; whole-program analyzers set RunProgram
+// and see every loaded package plus the module call graph (built once
+// per Run invocation). StaleSuppression sets neither: it is evaluated
+// by Run itself from the suppression-usage ledger.
 type Analyzer struct {
-	Name string
-	Doc  string
-	Run  func(*Pass)
+	Name       string
+	Doc        string
+	Run        func(*Pass)
+	RunProgram func(*ProgramPass)
 }
 
 // Pass couples an analyzer with the package under analysis.
@@ -69,27 +86,90 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
-// All returns the full analyzer suite in stable order.
+// ProgramPass couples a whole-program analyzer with every loaded
+// package and the interprocedural call graph.
+type ProgramPass struct {
+	Analyzer *Analyzer
+	Pkgs     []*Package
+	Graph    *Graph
+	diags    []Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *ProgramPass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Graph.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// All returns the full analyzer suite in stable order: the per-package
+// syntactic checks first, then the interprocedural suite, then the
+// suppression-inventory audit.
 func All() []*Analyzer {
-	return []*Analyzer{DSIDProp, Determinism, PlaneAccess, ErrFlow, PolicyAction}
+	return []*Analyzer{
+		DSIDProp, Determinism, PlaneAccess, ErrFlow, PolicyAction,
+		HotAlloc, ShardIsolation, DSIDFlow,
+		StaleSuppression,
+	}
+}
+
+// StaleSuppression reports //pardlint:ignore directives that no longer
+// suppress any finding, keeping the ignore inventory honest. It is
+// evaluated inside Run, after every other analyzer in the same
+// invocation has reported: a directive is stale only relative to the
+// analyzers that actually ran.
+var StaleSuppression = &Analyzer{
+	Name: "stalesuppression",
+	Doc:  "pardlint:ignore directives that suppress nothing",
 }
 
 // Run applies the analyzers to every package, drops suppressed
 // diagnostics, and returns the rest sorted by position.
 func Run(pkgs []*Package, analyzers ...*Analyzer) []Diagnostic {
+	sup := collectSuppressions(pkgs)
 	var out []Diagnostic
-	for _, pkg := range pkgs {
-		sup := collectSuppressions(pkg)
-		for _, a := range analyzers {
-			pass := &Pass{Analyzer: a, Pkg: pkg}
-			a.Run(pass)
-			for _, d := range pass.diags {
-				if !sup.covers(d) {
-					out = append(out, d)
-				}
+	var graph *Graph
+	stale := false
+	for _, a := range analyzers {
+		switch {
+		case a.Run != nil:
+			for _, pkg := range pkgs {
+				pass := &Pass{Analyzer: a, Pkg: pkg}
+				a.Run(pass)
+				out = append(out, pass.diags...)
+			}
+		case a.RunProgram != nil:
+			if graph == nil {
+				graph = BuildGraph(pkgs)
+			}
+			pass := &ProgramPass{Analyzer: a, Pkgs: pkgs, Graph: graph}
+			a.RunProgram(pass)
+			out = append(out, pass.diags...)
+		case a.Name == StaleSuppression.Name:
+			stale = true
+		}
+	}
+	kept := out[:0]
+	for _, d := range out {
+		if !sup.covers(d) {
+			kept = append(kept, d)
+		}
+	}
+	out = kept
+	if stale {
+		for _, d := range sup.staleFindings() {
+			if !sup.covers(d) {
+				out = append(out, d)
 			}
 		}
 	}
+	sortDiags(out)
+	return out
+}
+
+func sortDiags(out []Diagnostic) {
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -103,46 +183,89 @@ func Run(pkgs []*Package, analyzers ...*Analyzer) []Diagnostic {
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return out
 }
 
-// suppressions maps file:line to the analyzer names ignored there.
-type suppressions map[string]map[string]bool
+// directive is one parsed pardlint:ignore comment. used tracks, per
+// analyzer name it lists, whether the directive suppressed at least one
+// diagnostic in this Run — the stale-suppression audit reads it.
+type directive struct {
+	pos   token.Position
+	names []string
+	used  map[string]bool
+}
 
-func (s suppressions) covers(d Diagnostic) bool {
+// suppressions indexes directives by the file:line keys they cover.
+type suppressions struct {
+	dirs  []*directive
+	index map[string][]*directive
+}
+
+func (s *suppressions) covers(d Diagnostic) bool {
 	key := fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)
-	return s[key][d.Analyzer]
+	hit := false
+	for _, dir := range s.index[key] {
+		for _, name := range dir.names {
+			if name == d.Analyzer {
+				dir.used[name] = true
+				hit = true
+			}
+		}
+	}
+	return hit
+}
+
+// staleFindings reports each directive name that suppressed nothing.
+// Directives naming stalesuppression itself are exempt: their purpose
+// is to silence this audit, not to match a code finding.
+func (s *suppressions) staleFindings() []Diagnostic {
+	var out []Diagnostic
+	for _, dir := range s.dirs {
+		for _, name := range dir.names {
+			if name == StaleSuppression.Name || dir.used[name] {
+				continue
+			}
+			out = append(out, Diagnostic{
+				Analyzer: StaleSuppression.Name,
+				Pos:      dir.pos,
+				Message:  fmt.Sprintf("stale suppression: no %s finding here; remove %q from the directive", name, name),
+			})
+		}
+	}
+	return out
 }
 
 var ignoreRe = regexp.MustCompile(`^//\s*pardlint:ignore\s+([A-Za-z0-9_,]+)`)
 
-// collectSuppressions scans every comment for pardlint:ignore
+// collectSuppressions scans every comment of every package for ignore
 // directives. A directive covers its own line (end-of-line form) and
 // the line immediately below it (own-line form).
-func collectSuppressions(pkg *Package) suppressions {
-	sup := make(suppressions)
-	add := func(file string, line int, analyzer string) {
-		key := fmt.Sprintf("%s:%d", file, line)
-		if sup[key] == nil {
-			sup[key] = make(map[string]bool)
-		}
-		sup[key][analyzer] = true
-	}
-	for _, f := range pkg.Files {
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				m := ignoreRe.FindStringSubmatch(c.Text)
-				if m == nil {
-					continue
-				}
-				pos := pkg.Fset.Position(c.Pos())
-				for _, name := range strings.Split(m[1], ",") {
-					name = strings.TrimSpace(name)
-					if name == "" {
+func collectSuppressions(pkgs []*Package) *suppressions {
+	sup := &suppressions{index: make(map[string][]*directive)}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					m := ignoreRe.FindStringSubmatch(c.Text)
+					if m == nil {
 						continue
 					}
-					add(pos.Filename, pos.Line, name)
-					add(pos.Filename, pos.Line+1, name)
+					pos := pkg.Fset.Position(c.Pos())
+					dir := &directive{pos: pos, used: make(map[string]bool)}
+					for _, name := range strings.Split(m[1], ",") {
+						if name = strings.TrimSpace(name); name != "" {
+							dir.names = append(dir.names, name)
+						}
+					}
+					if len(dir.names) == 0 {
+						continue
+					}
+					sup.dirs = append(sup.dirs, dir)
+					for _, key := range []string{
+						fmt.Sprintf("%s:%d", pos.Filename, pos.Line),
+						fmt.Sprintf("%s:%d", pos.Filename, pos.Line+1),
+					} {
+						sup.index[key] = append(sup.index[key], dir)
+					}
 				}
 			}
 		}

@@ -98,6 +98,13 @@ func TestPlaneAccessFixture(t *testing.T)  { checkFixture(t, "internal/dram") }
 func TestErrFlowFixture(t *testing.T)      { checkFixture(t, "fixtures/errflow") }
 func TestPolicyActionFixture(t *testing.T) { checkFixture(t, "internal/prm") }
 
+// The interprocedural suite: hotalloc walks the call graph from
+// annotated roots, shardisolation poses as internal/xbar to land in the
+// shard-executable set, dsidflow chases literal-0 tags across helpers.
+func TestHotAllocFixture(t *testing.T)       { checkFixture(t, "fixtures/hotalloc") }
+func TestShardIsolationFixture(t *testing.T) { checkFixture(t, "internal/xbar") }
+func TestDSIDFlowFixture(t *testing.T)       { checkFixture(t, "fixtures/dsidflow") }
+
 // TestRepoCleanAtHead runs the full suite over the real module: the
 // tree must stay finding-free, which is the same gate `make check`
 // enforces via `go run ./cmd/pardlint ./...`.
@@ -127,7 +134,7 @@ func TestSuppressionScope(t *testing.T) {
 var x = 1
 var y = 2
 `)
-	sup := collectSuppressions(pkg)
+	sup := collectSuppressions([]*Package{pkg})
 	file := pkg.Fset.Position(pkg.Files[0].Pos()).Filename
 	cases := []struct {
 		line int

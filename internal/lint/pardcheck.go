@@ -1,0 +1,124 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+
+	"repro/internal/policy"
+)
+
+// This file wires pardcheck — the .pard abstract interpreter in
+// internal/policy — into the pardlint driver, so `pardlint ./...`
+// covers policy files with the same reporting and suppression
+// conventions as Go sources. Policy files carry suppressions as
+// comments: `# pardlint:ignore pardcheck <reason>` on the finding's
+// line or the line above it.
+
+// PolicyCompiler compiles one .pard source against live control-plane
+// schemas; prm.Firmware.ValidatePolicy has this shape. Keeping it an
+// injected function spares internal/lint a dependency on the whole
+// platform assembly just to know the plane schemas.
+type PolicyCompiler func(filename, source string) (*policy.Program, error)
+
+var pardIgnoreRe = regexp.MustCompile(`#\s*pardlint:ignore\s+([A-Za-z0-9_,]+)`)
+
+// CheckPolicyFiles compiles and abstractly interprets every .pard file
+// under root (skipping testdata and hidden directories) and returns
+// pardcheck diagnostics: compile failures plus policy.Lint findings
+// not covered by an ignore comment.
+func CheckPolicyFiles(root string, compile PolicyCompiler) ([]Diagnostic, error) {
+	var files []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name == "testdata" || (strings.HasPrefix(name, ".") && path != root) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(d.Name(), ".pard") {
+			files = append(files, path)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(files)
+
+	var out []Diagnostic
+	for _, path := range files {
+		diags, err := checkPolicyFile(path, compile)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, diags...)
+	}
+	sortDiags(out)
+	return out, nil
+}
+
+func checkPolicyFile(path string, compile PolicyCompiler) ([]Diagnostic, error) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	ignored := policyIgnoreLines(string(src))
+	report := func(pos policy.Pos, msg string) []Diagnostic {
+		if ignored[pos.Line] {
+			return nil
+		}
+		return []Diagnostic{{
+			Analyzer: "pardcheck",
+			Pos:      token.Position{Filename: path, Line: pos.Line, Column: pos.Col},
+			Message:  msg,
+		}}
+	}
+
+	prog, err := compile(filepath.Base(path), string(src))
+	if err != nil {
+		if pe, ok := err.(*policy.PosError); ok {
+			return report(pe.Pos, fmt.Sprintf("policy does not compile: %s", pe.Msg)), nil
+		}
+		return []Diagnostic{{
+			Analyzer: "pardcheck",
+			Pos:      token.Position{Filename: path, Line: 1, Column: 1},
+			Message:  fmt.Sprintf("policy does not compile: %v", err),
+		}}, nil
+	}
+
+	var out []Diagnostic
+	for _, issue := range policy.Lint(prog) {
+		out = append(out, report(issue.Pos, issue.Msg)...)
+	}
+	return out, nil
+}
+
+// policyIgnoreLines returns the set of source lines covered by a
+// `# pardlint:ignore pardcheck` comment: the comment's own line and
+// the line below it, mirroring the Go directive convention.
+func policyIgnoreLines(src string) map[int]bool {
+	out := map[int]bool{}
+	for i, line := range strings.Split(src, "\n") {
+		m := pardIgnoreRe.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		for _, name := range strings.Split(m[1], ",") {
+			if name == "pardcheck" {
+				out[i+1] = true
+				out[i+2] = true
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,59 @@
+package lint
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/pard"
+)
+
+// livePolicyCompiler boots a default system so fixture policies
+// compile against the real control-plane schemas — the same registry
+// `pardlint ./...` and `pardctl policy validate` use.
+func livePolicyCompiler(t *testing.T) PolicyCompiler {
+	t.Helper()
+	sys := pard.NewSystem(pard.DefaultConfig())
+	return sys.Firmware.ValidatePolicy
+}
+
+func TestPardcheckFixtures(t *testing.T) {
+	diags, err := CheckPolicyFiles(filepath.Join("testdata", "policies"), livePolicyCompiler(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	byFile := map[string][]Diagnostic{}
+	for _, d := range diags {
+		if d.Analyzer != "pardcheck" {
+			t.Errorf("policy file produced a non-pardcheck diagnostic: %v", d)
+		}
+		byFile[filepath.Base(d.Pos.Filename)] = append(byFile[filepath.Base(d.Pos.Filename)], d)
+	}
+
+	if got := byFile["oscillate.pard"]; len(got) != 1 || !strings.Contains(got[0].Message, "raise/lower pair") {
+		t.Errorf("oscillate.pard: want one raise/lower finding, got %v", got)
+	}
+	if got := byFile["unreachable.pard"]; len(got) != 1 || !strings.Contains(got[0].Message, "can never fire") {
+		t.Errorf("unreachable.pard: want one unreachable finding, got %v", got)
+	}
+	if got := byFile["suppressed.pard"]; len(got) != 0 {
+		t.Errorf("suppressed.pard: ignore comment must silence the finding, got %v", got)
+	}
+	if got := byFile["clean.pard"]; len(got) != 0 {
+		t.Errorf("clean.pard: want no findings, got %v", got)
+	}
+}
+
+// Every tracked .pard file in the repository — the shipped example
+// policies — must compile and pass pardcheck, exactly as
+// `pardlint ./...` enforces in CI. Fixture directories are skipped by
+// CheckPolicyFiles's testdata rule.
+func TestPolicyFilesCleanAtHead(t *testing.T) {
+	diags, err := CheckPolicyFiles(filepath.Join("..", ".."), livePolicyCompiler(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("head is not pardcheck-clean: %v", d)
+	}
+}

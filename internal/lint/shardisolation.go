@@ -1,0 +1,163 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// shardExecutable lists the packages whose code can run on a shard
+// worker goroutine: every component package whose methods are driven by
+// a sim.Engine, plus the support packages their event callbacks call
+// into. internal/sim itself is exempt — its mailbox runtime
+// (shard.go) is the sanctioned cross-shard channel, synchronized by the
+// barrier protocol.
+var shardExecutable = map[string]bool{
+	"internal/cache":    true,
+	"internal/dram":     true,
+	"internal/xbar":     true,
+	"internal/iodev":    true,
+	"internal/cpu":      true,
+	"internal/core":     true,
+	"internal/workload": true,
+	"internal/trace":    true,
+	"internal/metric":   true,
+	"internal/osched":   true,
+	"internal/exp":      true,
+}
+
+// ShardIsolation proves the PDES runtime's core assumption: no mutable
+// state is reachable from two shard engines except through the SPSC
+// mailboxes in internal/sim/shard.go. Every shard runs the same
+// component code, so a package-level variable written by any
+// shard-executable function — directly or through any chain of calls,
+// devirtualized interface dispatch included — is shared between shards
+// by construction and is a data race (and a determinism leak) the
+// moment a ShardGroup runs with more than one worker. The analyzer
+// closes the shard-executable set over the call graph (so a helper in
+// any package called from event code is covered) and reports every
+// package-level write site inside it.
+//
+// init functions are exempt (they run once, before any worker exists),
+// as is internal/sim itself. State that is provably written only during
+// single-goroutine setup carries a //pardlint:ignore shardisolation
+// suppression saying so.
+var ShardIsolation = &Analyzer{
+	Name:       "shardisolation",
+	Doc:        "no package-level mutable state reachable from shard-executable code",
+	RunProgram: runShardIsolation,
+}
+
+func runShardIsolation(pass *ProgramPass) {
+	g := pass.Graph
+
+	// Roots: every function declared in a shard-executable package,
+	// except init (runs once on the loader goroutine).
+	var roots []*Node
+	for _, n := range g.Nodes {
+		if n.Pkg == nil || !shardExecutable[n.Pkg.RelPath] {
+			continue
+		}
+		if n.Decl != nil && n.Decl.Name.Name == "init" && n.Decl.Recv == nil {
+			continue
+		}
+		roots = append(roots, n)
+	}
+	reach := g.Reachable(roots)
+
+	for _, n := range reach.Nodes() {
+		if n.Pkg != nil && n.Pkg.RelPath == "internal/sim" {
+			continue // sanctioned mailbox runtime
+		}
+		for _, w := range globalWrites(n) {
+			pass.Reportf(w.pos, "package-level %s written from shard-executable code (%s): every shard runs this code, so the write races across shards; route cross-shard state through sim.Shard.Send mailboxes or make it per-instance",
+				w.desc, reach.Path(n, 2))
+		}
+	}
+}
+
+type globalWrite struct {
+	pos  token.Pos
+	desc string
+}
+
+// globalWrites finds direct writes to package-level variables in one
+// function body: assignments and ++/-- whose base resolves to a global,
+// and delete/clear on a global map.
+func globalWrites(n *Node) []globalWrite {
+	body := n.Body()
+	if body == nil {
+		return nil
+	}
+	info := n.Pkg.Info
+	var out []globalWrite
+	add := func(pos token.Pos, v *types.Var) {
+		out = append(out, globalWrite{pos: pos, desc: "var " + v.Name()})
+	}
+	ast.Inspect(body, func(node ast.Node) bool {
+		switch x := node.(type) {
+		case *ast.FuncLit:
+			return false // audited under the literal's own node
+		case *ast.AssignStmt:
+			for _, lhs := range x.Lhs {
+				if v := globalBase(info, lhs); v != nil {
+					add(lhs.Pos(), v)
+				}
+			}
+		case *ast.IncDecStmt:
+			if v := globalBase(info, x.X); v != nil {
+				add(x.X.Pos(), v)
+			}
+		case *ast.CallExpr:
+			id, ok := ast.Unparen(x.Fun).(*ast.Ident)
+			if !ok || len(x.Args) == 0 {
+				return true
+			}
+			if _, isBuiltin := info.Uses[id].(*types.Builtin); !isBuiltin {
+				return true
+			}
+			if id.Name == "delete" || id.Name == "clear" {
+				if v := globalBase(info, x.Args[0]); v != nil {
+					add(x.Args[0].Pos(), v)
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// globalBase walks an assignable expression down to its base identifier
+// and returns the package-level variable it names, or nil. Selector,
+// index, and dereference chains all resolve to their root: writing
+// g.field[i] mutates g just as surely as writing g.
+func globalBase(info *types.Info, e ast.Expr) *types.Var {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.SelectorExpr:
+			// A package-qualified global (pkg.Var) terminates here; a
+			// field chain keeps descending.
+			if v, ok := info.Uses[x.Sel].(*types.Var); ok && isPkgLevel(v) {
+				return v
+			}
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			// Writing through a dereferenced pointer global mutates what
+			// it points to, not the global itself; stop at the pointer.
+			return nil
+		case *ast.Ident:
+			if v, ok := info.Uses[x].(*types.Var); ok && isPkgLevel(v) {
+				return v
+			}
+			return nil
+		default:
+			return nil
+		}
+	}
+}
+
+func isPkgLevel(v *types.Var) bool {
+	return v.Pkg() != nil && v.Parent() == v.Pkg().Scope()
+}

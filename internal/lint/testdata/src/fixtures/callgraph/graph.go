@@ -1,0 +1,57 @@
+// Package graphfix gives the call-graph unit tests a small module with
+// every edge kind: direct calls, devirtualized interface dispatch,
+// method values, bound function values, immediately-invoked literals,
+// and panic-cold regions. It is loaded directly by callgraph_test.go,
+// not through the golden-fixture runner.
+package graphfix
+
+type greeter interface{ greet() string }
+
+type english struct{}
+
+func (english) greet() string { return "hello" }
+
+type french struct{}
+
+func (french) greet() string { return "bonjour" }
+
+// mute has a greet with the wrong signature and must not devirtualize.
+type mute struct{}
+
+func (mute) greet(loud bool) string { _ = loud; return "" }
+
+// speak dispatches through the interface: the devirtualization site.
+func speak(g greeter) string { return g.greet() }
+
+// direct calls speak statically.
+func direct() string { return speak(english{}) }
+
+type hook struct{ next func() string }
+
+// bind stores a package-level function for later invocation: a ref edge.
+func bind(h *hook) { h.next = direct }
+
+// bindMethod binds a method value: a ref edge to the method body.
+func bindMethod(e english) func() string { return e.greet }
+
+// immediate invokes a literal in place: one call edge, no ref edge.
+func immediate() int { return func() int { return 1 }() }
+
+func helperHot() {}
+
+func helperCold() {}
+
+// fails ends its guard block in panic: the calls inside are cold.
+func fails(v int) {
+	if v < 0 {
+		helperCold()
+		panic("negative input")
+	}
+	helperHot()
+}
+
+//pardlint:hotpath fixture: reachability root for the unit tests
+func hotRoot(v int) {
+	direct()
+	fails(v)
+}

@@ -1,0 +1,32 @@
+// Package dsflowfix exercises the dsidflow analyzer: literal-0 DS-ids
+// laundered through helper chains into packet tags. The direct
+// core.NewPacket cases stay dsidprop's findings; dsidflow owns the
+// cross-call ones.
+package dsflowfix
+
+import (
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// issue is a sink: its ds parameter flows into the packet tag.
+func issue(ids *core.IDSource, ds core.DSID, now sim.Tick) *core.Packet {
+	return core.NewPacket(ids, core.KindMemRead, ds, 0x100, 64, now)
+}
+
+// relay launders the tag through one more hop; its summary is derived
+// from issue's by the fixpoint engine.
+func relay(ids *core.IDSource, tag core.DSID, now sim.Tick) *core.Packet {
+	return issue(ids, tag, now)
+}
+
+// stamp sinks through a field store instead of a constructor.
+func stamp(p *core.Packet, ds core.DSID) {
+	p.DSID = ds
+}
+
+func boot(ids *core.IDSource, p *core.Packet, now sim.Tick) {
+	issue(ids, 0, now) // want dsidflow "literal-0 DS-id flows into a packet tag through issue"
+	relay(ids, 0, now) // want dsidflow "literal-0 DS-id flows into a packet tag through relay"
+	stamp(p, 0)        // want dsidflow "literal-0 DS-id flows into a packet tag through stamp"
+}

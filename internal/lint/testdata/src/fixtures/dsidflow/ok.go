@@ -1,0 +1,14 @@
+package dsflowfix
+
+import (
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// bootOK names its intent: default-row traffic spells core.DSIDDefault,
+// and real requests forward the tag they were given.
+func bootOK(ids *core.IDSource, req *core.Packet, now sim.Tick) {
+	issue(ids, core.DSIDDefault, now)
+	relay(ids, req.DSID, now)
+	stamp(req, req.DSID)
+}

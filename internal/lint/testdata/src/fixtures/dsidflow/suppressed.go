@@ -1,0 +1,13 @@
+package dsflowfix
+
+import (
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// bringup models pre-LDom platform traffic where hitting the default
+// row through the helper is the point; the finding is waived.
+func bringup(ids *core.IDSource, now sim.Tick) {
+	//pardlint:ignore dsidflow bring-up traffic predates LDom assignment
+	issue(ids, 0, now)
+}

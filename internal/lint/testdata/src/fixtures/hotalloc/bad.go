@@ -1,0 +1,77 @@
+// Package hotfix carries //pardlint:hotpath roots and exercises every
+// allocation class the hotalloc analyzer knows about, including sites
+// that are hot only transitively (through call, devirtualized, and
+// bound-value edges).
+package hotfix
+
+import "fmt"
+
+type entry struct{ v int }
+
+type ring struct {
+	sink any
+	name string
+}
+
+// helper is hot only transitively, through step's call edge.
+func (r *ring) helper(v int) *entry {
+	return &entry{v: v} // want hotalloc "composite literal escapes to the heap"
+}
+
+//pardlint:hotpath fixture: per-event dispatch root
+func (r *ring) step(v int) {
+	e := r.helper(v)
+	_ = e
+	buf := []int{v} // want hotalloc "slice literal allocates its backing array"
+	_ = buf
+	idx := map[int]bool{v: true} // want hotalloc "map literal allocates"
+	_ = idx
+	p := new(entry) // want hotalloc "new(...) allocates"
+	_ = p
+	q := make([]int, 0, v) // want hotalloc "make(...) allocates"
+	q = append(q, v)       // want hotalloc "append to a function-local slice"
+	_ = q
+	r.sink = v        // want hotalloc "assignment boxes a non-pointer value into an interface"
+	s := r.name + "!" // want hotalloc "string concatenation allocates"
+	_ = s
+}
+
+//pardlint:hotpath fixture: closure and method-value binding sites
+func (r *ring) arm(v int) {
+	cb := func() int { return v } // want hotalloc "closure captures v and allocates per binding"
+	_ = cb
+	mv := r.helper // want hotalloc "method value helper allocates a closure"
+	_ = mv
+}
+
+// consume's any parameter forces boxing at the caller.
+func consume(v any) { _ = v }
+
+//pardlint:hotpath fixture: boxing at an argument position
+func feed(v int) {
+	consume(v) // want hotalloc "argument boxes a non-pointer value into an interface"
+}
+
+type ticker interface{ tick(n int) }
+
+type allocTicker struct{}
+
+// tick is hot only through devirtualized interface dispatch in drive.
+func (allocTicker) tick(n int) {
+	_ = make([]byte, n) // want hotalloc "make(...) allocates"
+}
+
+//pardlint:hotpath fixture: interface dispatch root
+func drive(t ticker, n int) {
+	t.tick(n)
+}
+
+//pardlint:hotpath fixture: stdlib formatting on the hot path
+func describe(id uint64) string {
+	return fmt.Sprintf("id=%d", id) // want hotalloc "call into fmt.Sprintf allocates"
+}
+
+//pardlint:hotpath fixture: copying conversion on the hot path
+func render(raw []byte) string {
+	return string(raw) // want hotalloc "string<->slice conversion copies and allocates"
+}

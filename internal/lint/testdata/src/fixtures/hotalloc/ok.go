@@ -1,0 +1,31 @@
+package hotfix
+
+// pump shows the steady-state patterns the analyzer must accept: field
+// slices amortized by reuse, prebound callbacks, pointer-shaped
+// interface stores, and formatting confined to panic-cold regions.
+type pump struct {
+	queue []int
+	done  func()
+	out   *entry
+	sink  any
+	name  string
+}
+
+//pardlint:hotpath fixture: allocation-free steady state
+func (p *pump) pump(v int) {
+	p.queue = append(p.queue, v) // field-backed slice: reuse amortizes growth
+	if p.done != nil {
+		p.done()
+	}
+	p.sink = p.out // pointer-shaped: stored directly in the interface word
+	p.sink = nil
+	if v < 0 {
+		// The block ends in panic, so it is cold: failure paths may format.
+		panic("pump fed a negative value: " + p.name)
+	}
+}
+
+//pardlint:hotpath fixture: constants are interned, not boxed
+func (p *pump) label() {
+	p.sink = "steady"
+}

@@ -1,0 +1,16 @@
+package hotfix
+
+// lazy shows a justified one-time allocation on an otherwise-hot path:
+// the finding is real but waived with a reason.
+type lazy struct {
+	cache map[int]int
+}
+
+//pardlint:hotpath fixture: lookup with a justified first-sight allocation
+func (l *lazy) get(k int) int {
+	if l.cache == nil {
+		//pardlint:ignore hotalloc lazy first-sight init: once per lifetime, not per event
+		l.cache = make(map[int]int)
+	}
+	return l.cache[k]
+}

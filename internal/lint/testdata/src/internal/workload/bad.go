@@ -11,7 +11,7 @@ var results []int
 // scheduler-dependent, so anything it writes can differ between runs.
 func fanOut(n int) {
 	go func() { // want determinism "go statement"
-		results = append(results, n)
+		results = append(results, n) // want shardisolation "package-level var results"
 	}()
 }
 

@@ -1,0 +1,28 @@
+// Package xbarfix poses as internal/xbar, a shard-executable component
+// package, and exercises the shardisolation analyzer: package-level
+// state written from event code is shared across shard workers by
+// construction, so every write is a cross-shard data race.
+package xbarfix
+
+// totalForwarded is process-global: every shard's ports would bump it.
+var totalForwarded uint64
+
+// lastPort remembers the most recent sender per flow, globally.
+var lastPort = make(map[uint64]int)
+
+type port struct {
+	id    int
+	count uint64
+}
+
+// forward runs on a shard worker for every traversing packet.
+func (p *port) forward(flow uint64) {
+	p.count++             // per-instance state: legal
+	totalForwarded++      // want shardisolation "package-level var totalForwarded written from shard-executable code"
+	lastPort[flow] = p.id // want shardisolation "package-level var lastPort written from shard-executable code"
+}
+
+// drop forgets a flow when its binding goes away.
+func (p *port) drop(flow uint64) {
+	delete(lastPort, flow) // want shardisolation "package-level var lastPort written from shard-executable code"
+}

@@ -1,0 +1,22 @@
+package xbarfix
+
+// routeTable is written once by init, before any shard worker exists,
+// and only read from event code afterwards.
+var routeTable map[int]int
+
+func init() {
+	routeTable = map[int]int{0: 1, 1: 0}
+}
+
+type mesh struct {
+	hops  uint64
+	local map[uint64]int
+}
+
+// route reads global configuration and mutates only per-instance state.
+func (m *mesh) route(flow uint64) int {
+	m.hops++
+	next := routeTable[m.local[flow]]
+	m.local[flow] = next
+	return next
+}

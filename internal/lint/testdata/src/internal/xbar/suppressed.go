@@ -1,0 +1,12 @@
+package xbarfix
+
+// seeded marks one-time topology setup.
+var seeded bool
+
+// seedTopology runs on the loader goroutine before the ShardGroup
+// spawns workers; the write is provably single-threaded, so the finding
+// is waived with that justification.
+func seedTopology() {
+	//pardlint:ignore shardisolation one-time setup on the loader goroutine, before workers exist
+	seeded = true
+}

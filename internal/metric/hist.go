@@ -23,6 +23,7 @@ type Histogram struct {
 
 // NewHistogram returns an empty histogram.
 func NewHistogram() *Histogram {
+	//pardlint:ignore hotalloc constructor: one allocation per histogram series, at first sight
 	return &Histogram{counts: make(map[uint64]uint64), min: math.MaxUint64}
 }
 

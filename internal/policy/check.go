@@ -432,10 +432,21 @@ func columnNames(cols []core.Column) string {
 // overlap is decided conservatively: `others` vs `others` always
 // overlaps even if the excluded DS-ids differ, because any third LDom
 // is written by both.
+//
+// One carve-out keeps raise/lower controllers expressible: two rules
+// that watch the same statistic cell with provably disjoint firing
+// conditions (say `miss_rate > 40%` and `miss_rate < 20%`) can never
+// fire on the same sample, so their writes to a shared cell are
+// ordered by time, not by evaluation order, and are not a conflict.
+// pardcheck (Lint) separately warns when such a pair has no dead band
+// and no hysteresis.
 func CheckConflicts(rules []*CompiledRule) error {
 	for i, a := range rules {
 		for j := i; j < len(rules); j++ {
 			b := rules[j]
+			if i != j && condMutuallyExclusive(a, b) {
+				continue
+			}
 			wbStart := 0
 			for wi, wa := range a.Writes {
 				if i == j {

@@ -1,0 +1,126 @@
+package policy
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func lintSrc(t *testing.T, src string) []Issue {
+	t.Helper()
+	prog, err := compileSrc(t, src, Options{})
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	return Lint(prog)
+}
+
+func wantIssue(t *testing.T, issues []Issue, substr string) {
+	t.Helper()
+	for _, i := range issues {
+		if strings.Contains(i.Msg, substr) {
+			return
+		}
+	}
+	t.Fatalf("no issue containing %q in %v", substr, issues)
+}
+
+func TestLintUnreachableThreshold(t *testing.T) {
+	issues := lintSrc(t, `cpa llc ldom web: when miss_rate > 150% => waymask = 0xff`)
+	wantIssue(t, issues, "can never fire")
+}
+
+func TestLintAlwaysTrueCondition(t *testing.T) {
+	issues := lintSrc(t, `cpa llc ldom web: when miss_rate >= 0 => waymask = 0xff`)
+	wantIssue(t, issues, "fires on every sample")
+}
+
+func TestLintNoOpActionAndDeadTrigger(t *testing.T) {
+	issues := lintSrc(t, `cpa llc ldom web: when miss_rate > 30% => waymask += 0 cooldown 1ms`)
+	wantIssue(t, issues, "no-op")
+	wantIssue(t, issues, "dead trigger")
+}
+
+func TestLintClampRewritesOperand(t *testing.T) {
+	issues := lintSrc(t, `cpa llc ldom web: when miss_rate > 30% => waymask = 20 max 12`)
+	wantIssue(t, issues, "clamp rewrites the operand")
+}
+
+// The carve-out: disjoint conditions on one statistic cell may write
+// the same parameter cell — that is how a raise/lower controller is
+// spelled — but with touching bands and no hysteresis pardcheck flags
+// the pair as an oscillator.
+func TestLintOscillatingPairFlagged(t *testing.T) {
+	src := `rule raise cpa llc ldom web: when miss_rate > 30% => waymask = 0xff00
+rule lower cpa llc ldom web: when miss_rate <= 30% => waymask = 0xffff`
+	issues := lintSrc(t, src)
+	wantIssue(t, issues, "raise/lower pair")
+}
+
+func TestLintDeadBandSuppressesOscillation(t *testing.T) {
+	src := `rule raise cpa llc ldom web: when miss_rate > 40% => waymask = 0xff00
+rule lower cpa llc ldom web: when miss_rate < 20% => waymask = 0xffff`
+	if issues := lintSrc(t, src); len(issues) != 0 {
+		t.Fatalf("a 20-point dead band is hysteresis; got %v", issues)
+	}
+}
+
+func TestLintSampleHysteresisSuppressesOscillation(t *testing.T) {
+	src := `rule raise cpa llc ldom web: when miss_rate > 30% for 3 samples => waymask = 0xff00
+rule lower cpa llc ldom web: when miss_rate <= 30% => waymask = 0xffff`
+	if issues := lintSrc(t, src); len(issues) != 0 {
+		t.Fatalf("'for 3 samples' damps the pair; got %v", issues)
+	}
+}
+
+// Overlapping conditions on the same cell are still a hard conflict:
+// the carve-out only admits provably exclusive pairs.
+func TestConflictStillRejectsOverlappingConditions(t *testing.T) {
+	src := `rule a cpa llc ldom web: when miss_rate > 30% => waymask = 0xff00
+rule b cpa llc ldom web: when miss_rate > 50% => waymask = 0xffff`
+	if _, err := compileSrc(t, src, Options{}); err == nil {
+		t.Fatal("overlapping firing bands writing one cell must stay a conflict")
+	}
+}
+
+// Rules watching different statistic cells never qualify for the
+// carve-out, even with syntactically disjoint thresholds: the cells
+// move independently, so both rules can fire on one sample.
+func TestConflictDifferentCellsNotCarvedOut(t *testing.T) {
+	src := `rule a cpa llc ldom web: when miss_rate > 30% => waymask = 0xff00
+rule b cpa llc ldom batch: when miss_rate <= 30% => ldom web waymask = 0xffff`
+	if _, err := compileSrc(t, src, Options{}); err == nil {
+		t.Fatal("disjoint conditions on different cells must stay a conflict")
+	}
+}
+
+func TestFireIntervalEdges(t *testing.T) {
+	dom := statDomain("miss_rate")
+	if dom.lo != 0 || dom.hi != 1000 {
+		t.Fatalf("miss_rate domain = %+v", dom)
+	}
+	cases := []struct {
+		op        string
+		threshold uint64
+		want      interval
+	}{
+		{"gt", 1000, interval{empty: true}},
+		{"ge", 1000, interval{lo: 1000, hi: 1000}},
+		{"lt", 0, interval{empty: true}},
+		{"le", 0, interval{lo: 0, hi: 0}},
+		{"eq", 500, interval{lo: 500, hi: 500}},
+		{"eq", 2000, interval{empty: true}},
+		{"ne", 500, dom},
+	}
+	for _, c := range cases {
+		op, err := core.ParseCmpOp(c.op)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := fireInterval(op, c.threshold, dom)
+		if !got.equal(c.want) {
+			t.Errorf("fireInterval(%s, %d) = %+v, want %+v", c.op, c.threshold, got, c.want)
+		}
+	}
+}

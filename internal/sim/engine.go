@@ -175,6 +175,8 @@ func (e *Engine) pop() event {
 
 // Step executes the single earliest event, advancing time to it.
 // It reports whether an event was available.
+//
+//pardlint:hotpath engine dispatch: every simulated event funnels through here
 func (e *Engine) Step() bool {
 	if len(e.events) == 0 {
 		return false

@@ -179,6 +179,7 @@ func (r *Recorder) state(p *core.Packet) *PacketTrace {
 		r.pool[n-1] = nil
 		r.pool = r.pool[:n-1]
 	} else {
+		//pardlint:ignore hotalloc pool miss: amortized to zero once the trace pool reaches steady-state depth
 		t = new(PacketTrace)
 	}
 	*t = PacketTrace{
@@ -306,6 +307,7 @@ func (r *Recorder) observe(s *HopSpan, ds core.DSID) {
 	k := histKey{hop: s.Hop, ds: ds}
 	h, ok := r.hists[k]
 	if !ok {
+		//pardlint:ignore hotalloc first sight of a (hop, DS-id) pair: bounded by topology times LDom count
 		h = &hopHist{queue: metric.NewHistogram(), service: metric.NewHistogram()}
 		r.hists[k] = h
 	}

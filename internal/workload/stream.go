@@ -72,6 +72,7 @@ func (c *CacheFlush) Next(sim.Tick) Op {
 		if seed == 0 {
 			seed = 0x9E3779B97F4A7C15
 		}
+		//pardlint:ignore hotalloc lazy PRNG init: once per generator lifetime
 		c.r = &randSource{s: seed}
 	}
 	if c.Compute > 0 && !c.gap {
@@ -130,6 +131,7 @@ func (p *PointerChase) Next(sim.Tick) Op {
 		if seed == 0 {
 			seed = 0xD1B54A32D192ED03
 		}
+		//pardlint:ignore hotalloc lazy PRNG init: once per generator lifetime
 		p.r = &randSource{s: seed}
 	}
 	if p.Compute > 0 && !p.gap {

@@ -92,6 +92,7 @@ func New(e *sim.Engine, clock *sim.Clock, cfg Config, out core.Target) *Crossbar
 		qlat:   make(map[core.DSID]*qlatWin),
 	}
 	x.grantFn = x.grant
+	//pardlint:hotpath prebound post-traversal forward callback
 	x.fwdFn = func(p *core.Packet) {
 		x.rec.Leave(x.hop, p)
 		x.out.Request(p)
@@ -148,6 +149,8 @@ func (x *Crossbar) weight(ds core.DSID) uint64 {
 
 // grant issues one packet per cycle under weighted round robin: the
 // current DS-id keeps the port for weight grants per round.
+//
+//pardlint:hotpath prebound arbitration callback (grantFn)
 func (x *Crossbar) grant() {
 	x.pumping = false
 	// Find the next DS-id with work, consuming credits.
@@ -196,6 +199,7 @@ func (x *Crossbar) forward(ds core.DSID, e entry) {
 	x.plane.AddStat(ds, StatFwdCnt, 1)
 	w, ok := x.qlat[ds]
 	if !ok {
+		//pardlint:ignore hotalloc first sight of a DS-id: bounded by LDom count, not request count
 		w = &qlatWin{}
 		x.qlat[ds] = w
 	}

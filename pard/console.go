@@ -111,10 +111,16 @@ func Dispatch(sys *System, line string) (string, error) {
 		// operator's filesystem; the firmware cannot). Everything else
 		// — list/show/explain/unload — falls through to the firmware.
 		if len(fields) == 3 && fields[1] == "validate" {
-			if err := sys.ValidatePolicyFile(fields[2]); err != nil {
+			issues, err := sys.LintPolicyFile(fields[2])
+			if err != nil {
 				return "", err
 			}
-			return fmt.Sprintf("%s: ok", fields[2]), nil
+			var b strings.Builder
+			for _, issue := range issues {
+				fmt.Fprintf(&b, "warning: %s\n", issue)
+			}
+			fmt.Fprintf(&b, "%s: ok", fields[2])
+			return b.String(), nil
 		}
 		if len(fields) == 3 && fields[1] == "apply" {
 			if err := sys.ApplyPolicyFile(fields[2]); err != nil {

@@ -28,6 +28,7 @@ import (
 	"repro/internal/dram"
 	"repro/internal/iodev"
 	"repro/internal/osched"
+	"repro/internal/policy"
 	"repro/internal/prm"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -344,12 +345,25 @@ func (s *System) ApplyPolicyFile(path string) error {
 // this system's control planes without installing anything. LDom names
 // that do not exist yet are allowed (they bind at load time).
 func (s *System) ValidatePolicyFile(path string) error {
+	_, err := s.LintPolicyFile(path)
+	return err
+}
+
+// LintPolicyFile validates a .pard policy file and, when it compiles,
+// runs pardcheck — the abstract interpreter in internal/policy — over
+// the compiled program. The returned issues are advisory (unreachable
+// rules, dead triggers, undamped raise/lower pairs); the error is the
+// hard parse/typecheck verdict.
+func (s *System) LintPolicyFile(path string) ([]policy.Issue, error) {
 	src, err := os.ReadFile(path)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	_, err = s.Firmware.ValidatePolicy(filepath.Base(path), string(src))
-	return err
+	prog, err := s.Firmware.ValidatePolicy(filepath.Base(path), string(src))
+	if err != nil {
+		return nil, err
+	}
+	return policy.Lint(prog), nil
 }
 
 func policyNameFromPath(path string) string {
