@@ -1,12 +1,12 @@
 // Command benchgate holds the performance trajectory recorded in
-// BENCH.json: it re-measures the engine and LLC hit-path
-// micro-benchmarks in-process (the exact workloads cmd/pardbench
-// records) and fails when the fresh numbers regress against the
-// committed record.
+// BENCH.json: it re-measures the engine, LLC hit-path, DRAM pick and
+// PIFO pop micro-benchmarks in-process (the exact workloads
+// cmd/pardbench records) and fails when the fresh numbers regress
+// against the committed record.
 //
 // Usage:
 //
-//	benchgate [-baseline BENCH.json] [-max-regress 0.10] [-runs 3]
+//	benchgate [-baseline BENCH.json] [-max-regress 0.10] [-runs 5]
 //
 // Two gates, per benchmark section:
 //
@@ -33,18 +33,21 @@ import (
 )
 
 // baselineDoc is the slice of the pard-bench/v1 schema this gate reads.
-// Older BENCH.json files predate llc_hit_path; a zero section is
-// skipped rather than failed so the gate can bootstrap itself.
+// Older BENCH.json files predate llc_hit_path, dram_pick and pifo_pop;
+// a zero section is skipped rather than failed so the gate can
+// bootstrap itself.
 type baselineDoc struct {
 	Schema     string      `json:"schema"`
 	Engine     bench.Micro `json:"engine"`
 	LLCHitPath bench.Micro `json:"llc_hit_path"`
+	DramPick   bench.Micro `json:"dram_pick"`
+	PifoPop    bench.Micro `json:"pifo_pop"`
 }
 
 func main() {
 	baselinePath := flag.String("baseline", "BENCH.json", "committed benchmark record to gate against")
 	maxRegress := flag.Float64("max-regress", 0.10, "allowed fractional ns/op regression (0.10 = +10%)")
-	runs := flag.Int("runs", 3, "fresh measurements per benchmark; the best one is compared")
+	runs := flag.Int("runs", 5, "fresh measurements per benchmark; the best one is compared")
 	flag.Parse()
 
 	raw, err := os.ReadFile(*baselinePath)
@@ -63,24 +66,13 @@ func main() {
 	}
 
 	ok := true
-	ok = gate("engine", base.Engine, best(*runs, bench.MeasureEngine), *maxRegress) && ok
-	ok = gate("llc_hit_path", base.LLCHitPath, best(*runs, bench.MeasureLLCHitPath), *maxRegress) && ok
+	ok = gate("engine", base.Engine, bench.Best(*runs, bench.MeasureEngine), *maxRegress) && ok
+	ok = gate("llc_hit_path", base.LLCHitPath, bench.Best(*runs, bench.MeasureLLCHitPath), *maxRegress) && ok
+	ok = gate("dram_pick", base.DramPick, bench.Best(*runs, bench.MeasureDRAMPick), *maxRegress) && ok
+	ok = gate("pifo_pop", base.PifoPop, bench.Best(*runs, bench.MeasurePIFOPop), *maxRegress) && ok
 	if !ok {
 		os.Exit(1)
 	}
-}
-
-// best runs measure n times and keeps the fastest result: scheduling
-// noise only ever slows a run down, so the minimum is the estimate
-// closest to the machine's true cost.
-func best(n int, measure func() bench.Micro) bench.Micro {
-	out := measure()
-	for i := 1; i < n; i++ {
-		if m := measure(); m.NsPerEvent < out.NsPerEvent {
-			out = m
-		}
-	}
-	return out
 }
 
 // gate compares one fresh measurement against its committed record and

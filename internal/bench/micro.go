@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/core"
+	"repro/internal/dram"
 	"repro/internal/sim"
 )
 
@@ -70,6 +71,53 @@ func (m nopMem) Request(p *core.Packet) { p.Complete(m.e.Now()) }
 // pooled packet, the lookup schedules through the packet's embedded
 // event slot, and Complete returns the packet to the pool. Steady state
 // allocates nothing, and benchgate holds that line.
+// MeasureDRAMPick times an end-to-end DRAM read round trip with the
+// PIFO-backed FR-FCFS scheduler installed: Request pushes into the
+// rank-ordered queue, issue() pops the eligible minimum via PopWhere,
+// and the completion event returns the pooled packet. This is the
+// scheduling plane's hot path; benchgate holds its trajectory so
+// re-expressing schedulers as rank functions stays free.
+func MeasureDRAMPick() Micro {
+	return fromResult(testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		e := sim.NewEngine()
+		ids := &core.IDSource{}
+		ids.EnablePool()
+		cfg := dram.DefaultConfig()
+		cfg.ControlPlane = true
+		ctrl := dram.New(e, ids, cfg)
+		if err := ctrl.SetScheduler(dram.SchedPIFOFRFCFS); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			p := core.NewPacket(ids, core.KindMemRead, 1, uint64(i%1024)*64, 64, e.Now())
+			ctrl.Request(p)
+			for !p.Completed() {
+				e.Step()
+			}
+		}
+	}))
+}
+
+// MeasurePIFOPop times the raw PIFO push+pop cycle at steady depth —
+// the primitive every re-expressed scheduler leans on. Steady state
+// allocates nothing once the backing slice has grown.
+func MeasurePIFOPop() Micro {
+	return fromResult(testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		var q core.PIFO[int]
+		for i := 0; i < 64; i++ {
+			q.Push(i, uint64(i))
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			q.Push(i, uint64(i%128))
+			q.Pop()
+		}
+	}))
+}
+
 func MeasureLLCHitPath() Micro {
 	return fromResult(testing.Benchmark(func(b *testing.B) {
 		b.ReportAllocs()
@@ -92,4 +140,21 @@ func MeasureLLCHitPath() Micro {
 			}
 		}
 	}))
+}
+
+// Best measures n times and keeps the fastest result: scheduling noise
+// only ever slows a run down, so the minimum is the estimate closest
+// to the machine's true cost. Both the recorder (cmd/pardbench) and
+// the gate (cmd/benchgate) use it, so the committed number and the
+// fresh number estimate the same quantity and the gate's margin only
+// has to absorb the residual noise of two minima, not of two single
+// shots.
+func Best(n int, measure func() Micro) Micro {
+	out := measure()
+	for i := 1; i < n; i++ {
+		if m := measure(); m.NsPerEvent < out.NsPerEvent {
+			out = m
+		}
+	}
+	return out
 }

@@ -110,7 +110,13 @@ type Cache struct {
 	reserved []uint64
 
 	mshrs   map[mshrKey]*mshrEntry
-	stalled []*core.Packet // misses waiting for a free MSHR
+	stalled []*core.Packet // misses waiting for a free MSHR (SchedFIFO)
+
+	// PIFO scheduling plane for the MSHR stall queue: in pifo-fifo mode
+	// stalled misses live in a PIFO at arrival rank (the stored rank is
+	// constant, so seq — push order — is the schedule: FIFO).
+	sched string
+	spifo core.PIFO[*core.Packet]
 
 	// entryPool recycles mshrEntry structs so the steady-state miss path
 	// does not allocate.
@@ -152,6 +158,13 @@ const (
 	StatMissCnt  = "miss_cnt"
 	StatMissRate = "miss_rate" // 0.1% units, windowed
 	StatCapacity = "capacity"  // blocks currently owned
+)
+
+// Scheduling algorithms installable on the cache plane (the .pard
+// `schedule cache <algo>` catalogue) — they order the MSHR stall queue.
+const (
+	SchedFIFO     = "fifo"      // hard-coded FIFO retry slice (default)
+	SchedPIFOFIFO = "pifo-fifo" // FIFO as a PIFO arrival rank; byte-identical trajectories
 )
 
 // New builds a cache. next receives fill reads and writebacks.
@@ -204,6 +217,7 @@ func New(e *sim.Engine, clock *sim.Clock, ids *core.IDSource, cfg Config, next c
 	if c.rng == 0 {
 		c.rng = 0x9E3779B97F4A7C15
 	}
+	c.sched = SchedFIFO
 	//pardlint:hotpath prebound lookup callback: one per Request
 	c.lookupFn = func(p *core.Packet) { c.lookupStep(p, false) }
 	//pardlint:hotpath prebound retry callback after a structural stall
@@ -225,6 +239,7 @@ func New(e *sim.Engine, clock *sim.Clock, ids *core.IDSource, cfg Config, next c
 			core.Column{Name: StatCapacity},
 		)
 		c.plane = core.NewPlane(e, "CACHE_CP", core.PlaneTypeCache, params, stats, cfg.TriggerSlots)
+		c.plane.SetSchedulerHook(c.SetScheduler, c.Scheduler)
 		e.Schedule(cfg.SampleInterval, c.sample)
 	}
 	return c
@@ -315,6 +330,14 @@ func (c *Cache) hit(p *core.Packet, si uint64, w int, retry bool) {
 	}
 	c.rec.Finish(c.hop, p)
 	p.Complete(c.engine.Now())
+	if retry {
+		// A retried access that hits (its block was filled under another
+		// access's MSHR while it sat stalled) consumed the one wakeup
+		// that fill granted without issuing a fill of its own. Pass the
+		// wakeup on, or the rest of the stall queue sleeps forever once
+		// no fills remain in flight.
+		c.retryStalled()
+	}
 }
 
 func (c *Cache) miss(p *core.Packet, block, si, tag uint64, retry bool) {
@@ -332,20 +355,34 @@ func (c *Cache) miss(p *core.Packet, block, si, tag uint64, retry bool) {
 		return
 	}
 	if len(c.mshrs) >= c.cfg.MSHRs {
-		c.MSHRStalls++
-		c.stalled = append(c.stalled, p)
+		c.stall(p, retry)
 		return
 	}
-	c.allocateMiss(p, key, si, tag)
+	c.allocateMiss(p, key, si, tag, retry)
 }
 
-func (c *Cache) allocateMiss(p *core.Packet, key mshrKey, si, tag uint64) {
+// stall parks p on the structural-stall queue. Like hits and misses,
+// the MSHRStalls statistic counts each access at most once: a stalled
+// access that retries and stalls again (MSHR freed but every allowed
+// way reserved, or vice versa) used to be counted at both stall sites,
+// inflating the stat the .pard triggers read.
+func (c *Cache) stall(p *core.Packet, retry bool) {
+	if !retry {
+		c.MSHRStalls++
+	}
+	if c.sched == SchedPIFOFIFO {
+		c.spifo.Push(p, 0) // constant rank: seq (arrival) is the schedule
+	} else {
+		c.stalled = append(c.stalled, p)
+	}
+}
+
+func (c *Cache) allocateMiss(p *core.Packet, key mshrKey, si, tag uint64, retry bool) {
 	w, ok := c.evict(si, p.DSID)
 	if !ok {
 		// Every allowed way has a fill in flight: structural stall
 		// until one lands.
-		c.MSHRStalls++
-		c.stalled = append(c.stalled, p)
+		c.stall(p, retry)
 		return
 	}
 	set := c.lines[si]
@@ -556,15 +593,57 @@ func (c *Cache) fill(key mshrKey, fromWriteback bool) {
 // hit/miss accounting (lookupStep's retry flag): the access was counted
 // when it first stalled.
 func (c *Cache) retryStalled() {
-	if len(c.stalled) == 0 {
-		return
+	var p *core.Packet
+	if c.sched == SchedPIFOFIFO {
+		var ok bool
+		if p, ok = c.spifo.Pop(); !ok {
+			return
+		}
+	} else {
+		if len(c.stalled) == 0 {
+			return
+		}
+		p = c.stalled[0]
+		last := len(c.stalled) - 1
+		copy(c.stalled, c.stalled[1:])
+		c.stalled[last] = nil
+		c.stalled = c.stalled[:last]
 	}
-	p := c.stalled[0]
-	last := len(c.stalled) - 1
-	copy(c.stalled, c.stalled[1:])
-	c.stalled[last] = nil
-	c.stalled = c.stalled[:last]
 	p.ScheduleCall(c.clock, 1, c.retryFn)
+}
+
+// stallDepth returns the number of structurally stalled misses.
+func (c *Cache) stallDepth() int { return len(c.stalled) + c.spifo.Len() }
+
+// Scheduler returns the stall-queue scheduling algorithm in force.
+func (c *Cache) Scheduler() string { return c.sched }
+
+// SetScheduler installs a stall-queue scheduling algorithm — the
+// control path behind the plane's scheduler hook and the .pard
+// `schedule cache <algo>` directive. Stalled misses migrate in FIFO
+// order.
+func (c *Cache) SetScheduler(algo string) error {
+	switch algo {
+	case SchedFIFO, SchedPIFOFIFO:
+	default:
+		return fmt.Errorf("cache: unknown scheduling algorithm %q (have %s, %s)", algo, SchedFIFO, SchedPIFOFIFO)
+	}
+	if algo == c.sched {
+		return nil
+	}
+	c.sched = algo
+	if algo == SchedPIFOFIFO {
+		for _, p := range c.stalled {
+			c.spifo.Push(p, 0)
+		}
+		for i := range c.stalled {
+			c.stalled[i] = nil
+		}
+		c.stalled = c.stalled[:0]
+	} else {
+		c.stalled = append(c.stalled, c.spifo.RemoveWhere(func(*core.Packet) bool { return true })...)
+	}
+	return nil
 }
 
 func (c *Cache) incOccupancy(ds core.DSID) {
@@ -679,6 +758,10 @@ func (c *Cache) InvalidateDSID(ds core.DSID) uint64 {
 
 	// Flush stalled accesses for ds; they would otherwise retry into a
 	// torn-down domain (or hang if the teardown drained all traffic).
+	for _, p := range c.spifo.RemoveWhere(func(p *core.Packet) bool { return p.DSID == ds }) {
+		c.rec.Finish(c.hop, p)
+		p.Complete(now)
+	}
 	if len(c.stalled) > 0 {
 		var flush []*core.Packet
 		keep := c.stalled[:0]

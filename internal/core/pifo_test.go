@@ -1,0 +1,213 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestPIFORankOrder pops entries in ascending rank order regardless of
+// push order.
+func TestPIFORankOrder(t *testing.T) {
+	var q PIFO[int]
+	ranks := []uint64{9, 3, 7, 1, 8, 2, 6, 0, 5, 4}
+	for i, r := range ranks {
+		q.Push(i, r)
+	}
+	var got []uint64
+	for q.Len() > 0 {
+		id, ok := q.Pop()
+		if !ok {
+			t.Fatal("Pop failed with entries queued")
+		}
+		got = append(got, ranks[id])
+	}
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+		t.Fatalf("pop order not rank-sorted: %v", got)
+	}
+}
+
+// TestPIFOFIFOTieBreak pins the deterministic tie-break: equal ranks
+// pop in push order, every time.
+func TestPIFOFIFOTieBreak(t *testing.T) {
+	for trial := 0; trial < 10; trial++ {
+		var q PIFO[int]
+		// Interleave two rank classes; within a class, push order must
+		// be pop order.
+		for i := 0; i < 64; i++ {
+			q.Push(i, uint64(i%2))
+		}
+		var evens, odds []int
+		for q.Len() > 0 {
+			v, _ := q.Pop()
+			if v%2 == 0 {
+				evens = append(evens, v)
+			} else {
+				odds = append(odds, v)
+			}
+		}
+		// All rank-0 (even) entries precede all rank-1 (odd) entries.
+		if len(evens) != 32 || len(odds) != 32 {
+			t.Fatalf("lost entries: %d evens, %d odds", len(evens), len(odds))
+		}
+		for i := 1; i < len(evens); i++ {
+			if evens[i-1] >= evens[i] {
+				t.Fatalf("rank-0 entries popped out of push order: %v", evens)
+			}
+		}
+		for i := 1; i < len(odds); i++ {
+			if odds[i-1] >= odds[i] {
+				t.Fatalf("rank-1 entries popped out of push order: %v", odds)
+			}
+		}
+	}
+}
+
+// refPIFO is the reference model: a sorted-insert list over (rank, seq).
+type refPIFO struct {
+	vals  []int
+	ranks []uint64
+	seqs  []uint64
+	seq   uint64
+}
+
+func (r *refPIFO) push(v int, rank uint64) {
+	i := sort.Search(len(r.ranks), func(i int) bool {
+		return r.ranks[i] > rank // equal ranks keep earlier seqs first
+	})
+	r.vals = append(r.vals, 0)
+	copy(r.vals[i+1:], r.vals[i:])
+	r.vals[i] = v
+	r.ranks = append(r.ranks, 0)
+	copy(r.ranks[i+1:], r.ranks[i:])
+	r.ranks[i] = rank
+	r.seqs = append(r.seqs, 0)
+	copy(r.seqs[i+1:], r.seqs[i:])
+	r.seqs[i] = r.seq
+	r.seq++
+}
+
+func (r *refPIFO) pop() (int, bool) {
+	if len(r.vals) == 0 {
+		return 0, false
+	}
+	v := r.vals[0]
+	r.vals = r.vals[1:]
+	r.ranks = r.ranks[1:]
+	r.seqs = r.seqs[1:]
+	return v, true
+}
+
+// TestPIFOHeapMatchesSortedInsert drives the heap and a sorted-insert
+// reference through the same random interleaved push/pop sequence and
+// demands identical pop results throughout.
+func TestPIFOHeapMatchesSortedInsert(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var q PIFO[int]
+	var ref refPIFO
+	for op := 0; op < 20000; op++ {
+		if q.Len() == 0 || rng.Intn(3) != 0 {
+			v := op
+			rank := uint64(rng.Intn(16)) // small rank space forces ties
+			q.Push(v, rank)
+			ref.push(v, rank)
+		} else {
+			got, gok := q.Pop()
+			want, wok := ref.pop()
+			if gok != wok || got != want {
+				t.Fatalf("op %d: heap popped (%d, %v), reference popped (%d, %v)", op, got, gok, want, wok)
+			}
+		}
+	}
+	for q.Len() > 0 {
+		got, _ := q.Pop()
+		want, _ := ref.pop()
+		if got != want {
+			t.Fatalf("drain: heap popped %d, reference popped %d", got, want)
+		}
+	}
+	if _, ok := ref.pop(); ok {
+		t.Fatal("reference still has entries after heap drained")
+	}
+}
+
+// TestPIFOPopWhere checks the transient-rank pop: eligibility skips,
+// rank minimization, and the seq tie-break.
+func TestPIFOPopWhere(t *testing.T) {
+	var q PIFO[int]
+	for i := 0; i < 8; i++ {
+		q.Push(i, 0) // stored rank ignored by PopWhere
+	}
+	// Odd entries ineligible; rank = value/2 makes {0,1}, {2,3}, ...
+	// rank classes, so eligible 0 and 2 tie at transient ranks 0 and 1.
+	v, ok := q.PopWhere(func(v int) (uint64, bool) {
+		return uint64(v / 2), v%2 == 0
+	})
+	if !ok || v != 0 {
+		t.Fatalf("PopWhere = (%d, %v), want (0, true)", v, ok)
+	}
+	// Equal transient rank for all: earliest seq wins — that is 1 now.
+	v, ok = q.PopWhere(func(int) (uint64, bool) { return 7, true })
+	if !ok || v != 1 {
+		t.Fatalf("PopWhere tie-break = (%d, %v), want (1, true)", v, ok)
+	}
+	// Nothing eligible.
+	if _, ok := q.PopWhere(func(int) (uint64, bool) { return 0, false }); ok {
+		t.Fatal("PopWhere returned an entry with nothing eligible")
+	}
+	if q.Len() != 6 {
+		t.Fatalf("Len = %d after two removals from eight, want 6", q.Len())
+	}
+}
+
+// TestPIFORemoveWhere checks bulk removal returns matches in push order
+// and preserves the heap order of the remainder.
+func TestPIFORemoveWhere(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var q PIFO[int]
+	for i := 0; i < 100; i++ {
+		q.Push(i, uint64(rng.Intn(10)))
+	}
+	removed := q.RemoveWhere(func(v int) bool { return v%3 == 0 })
+	for i := 1; i < len(removed); i++ {
+		if removed[i-1] >= removed[i] {
+			t.Fatalf("removed entries out of push order: %v", removed)
+		}
+	}
+	if q.Len() != 100-len(removed) {
+		t.Fatalf("Len = %d, want %d", q.Len(), 100-len(removed))
+	}
+	var lastRank uint64
+	first := true
+	for q.Len() > 0 {
+		_, rank, _ := q.Peek()
+		if _, ok := q.Pop(); !ok {
+			t.Fatal("Pop failed")
+		}
+		if !first && rank < lastRank {
+			t.Fatalf("heap order broken after RemoveWhere: rank %d after %d", rank, lastRank)
+		}
+		lastRank, first = rank, false
+	}
+}
+
+// TestPIFOPopZeroAlloc holds the zero-alloc invariant on the pop path
+// (hotalloc proves it statically; this proves it dynamically).
+func TestPIFOPopZeroAlloc(t *testing.T) {
+	var q PIFO[int]
+	rng := rand.New(rand.NewSource(3))
+	allocs := testing.AllocsPerRun(1000, func() {
+		// Push into pre-grown backing storage, then pop: steady state.
+		q.Push(1, uint64(rng.Intn(64)))
+		q.Push(2, uint64(rng.Intn(64)))
+		if _, ok := q.Pop(); !ok {
+			t.Fatal("Pop failed")
+		}
+		if _, ok := q.PopWhere(func(int) (uint64, bool) { return 0, true }); !ok {
+			t.Fatal("PopWhere failed")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("pop path allocates %.1f allocs/op, want 0", allocs)
+	}
+}

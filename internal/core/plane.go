@@ -52,6 +52,12 @@ type Plane struct {
 
 	intr InterruptLine
 
+	// Scheduler plane: the owning component registers an installer so
+	// operators (and .pard `schedule` directives) can swap the
+	// component's scheduling algorithm at run time.
+	schedInstall func(algo string) error
+	schedCurrent func() string
+
 	// TriggersFired counts interrupts raised, for tests and reports.
 	TriggersFired uint64
 }
@@ -98,6 +104,38 @@ func (p *Plane) Trigger(slot int) (*Trigger, error) {
 
 // SetInterrupt wires the interrupt line to the PRM.
 func (p *Plane) SetInterrupt(fn InterruptLine) { p.intr = fn }
+
+// SetSchedulerHook registers the owning component's scheduling plane:
+// install swaps the component onto a named algorithm, current reports
+// the algorithm in force. Components without programmable scheduling
+// simply never call this.
+func (p *Plane) SetSchedulerHook(install func(algo string) error, current func() string) {
+	p.schedInstall = install
+	p.schedCurrent = current
+}
+
+// HasScheduler reports whether the component registered a scheduling
+// hook.
+func (p *Plane) HasScheduler() bool { return p.schedInstall != nil }
+
+// InstallScheduler asks the owning component to switch to the named
+// scheduling algorithm — the sanctioned control path behind the
+// /sys/cpa/cpaN/scheduler node and the .pard `schedule` directive.
+func (p *Plane) InstallScheduler(algo string) error {
+	if p.schedInstall == nil {
+		return fmt.Errorf("core: %s has no programmable scheduler", p.ident)
+	}
+	return p.schedInstall(algo)
+}
+
+// SchedulerAlgo returns the algorithm currently in force, or "" when
+// the component has no programmable scheduler.
+func (p *Plane) SchedulerAlgo() string {
+	if p.schedCurrent == nil {
+		return ""
+	}
+	return p.schedCurrent()
+}
 
 // CreateRow allocates parameter and statistics rows for a new LDom's
 // DS-id, with column defaults.

@@ -82,6 +82,7 @@ const (
 	ParamRowBuf    = "rowbuf"     // row-buffer id used by this DS-id
 	ParamCompress  = "compress"   // nonzero: route through the compression engine
 	ParamAddrLimit = "addr_limit" // LDom-physical size; accesses beyond fault (0 = unlimited)
+	ParamLatTarget = "lat_target" // EDF deadline target in ns (0 = best effort)
 
 	StatServCnt    = "serv_cnt"   // requests served
 	StatAvgQLat    = "avg_qlat"   // windowed mean queueing delay, 0.1-cycle units
@@ -89,11 +90,27 @@ const (
 	StatViolations = "violations" // out-of-bounds accesses faulted
 )
 
+// Scheduling algorithms installable on the memory plane (the .pard
+// `schedule mem <algo>` catalogue).
+const (
+	SchedFRFCFS     = "frfcfs"      // hard-coded FR-FCFS scan (default)
+	SchedPIFOFRFCFS = "pifo-frfcfs" // FR-FCFS as a PIFO rank function; byte-identical trajectories
+	SchedStrict     = "strict"      // strict priority by the priority parameter, FIFO within a level
+	SchedEDF        = "edf"         // earliest deadline first over per-DS-id lat_target
+)
+
+// defaultDeadline is the EDF deadline granted to best-effort traffic
+// (lat_target 0): far enough out that any tenant with a real target
+// sorts ahead, near enough that best-effort requests still order FCFS
+// among themselves.
+const defaultDeadline = 1 * sim.Millisecond
+
 type request struct {
 	pkt        *core.Packet
 	bank       int
 	row        uint64
 	rbuf       int
+	lvl        int // priority level assigned at enqueue (0 = highest)
 	compressed bool
 	enq        sim.Tick
 }
@@ -111,9 +128,18 @@ type Controller struct {
 	clock  *sim.Clock
 	ids    *core.IDSource
 
-	queues  [][]*request // index 0 = highest priority
+	queues  [][]*request // index 0 = highest priority (SchedFRFCFS)
 	reqPool []*request   // recycled request structs (hot path stays allocation-free)
 	banks   []bank
+
+	// PIFO scheduling plane: in every mode but SchedFRFCFS, pending
+	// requests live in one PIFO and the per-algorithm rank function
+	// decides issue order (rankFn is prebound; rankNow carries the
+	// decision time so the closure allocates once, at construction).
+	sched   string
+	pifo    core.PIFO[*request]
+	rankFn  func(*request) (uint64, bool)
+	rankNow sim.Tick
 	// bursts holds the scheduled data-burst windows on the shared
 	// channel. Kept small by pruning: at most one outstanding burst
 	// per bank.
@@ -192,6 +218,8 @@ func New(e *sim.Engine, ids *core.IDSource, cfg Config) *Controller {
 		p.Complete(c.engine.Now())
 	}
 	c.issueFn = c.issue
+	c.sched = SchedFRFCFS
+	c.rankFn = c.rank
 	for i := range c.banks {
 		rows := make([]int64, cfg.RowBuffers)
 		for j := range rows {
@@ -209,6 +237,7 @@ func New(e *sim.Engine, ids *core.IDSource, cfg Config) *Controller {
 			{Name: ParamPriority, Writable: true, Default: 0},
 			{Name: ParamRowBuf, Writable: true, Default: 0},
 			{Name: ParamAddrLimit, Writable: true, Default: 0},
+			{Name: ParamLatTarget, Writable: true, Default: 0},
 		}
 		if cfg.CompressionEngine {
 			cols = append(cols, core.Column{Name: ParamCompress, Writable: true, Default: 0})
@@ -221,6 +250,7 @@ func New(e *sim.Engine, ids *core.IDSource, cfg Config) *Controller {
 			core.Column{Name: StatViolations},
 		)
 		c.plane = core.NewPlane(e, "MEM_CP", core.PlaneTypeMemory, params, stats, cfg.TriggerSlots)
+		c.plane.SetSchedulerHook(c.SetScheduler, c.Scheduler)
 		e.Schedule(cfg.SampleInterval, c.sample)
 	}
 	return c
@@ -322,8 +352,14 @@ func (c *Controller) Request(p *core.Packet) {
 	r.rbuf = c.rowBufOf(p.DSID)
 	r.compressed = c.compressedOf(p.DSID)
 	r.enq = c.engine.Now()
-	q := c.priorityOf(p.DSID)
-	c.queues[q] = append(c.queues[q], r)
+	r.lvl = c.priorityOf(p.DSID)
+	if c.sched == SchedFRFCFS {
+		c.queues[r.lvl] = append(c.queues[r.lvl], r)
+	} else {
+		// PIFO modes re-rank at pop time (PopWhere); the stored rank is
+		// unused, so arrival order (seq) is the only persistent key.
+		c.pifo.Push(r, 0)
+	}
 	if n := c.pendingCount(); n > c.HighWater {
 		c.HighWater = n
 	}
@@ -349,7 +385,7 @@ func (c *Controller) putReq(r *request) {
 }
 
 func (c *Controller) pendingCount() int {
-	n := 0
+	n := c.pifo.Len()
 	for _, q := range c.queues {
 		n += len(q)
 	}
@@ -373,6 +409,24 @@ func (c *Controller) pump() {
 func (c *Controller) issue() {
 	c.pumping = false
 	now := c.engine.Now()
+
+	if c.sched != SchedFRFCFS {
+		c.rankNow = now
+		if r, ok := c.pifo.PopWhere(c.rankFn); ok {
+			c.service(r, r.lvl, now)
+			if c.pendingCount() > 0 {
+				c.pumping = true
+				c.clock.ScheduleCycles(1, c.issueFn)
+			}
+			return
+		}
+		if c.pendingCount() > 0 {
+			wake := c.earliestFree(now)
+			c.pumping = true
+			c.engine.At(wake, c.issueFn)
+		}
+		return
+	}
 
 	for qi := range c.queues {
 		if r, idx := c.pick(c.queues[qi], now); r != nil {
@@ -470,6 +524,91 @@ func (c *Controller) pick(q []*request, now sim.Tick) (*request, int) {
 		return nil, -1
 	}
 	return q[bestIdx], bestIdx
+}
+
+// rank is the transient PIFO rank of r at decision time c.rankNow, plus
+// its eligibility. The eligibility test mirrors pick's skip conditions
+// exactly (bank free, no data-burst collision on the shared channel) so
+// pifo-frfcfs reproduces the hard-coded scan byte for byte; the PIFO's
+// seq tie-break supplies the FCFS arrival order.
+//
+//pardlint:hotpath prebound PIFO rank function (rankFn)
+func (c *Controller) rank(r *request) (uint64, bool) {
+	now := c.rankNow
+	b := &c.banks[r.bank]
+	if b.busyTill > now {
+		return 0, false
+	}
+	lat := c.latencyOf(r, now)
+	width := sim.Tick(c.burstCyclesOf(r)) * c.cfg.TCK
+	if c.busConflicts(now+lat, width, now) {
+		return 0, false
+	}
+	switch c.sched {
+	case SchedStrict:
+		// Larger priority parameter = higher priority = smaller rank;
+		// FIFO within a level via seq.
+		if c.plane == nil {
+			return 0, true
+		}
+		return math.MaxUint64 - c.plane.Param(r.pkt.DSID, ParamPriority), true
+	case SchedEDF:
+		// Deadline = arrival + lat_target. Best-effort tenants
+		// (lat_target 0) take the distant default deadline, ordering
+		// FCFS among themselves behind every real target.
+		dl := defaultDeadline
+		if c.plane != nil {
+			if ns := c.plane.Param(r.pkt.DSID, ParamLatTarget); ns > 0 {
+				dl = sim.Tick(ns) * sim.Nanosecond
+			}
+		}
+		return uint64(r.enq + dl), true
+	default: // SchedPIFOFRFCFS
+		// Lexicographic (priority level, row-miss): two rank values per
+		// level, hit below miss, arrival (seq) breaking ties — exactly
+		// pick's "first ready row hit, else oldest eligible" per level.
+		rank := uint64(r.lvl) * 2
+		if b.rows[r.rbuf] != int64(r.row) {
+			rank++
+		}
+		return rank, true
+	}
+}
+
+// Scheduler returns the scheduling algorithm in force.
+func (c *Controller) Scheduler() string { return c.sched }
+
+// SetScheduler installs a scheduling algorithm — the control path behind
+// the plane's scheduler hook and the .pard `schedule mem <algo>`
+// directive. Pending requests migrate deterministically: legacy queues
+// drain into the PIFO in (level, arrival) order, and the PIFO drains
+// back into the per-level queues in push order.
+func (c *Controller) SetScheduler(algo string) error {
+	switch algo {
+	case SchedFRFCFS, SchedPIFOFRFCFS, SchedStrict, SchedEDF:
+	default:
+		return fmt.Errorf("dram: unknown scheduling algorithm %q (have %s, %s, %s, %s)",
+			algo, SchedFRFCFS, SchedPIFOFRFCFS, SchedStrict, SchedEDF)
+	}
+	if algo == c.sched {
+		return nil
+	}
+	prev := c.sched
+	c.sched = algo
+	switch {
+	case prev == SchedFRFCFS:
+		for qi := range c.queues {
+			for _, r := range c.queues[qi] {
+				c.pifo.Push(r, 0)
+			}
+			c.queues[qi] = c.queues[qi][:0]
+		}
+	case algo == SchedFRFCFS:
+		for _, r := range c.pifo.RemoveWhere(func(*request) bool { return true }) {
+			c.queues[r.lvl] = append(c.queues[r.lvl], r)
+		}
+	}
+	return nil
 }
 
 func (c *Controller) earliestFree(now sim.Tick) sim.Tick {

@@ -1,0 +1,191 @@
+package dram
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// runWorkload drives a deterministic random workload (seeded) against a
+// fresh controller in the given scheduling mode and returns the
+// controller plus every packet's completion time in issue order.
+func runWorkload(t *testing.T, algo string, seed int64, n int) (*Controller, []sim.Tick) {
+	t.Helper()
+	e, c, ids := newCtrl(true)
+	if err := c.SetScheduler(algo); err != nil {
+		t.Fatalf("SetScheduler(%q): %v", algo, err)
+	}
+	c.Plane().Params().SetName(1, ParamPriority, 1)
+	r := rand.New(rand.NewSource(seed))
+	var pkts []*core.Packet
+	for i := 0; i < n; i++ {
+		ds := core.DSID(r.Intn(3))
+		kind := core.KindMemRead
+		if r.Intn(2) == 0 {
+			kind = core.KindWriteback
+		}
+		p := core.NewPacket(ids, kind, ds, uint64(r.Intn(1<<24))&^63, 64, e.Now())
+		c.Request(p)
+		pkts = append(pkts, p)
+		if r.Intn(4) == 0 {
+			e.Run(e.Now() + sim.Tick(r.Intn(200))*sim.Nanosecond)
+		}
+	}
+	waitAll(e, pkts...)
+	done := make([]sim.Tick, len(pkts))
+	for i, p := range pkts {
+		if !p.Completed() {
+			t.Fatalf("%s: packet %d never completed", algo, i)
+		}
+		done[i] = p.Done
+	}
+	return c, done
+}
+
+// TestPIFOFRFCFSEquivalence is the tentpole gate for the memory plane:
+// the FR-FCFS rank function over the PIFO must reproduce the hard-coded
+// scan's trajectory exactly — identical per-packet completion times and
+// identical row-hit/conflict counters on a randomized mixed-priority
+// workload.
+func TestPIFOFRFCFSEquivalence(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42, 1234} {
+		legacy, ld := runWorkload(t, SchedFRFCFS, seed, 400)
+		pifo, pd := runWorkload(t, SchedPIFOFRFCFS, seed, 400)
+		for i := range ld {
+			if ld[i] != pd[i] {
+				t.Fatalf("seed %d: packet %d completed at %v under frfcfs, %v under pifo-frfcfs", seed, i, ld[i], pd[i])
+			}
+		}
+		if legacy.RowHits != pifo.RowHits || legacy.RowConflicts != pifo.RowConflicts || legacy.Served != pifo.Served {
+			t.Fatalf("seed %d: counters diverge: legacy hits=%d conf=%d served=%d, pifo hits=%d conf=%d served=%d",
+				seed, legacy.RowHits, legacy.RowConflicts, legacy.Served,
+				pifo.RowHits, pifo.RowConflicts, pifo.Served)
+		}
+	}
+}
+
+// TestStrictPriorityRank: under the strict rank function, a backlogged
+// bank serves the high-priority tenant ahead of the queued low-priority
+// backlog, FIFO within a level.
+func TestStrictPriorityRank(t *testing.T) {
+	e, c, ids := newCtrl(true)
+	if err := c.SetScheduler(SchedStrict); err != nil {
+		t.Fatal(err)
+	}
+	c.Plane().Params().SetName(7, ParamPriority, 3)
+	rowStride := uint64(c.cfg.RowBytes * c.totalBanks())
+	var lows []*core.Packet
+	for i := 0; i < 8; i++ {
+		lows = append(lows, read(e, c, ids, 1, uint64(i)*rowStride)) // bank 0, conflicting rows
+	}
+	hi := read(e, c, ids, 7, 3*rowStride)
+	waitAll(e, append(lows, hi)...)
+	doneBefore := 0
+	for _, p := range lows {
+		if p.Done < hi.Done {
+			doneBefore++
+		}
+	}
+	// At most the request already in flight may finish first.
+	if doneBefore > 1 {
+		t.Fatalf("%d low-priority requests served before the strict-priority one", doneBefore)
+	}
+}
+
+// TestEDFRankProtectsLatencyTenant: a tenant with a tight lat_target
+// jumps a best-effort backlog under EDF; without the deadline (plain
+// FR-FCFS) the same request waits behind the queue.
+func TestEDFRankProtectsLatencyTenant(t *testing.T) {
+	run := func(algo string) (sim.Tick, sim.Tick) {
+		e, c, ids := newCtrl(true)
+		if err := c.SetScheduler(algo); err != nil {
+			t.Fatal(err)
+		}
+		c.Plane().SetParam(7, ParamLatTarget, 500) // 500 ns deadline
+		rowStride := uint64(c.cfg.RowBytes * c.totalBanks())
+		var bulk []*core.Packet
+		for i := 0; i < 12; i++ {
+			bulk = append(bulk, read(e, c, ids, 1, uint64(i)*rowStride)) // bank 0 backlog
+		}
+		lat := read(e, c, ids, 7, 5*rowStride)
+		waitAll(e, append(bulk, lat)...)
+		return lat.Latency(), lat.Done
+	}
+	edfLat, _ := run(SchedEDF)
+	fcfsLat, _ := run(SchedPIFOFRFCFS)
+	if edfLat >= fcfsLat {
+		t.Fatalf("EDF latency %v not better than FR-FCFS %v for the deadline tenant", edfLat, fcfsLat)
+	}
+}
+
+// TestEDFBestEffortOrdersFCFS: with no lat_target set anywhere, EDF
+// deadlines are arrival + defaultDeadline, so the schedule degrades to
+// plain FCFS ordering by arrival (a sanity anchor for the rank math).
+func TestEDFBestEffortOrdersFCFS(t *testing.T) {
+	e, c, ids := newCtrl(true)
+	if err := c.SetScheduler(SchedEDF); err != nil {
+		t.Fatal(err)
+	}
+	rowStride := uint64(c.cfg.RowBytes * c.totalBanks())
+	var pkts []*core.Packet
+	for i := 0; i < 6; i++ {
+		pkts = append(pkts, read(e, c, ids, core.DSID(i%3), uint64(i)*rowStride))
+	}
+	waitAll(e, pkts...)
+	for i := 1; i < len(pkts); i++ {
+		if pkts[i].Done <= pkts[i-1].Done {
+			t.Fatalf("best-effort EDF served out of arrival order: pkt %d done %v, pkt %d done %v",
+				i-1, pkts[i-1].Done, i, pkts[i].Done)
+		}
+	}
+}
+
+// TestSetSchedulerMigratesBacklog: switching algorithms mid-backlog
+// loses no requests in either direction.
+func TestSetSchedulerMigratesBacklog(t *testing.T) {
+	e, c, ids := newCtrl(true)
+	rowStride := uint64(c.cfg.RowBytes * c.totalBanks())
+	var pkts []*core.Packet
+	for i := 0; i < 10; i++ {
+		pkts = append(pkts, read(e, c, ids, core.DSID(i%2), uint64(i)*rowStride))
+	}
+	if err := c.SetScheduler(SchedEDF); err != nil {
+		t.Fatal(err)
+	}
+	for i := 10; i < 15; i++ {
+		pkts = append(pkts, read(e, c, ids, 1, uint64(i)*rowStride))
+	}
+	if err := c.SetScheduler(SchedFRFCFS); err != nil {
+		t.Fatal(err)
+	}
+	for i := 15; i < 20; i++ {
+		pkts = append(pkts, read(e, c, ids, 2, uint64(i)*rowStride))
+	}
+	waitAll(e, pkts...)
+	if c.Served != 20 {
+		t.Fatalf("Served = %d after two scheduler swaps, want 20", c.Served)
+	}
+}
+
+// TestSetSchedulerValidation rejects unknown algorithms and reports the
+// algorithm in force through the plane hook.
+func TestSetSchedulerValidation(t *testing.T) {
+	_, c, _ := newCtrl(true)
+	if err := c.SetScheduler("wfq2"); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+	if !c.Plane().HasScheduler() {
+		t.Fatal("memory plane did not register a scheduler hook")
+	}
+	if got := c.Plane().SchedulerAlgo(); got != SchedFRFCFS {
+		t.Fatalf("SchedulerAlgo = %q, want %q", got, SchedFRFCFS)
+	}
+	if err := c.Plane().InstallScheduler(SchedEDF); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Plane().SchedulerAlgo(); got != SchedEDF {
+		t.Fatalf("SchedulerAlgo = %q after install, want %q", got, SchedEDF)
+	}
+}

@@ -9,7 +9,7 @@ import (
 )
 
 // Property: under sustained demand from two LDoms with explicit quotas
-// qa and qb, served bytes split within 15% of qa:qb — deficit round
+// qa and qb, served bytes split within 5% of qa:qb — deficit round
 // robin tracks arbitrary weight ratios, not just the 80/20 of Figure 10.
 func TestPropertyDRRTracksQuotas(t *testing.T) {
 	f := func(qaRaw, qbRaw uint8) bool {
@@ -39,7 +39,10 @@ func TestPropertyDRRTracksQuotas(t *testing.T) {
 		}
 		feed(1)
 		feed(2)
-		e.Run(80 * sim.Millisecond)
+		// DRR alternates quantum-sized bursts (~weight*8KB per turn), so
+		// the window must span many burst cycles for the 5% bound to be
+		// about fairness rather than burst quantization.
+		e.Run(400 * sim.Millisecond)
 
 		if served[1] == 0 || served[2] == 0 {
 			return false
@@ -47,7 +50,7 @@ func TestPropertyDRRTracksQuotas(t *testing.T) {
 		got := float64(served[1]) / float64(served[2])
 		want := float64(qa) / float64(qb)
 		rel := got / want
-		return rel > 0.85 && rel < 1.18
+		return rel > 0.95 && rel < 1.05
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
 		t.Fatal(err)

@@ -56,6 +56,13 @@ const (
 // drrQuantumPerWeight is the deficit added per weight point per round.
 const drrQuantumPerWeight = 8 << 10
 
+// Scheduling algorithms installable on the IDE plane (the .pard
+// `schedule ide <algo>` catalogue).
+const (
+	SchedDRR     = "drr"      // hard-coded deficit round robin (default)
+	SchedPIFODRR = "pifo-drr" // DRR as a PIFO virtual-finish-time rank function; byte-identical trajectories
+)
+
 // IDE is the disk controller. Requests are PIO packets whose Size is
 // the transfer length; completion follows the deficit-round-robin
 // schedule weighted by each DS-id's bandwidth quota, and data moves via
@@ -74,6 +81,13 @@ type IDE struct {
 	cursor  int
 	deficit map[core.DSID]uint64
 	busy    bool
+
+	// PIFO scheduling plane: in pifo-drr mode pending transfers also
+	// live in one PIFO and the deficit-derived virtual finish time is
+	// the transient rank (rankFn is prebound at construction).
+	sched  string
+	pifo   core.PIFO[*pendingReq]
+	rankFn func(*pendingReq) (uint64, bool)
 
 	bytesWin map[core.DSID]*metric.Rate
 
@@ -114,7 +128,10 @@ func NewIDE(e *sim.Engine, ids *core.IDSource, cfg IDEConfig, mem core.Target, a
 		core.Column{Name: StatBandwidth},
 		core.Column{Name: StatServBytes},
 	)
+	d.sched = SchedDRR
+	d.rankFn = d.rank
 	d.plane = core.NewPlane(e, "IDE_CP", core.PlaneTypeIDE, params, stats, cfg.TriggerSlots)
+	d.plane.SetSchedulerHook(d.SetScheduler, d.Scheduler)
 	e.Schedule(cfg.SampleInterval, d.sample)
 	return d
 }
@@ -166,6 +183,9 @@ func (d *IDE) Request(p *core.Packet) {
 		read: p.Kind == core.KindPIORead,
 	}
 	d.queues[p.DSID] = append(d.queues[p.DSID], entry)
+	if d.sched == SchedPIFODRR {
+		d.pifo.Push(entry, 0) // transient rank: re-ranked at every pop
+	}
 	if d.cfg.QueueDepth > 0 && len(d.queues[p.DSID]) <= d.cfg.QueueDepth {
 		entry.acked = true
 		entry.pkt = nil
@@ -180,9 +200,19 @@ func (d *IDE) Request(p *core.Packet) {
 // Two quota-less LDoms therefore split the disk 50/50, and
 // "echo 80 > .../ldom0/parameters/bandwidth" moves the split to 80/20
 // exactly as in Figure 10.
+//
+// Oversubscription is well-defined: quotas are DRR weights, so when
+// explicit quotas (plus the floor weight of 5 that every unset LDom
+// keeps) sum past 100, flows share the disk in proportion to their
+// weights — two 80s behave as 50/50 — rather than promising absolute
+// percentages. A single quota is clamped to 100: no flow can weigh
+// more than the whole disk.
 func (d *IDE) weight(ds core.DSID) uint64 {
 	q := d.plane.Param(ds, ParamBandwidth)
 	if q > 0 {
+		if q > 100 {
+			q = 100
+		}
 		return q
 	}
 	var explicit uint64
@@ -208,38 +238,137 @@ func (d *IDE) weight(ds core.DSID) uint64 {
 	return w
 }
 
-// serveNext runs the DRR scheduler when the disk is idle.
+// ringIndex returns ds's position in the DRR ring, or -1.
+func (d *IDE) ringIndex(ds core.DSID) int {
+	for i, r := range d.ring {
+		if r == ds {
+			return i
+		}
+	}
+	return -1
+}
+
+// virtualTime is the DRR virtual finish time of ds's head-of-line
+// request of the given size: the round-robin visit (counted from the
+// cursor) at which the pointer would serve it, with each skipped visit
+// granting one weight(ds)*quantum top-up. v = rounds*R + position is
+// unique per flow — positions are distinct — so argmin v is the DRR
+// winner and doubles as the pifo-drr rank function.
+func (d *IDE) virtualTime(ds core.DSID, size uint64) uint64 {
+	R := len(d.ring)
+	p := uint64((d.ringIndex(ds) - d.cursor + R) % R)
+	var n uint64
+	if def := d.deficit[ds]; def < size {
+		grant := d.weight(ds) * drrQuantumPerWeight
+		n = (size - def + grant - 1) / grant // ceil-division deficit grant
+	}
+	return n*uint64(R) + p
+}
+
+// rank is the pifo-drr transient rank: only the head of each flow's
+// queue is schedulable, at its deficit-derived virtual finish time.
+func (d *IDE) rank(e *pendingReq) (uint64, bool) {
+	q := d.queues[e.ds]
+	if len(q) == 0 || q[0] != e {
+		return 0, false
+	}
+	return d.virtualTime(e.ds, uint64(e.size)), true
+}
+
+// serveNext runs the DRR scheduler when the disk is idle. The winner is
+// computed in closed form (argmin virtual finish time) instead of the
+// old bounded visit loop, which capped top-ups at 64*len(ring) rounds
+// and could exit without serving anything when a max-size request met
+// the floor weight — silently stalling the disk until the next enqueue.
 func (d *IDE) serveNext() {
-	if d.busy || len(d.ring) == 0 {
+	if d.busy {
 		return
 	}
-	// Bounded rounds: deficits grow every visit, so a head-of-line
-	// request is reachable within maxRounds of the largest chunk size.
-	for round := 0; round < 64*len(d.ring); round++ {
-		if len(d.ring) == 0 {
-			return
-		}
-		d.cursor %= len(d.ring)
-		ds := d.ring[d.cursor]
-		q := d.queues[ds]
-		if len(q) == 0 {
-			// Classic DRR: an idle flow forfeits its deficit.
-			d.deficit[ds] = 0
-			d.ring = append(d.ring[:d.cursor], d.ring[d.cursor+1:]...)
+	// Idle flows leave the ring and forfeit their deficit — the map
+	// entry included, or DS-id churn grows the deficit map without
+	// bound.
+	for i := 0; i < len(d.ring); {
+		ds := d.ring[i]
+		if len(d.queues[ds]) == 0 {
+			delete(d.deficit, ds)
 			delete(d.queues, ds)
-			continue
+			d.ring = append(d.ring[:i], d.ring[i+1:]...)
+			if d.cursor > i {
+				d.cursor--
+			}
+		} else {
+			i++
 		}
-		head := q[0]
-		if d.deficit[ds] < uint64(head.size) {
-			d.deficit[ds] += d.weight(ds) * drrQuantumPerWeight
-			d.cursor++
-			continue
-		}
-		d.queues[ds] = q[1:]
-		d.deficit[ds] -= uint64(head.size)
-		d.serve(head)
+	}
+	if len(d.ring) == 0 {
+		d.cursor = 0
 		return
 	}
+	d.cursor %= len(d.ring)
+
+	var winner *pendingReq
+	if d.sched == SchedPIFODRR {
+		winner, _ = d.pifo.PopWhere(d.rankFn)
+	} else {
+		best := -1
+		var bestV uint64
+		for i, ds := range d.ring {
+			v := d.virtualTime(ds, uint64(d.queues[ds][0].size))
+			if best == -1 || v < bestV {
+				best, bestV = i, v
+			}
+		}
+		winner = d.queues[d.ring[best]][0]
+	}
+	if winner == nil {
+		return
+	}
+	// Replay the grant rounds the pointer passes through before the
+	// winner serves: every flow it visits strictly before the winner's
+	// virtual finish time receives one quantum per visit — exactly what
+	// the incremental loop would have granted, winner included.
+	R := len(d.ring)
+	vStar := d.virtualTime(winner.ds, uint64(winner.size))
+	for i, ds := range d.ring {
+		p := uint64((i - d.cursor + R) % R)
+		if p < vStar {
+			visits := (vStar - p + uint64(R) - 1) / uint64(R)
+			d.deficit[ds] += visits * d.weight(ds) * drrQuantumPerWeight
+		}
+	}
+	d.cursor = d.ringIndex(winner.ds)
+	d.queues[winner.ds] = d.queues[winner.ds][1:]
+	d.deficit[winner.ds] -= uint64(winner.size)
+	d.serve(winner)
+}
+
+// Scheduler returns the scheduling algorithm in force.
+func (d *IDE) Scheduler() string { return d.sched }
+
+// SetScheduler installs a scheduling algorithm — the control path
+// behind the plane's scheduler hook and the .pard `schedule ide <algo>`
+// directive. Pending transfers migrate in (ring, queue) order.
+func (d *IDE) SetScheduler(algo string) error {
+	switch algo {
+	case SchedDRR, SchedPIFODRR:
+	default:
+		return fmt.Errorf("iodev: unknown scheduling algorithm %q (have %s, %s)", algo, SchedDRR, SchedPIFODRR)
+	}
+	if algo == d.sched {
+		return nil
+	}
+	d.sched = algo
+	if algo == SchedPIFODRR {
+		for _, ds := range d.ring {
+			for _, e := range d.queues[ds] {
+				d.pifo.Push(e, 0)
+			}
+		}
+	} else {
+		// The flow queues remain authoritative; just empty the mirror.
+		d.pifo.RemoveWhere(func(*pendingReq) bool { return true })
+	}
+	return nil
 }
 
 // serve models the disk transfer itself, then DMAs the data and

@@ -55,9 +55,28 @@ func errAt(pos Pos, format string, args ...any) error {
 	return &PosError{Pos: pos, Msg: fmt.Sprintf(format, args...)}
 }
 
-// File is a parsed policy: an ordered list of rules.
+// File is a parsed policy: scheduler installations plus an ordered
+// list of rules.
 type File struct {
-	Rules []*Rule
+	Schedules []*Schedule
+	Rules     []*Rule
+}
+
+// Schedule is one `schedule <plane> <algorithm>` declaration: install
+// the named scheduling algorithm on the plane's programmable scheduler
+// when the policy loads, and restore the previous algorithm when the
+// policy is removed.
+type Schedule struct {
+	Pos      Pos
+	Plane    string // plane ref: "mem", "ide", "cpa1", ...
+	PlanePos Pos
+	Algo     string // algorithm name, e.g. "edf", "pifo-drr"
+	AlgoPos  Pos
+}
+
+// String renders one schedule declaration in canonical form.
+func (s *Schedule) String() string {
+	return fmt.Sprintf("schedule %s %s", s.Plane, s.Algo)
 }
 
 // Rule is one `when <condition> => <actions>` policy rule.
@@ -195,8 +214,12 @@ func CmpSymbol(op core.CmpOp) string {
 // the same AST (the parse→print→parse fixpoint FuzzParsePolicy checks).
 func (f *File) String() string {
 	var b strings.Builder
+	for _, s := range f.Schedules {
+		b.WriteString(s.String())
+		b.WriteByte('\n')
+	}
 	for i, r := range f.Rules {
-		if i > 0 {
+		if i > 0 || len(f.Schedules) > 0 {
 			b.WriteByte('\n')
 		}
 		b.WriteString(r.String())

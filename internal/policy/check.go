@@ -61,6 +61,31 @@ var planeAliases = map[string]string{
 	"crossbar": "xbar",
 }
 
+// schedCatalogue maps plane types to the scheduling algorithms their
+// components implement. The first entry of each list is the power-on
+// default. The compiler checks `schedule` declarations against this
+// table so a policy that names a nonexistent algorithm — or schedules a
+// plane with no programmable scheduler — fails validation rather than
+// install time.
+var schedCatalogue = map[byte][]string{
+	core.PlaneTypeMemory: {"frfcfs", "pifo-frfcfs", "strict", "edf"},
+	core.PlaneTypeIDE:    {"drr", "pifo-drr"},
+	core.PlaneTypeCache:  {"fifo", "pifo-fifo"},
+}
+
+// SchedAlgos returns the scheduling algorithms a plane type implements
+// (nil when the type has no programmable scheduler).
+func SchedAlgos(planeType byte) []string { return schedCatalogue[planeType] }
+
+// SchedDefault returns the power-on scheduling algorithm for a plane
+// type, or "" when the type has no programmable scheduler.
+func SchedDefault(planeType byte) string {
+	if algos := schedCatalogue[planeType]; len(algos) > 0 {
+		return algos[0]
+	}
+	return ""
+}
+
 // statScales maps statistics that represent fractions to their
 // fixed-point scale (units per 1.0). miss_rate is stored in 0.1% units,
 // so `> 30%`, `> 0.30` and `> 300` all compile to the threshold 300.
@@ -71,11 +96,32 @@ var statScales = map[string]uint64{
 // Program is a compiled policy: each rule lowered to a trigger spec
 // plus a bounded write set, ready for the firmware to install.
 type Program struct {
-	Rules []*CompiledRule
+	Schedules []*CompiledSchedule
+	Rules     []*CompiledRule
 
 	// Unbound lists LDom names left unresolved under
 	// Options.AllowUnboundLDoms, in first-reference order.
 	Unbound []string
+}
+
+// CompiledSchedule is one `schedule` declaration lowered against the
+// registry: install Algo on cpa CPA at load time, restore the previous
+// algorithm at teardown.
+type CompiledSchedule struct {
+	Schedule  *Schedule // source AST, for text rendering
+	CPA       int
+	PlaneName string
+	PlaneType byte
+	Algo      string
+	Qual      string // loader-qualified display name ("policy: schedule"); "" = standalone
+}
+
+// DisplayName is the loader-qualified name used in conflict errors.
+func (cs *CompiledSchedule) DisplayName() string {
+	if cs.Qual != "" {
+		return cs.Qual
+	}
+	return cs.Schedule.String()
 }
 
 // CompiledRule is one rule lowered against the registry.
@@ -193,6 +239,16 @@ type compiler struct {
 func Compile(f *File, reg Registry, opts Options) (*Program, error) {
 	c := &compiler{reg: reg, opts: opts, planes: reg.Planes(), unbound: map[string]core.DSID{}}
 	prog := &Program{}
+	for _, s := range f.Schedules {
+		cs, err := c.compileSchedule(s)
+		if err != nil {
+			return nil, err
+		}
+		prog.Schedules = append(prog.Schedules, cs)
+	}
+	if err := CheckScheduleConflicts(prog.Schedules); err != nil {
+		return nil, err
+	}
 	names := map[string]Pos{}
 	for i, r := range f.Rules {
 		cr, err := c.compileRule(r, i)
@@ -216,6 +272,33 @@ func Compile(f *File, reg Registry, opts Options) (*Program, error) {
 func Check(f *File, reg Registry, opts Options) error {
 	_, err := Compile(f, reg, opts)
 	return err
+}
+
+// compileSchedule resolves a `schedule` declaration's plane and checks
+// the algorithm against the plane type's catalogue.
+func (c *compiler) compileSchedule(s *Schedule) (*CompiledSchedule, error) {
+	pi, err := c.resolvePlane(s.Plane, s.PlanePos)
+	if err != nil {
+		return nil, err
+	}
+	algos := schedCatalogue[pi.Type]
+	if len(algos) == 0 {
+		return nil, errAt(s.PlanePos, "plane %s (cpa%d) has no programmable scheduler", pi.ShortName(), pi.Index)
+	}
+	ok := false
+	for _, a := range algos {
+		if a == s.Algo {
+			ok = true
+			break
+		}
+	}
+	if !ok {
+		return nil, errAt(s.AlgoPos, "plane %s (cpa%d) has no scheduling algorithm %q (available: %s)",
+			pi.ShortName(), pi.Index, s.Algo, strings.Join(algos, ", "))
+	}
+	return &CompiledSchedule{
+		Schedule: s, CPA: pi.Index, PlaneName: pi.ShortName(), PlaneType: pi.Type, Algo: s.Algo,
+	}, nil
 }
 
 func (c *compiler) compileRule(r *Rule, idx int) (*CompiledRule, error) {
@@ -465,6 +548,24 @@ func CheckConflicts(rules []*CompiledRule) error {
 				}
 			}
 		}
+	}
+	return nil
+}
+
+// CheckScheduleConflicts rejects two `schedule` declarations naming the
+// same plane: a plane runs exactly one scheduling algorithm, so the
+// second install would silently overwrite the first and teardown-order
+// restore would become load-order dependent. Identical algorithms are
+// still a conflict — the policies' teardown semantics would differ from
+// their load semantics.
+func CheckScheduleConflicts(scheds []*CompiledSchedule) error {
+	byCPA := map[int]*CompiledSchedule{}
+	for _, cs := range scheds {
+		if prev, dup := byCPA[cs.CPA]; dup {
+			return errAt(cs.Schedule.Pos, "schedules %q and %q both install a scheduler on plane %s (cpa%d) (first at %v)",
+				prev.DisplayName(), cs.DisplayName(), cs.PlaneName, cs.CPA, prev.Schedule.Pos)
+		}
+		byCPA[cs.CPA] = cs
 	}
 	return nil
 }

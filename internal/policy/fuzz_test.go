@@ -22,6 +22,8 @@ func FuzzParsePolicy(f *testing.F) {
 		"rule bad cpa llc ldom web when miss_rate > 1 => waymask = 1", // missing ':'
 		"cpa llc ldom web: when miss_rate > 0.30 => waymask = 1",
 		"cpa llc ldom web: when miss_rate > 184467440737095516150 => waymask = 1", // overflow
+		"schedule mem edf",
+		"schedule ide pifo-drr\nschedule 0 pifo-fifo\ncpa llc ldom web: when miss_rate > 1 => waymask = 1",
 	}
 	matches, _ := filepath.Glob(filepath.Join("..", "..", "examples", "policies", "*.pard"))
 	for _, m := range matches {

@@ -173,6 +173,17 @@ func Lint(prog *Program) []Issue {
 		out = append(out, Issue{Pos: pos, Rule: rule, Msg: fmt.Sprintf(format, args...)})
 	}
 
+	// Scheduling the power-on default is a no-op at load time — and
+	// worse, its teardown restore is a no-op too, so the declaration
+	// adds nothing but the illusion of control.
+	for _, cs := range prog.Schedules {
+		if def := SchedDefault(cs.PlaneType); cs.Algo == def {
+			report(cs.Schedule.Pos, cs.DisplayName(),
+				"schedule is a no-op: %q is already plane %s's power-on default scheduling algorithm",
+				cs.Algo, cs.PlaneName)
+		}
+	}
+
 	fires := make([]interval, len(prog.Rules))
 	for i, r := range prog.Rules {
 		dom := statDomain(r.Stat)

@@ -142,8 +142,20 @@ func (lx *lexer) next() (token, error) {
 	switch {
 	case isIdentStart(c):
 		start := lx.off
-		for lx.off < len(lx.src) && isIdentCont(lx.peekByte()) {
-			lx.advance()
+		for lx.off < len(lx.src) {
+			b := lx.peekByte()
+			if isIdentCont(b) {
+				lx.advance()
+				continue
+			}
+			// Hyphenated identifiers (scheduling algorithm names like
+			// pifo-drr): consume '-' only when an identifier character
+			// follows, so `waymask-=1` still lexes as minus-equals.
+			if b == '-' && lx.off+1 < len(lx.src) && isIdentCont(lx.src[lx.off+1]) {
+				lx.advance()
+				continue
+			}
+			break
 		}
 		return token{kind: tokIdent, text: lx.src[start:lx.off], pos: pos}, nil
 

@@ -16,6 +16,14 @@ func Parse(filename, src string) (*File, error) {
 	p := &parser{toks: toks}
 	f := &File{}
 	for p.peek().kind != tokEOF {
+		if p.isKw("schedule") {
+			s, err := p.parseSchedule()
+			if err != nil {
+				return nil, err
+			}
+			f.Schedules = append(f.Schedules, s)
+			continue
+		}
 		r, err := p.parseRule()
 		if err != nil {
 			return nil, err
@@ -90,7 +98,7 @@ func describe(t token) string {
 func (p *parser) parseRule() (*Rule, error) {
 	start := p.peek()
 	if start.kind != tokIdent || (start.text != "rule" && start.text != "cpa") {
-		return nil, errAt(start.pos, "expected 'rule' or 'cpa' to start a rule, found %s", describe(start))
+		return nil, errAt(start.pos, "expected 'rule', 'cpa' or 'schedule' to start a declaration, found %s", describe(start))
 	}
 	r := &Rule{Pos: start.pos}
 	if p.isKw("rule") {
@@ -200,6 +208,29 @@ func (p *parser) parseRule() (*Rule, error) {
 			return r, nil
 		}
 	}
+}
+
+// parseSchedule parses one scheduler installation:
+//
+//	"schedule" PLANE ALGO
+//
+// ALGO is an identifier naming a scheduling algorithm the plane's
+// component understands ("edf", "pifo-drr", ...); the lexer treats '-'
+// as an identifier character, so hyphenated names are single tokens.
+func (p *parser) parseSchedule() (*Schedule, error) {
+	kw := p.next() // "schedule", checked by the caller
+	s := &Schedule{Pos: kw.pos}
+	plane, pos, err := p.parsePlaneRef()
+	if err != nil {
+		return nil, err
+	}
+	s.Plane, s.PlanePos = plane, pos
+	algo, err := p.expectIdent("scheduling algorithm name")
+	if err != nil {
+		return nil, err
+	}
+	s.Algo, s.AlgoPos = algo.text, algo.pos
+	return s, nil
 }
 
 // parsePlaneRef accepts a plane alias ("llc", "mem", "cpa0") or a bare

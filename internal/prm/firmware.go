@@ -184,6 +184,16 @@ func (fw *Firmware) Mount(cpa *core.CPA) {
 	}, nil)
 	fw.fs.Mkdir(base + "/ldoms")
 
+	// Components with a programmable scheduling plane expose it as a
+	// device node: reading reports the algorithm in force, writing
+	// installs a new one (the manual counterpart of the .pard
+	// `schedule` directive).
+	if cpa.Plane.HasScheduler() {
+		fw.fs.AddFile(base+"/scheduler",
+			func() (string, error) { return cpa.Plane.SchedulerAlgo(), nil },
+			func(s string) error { return cpa.Plane.InstallScheduler(strings.TrimSpace(s)) })
+	}
+
 	cpa.Plane.SetInterrupt(func(n core.Notification) {
 		// The interrupt crosses the control-plane network to the PRM;
 		// the firmware handles it after its dispatch latency.

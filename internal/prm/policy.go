@@ -18,13 +18,22 @@ type policyRule struct {
 	actionName string
 }
 
+// policySched is one applied scheduler installation: its compiled form
+// plus the algorithm it displaced, restored at teardown.
+type policySched struct {
+	c    *policy.CompiledSchedule
+	prev string
+}
+
 // policySet is one loaded policy: the source text and its installed
-// rules, exposed under /sys/cpa/policy/<name>.
+// rules and scheduler installations, exposed under
+// /sys/cpa/policy/<name>.
 type policySet struct {
 	name   string
 	source string
 	prog   *policy.Program
 	rules  []*policyRule
+	scheds []*policySched
 }
 
 // fwRegistry adapts the firmware's mounts and LDom table to the policy
@@ -211,7 +220,31 @@ func (fw *Firmware) conflictWithLoaded(name string, prog *policy.Program, skip s
 	for _, c := range prog.Rules {
 		add(name, c)
 	}
-	return policy.CheckConflicts(all)
+	if err := policy.CheckConflicts(all); err != nil {
+		return err
+	}
+
+	// A plane runs one scheduling algorithm, so two loaded policies may
+	// not both schedule it: qualify each set's schedules and reuse the
+	// same duplicate-plane check Compile applies within one program.
+	var scheds []*policy.CompiledSchedule
+	addSched := func(pname string, cs *policy.CompiledSchedule) {
+		qualified := *cs
+		qualified.Qual = pname + ": " + cs.Schedule.String()
+		scheds = append(scheds, &qualified)
+	}
+	for _, pname := range core.SortedKeys(fw.policies) {
+		if pname == skip {
+			continue
+		}
+		for _, ps := range fw.policies[pname].scheds {
+			addSched(pname, ps.c)
+		}
+	}
+	for _, cs := range prog.Schedules {
+		addSched(name, cs)
+	}
+	return policy.CheckScheduleConflicts(scheds)
 }
 
 // policyCapacity verifies the trigger tables can hold the program,
@@ -248,6 +281,25 @@ func (fw *Firmware) policyCapacity(prog *policy.Program, reuse map[int]int) erro
 // is rolled back.
 func (fw *Firmware) installPolicy(name, source string, prog *policy.Program) (*policySet, error) {
 	set := &policySet{name: name, source: source, prog: prog}
+	// Scheduler installations apply first: a policy whose rules tune a
+	// scheduling algorithm's parameters (say EDF's lat_target) must see
+	// that algorithm in force from the first sample. teardownPolicy
+	// restores the displaced algorithms, so a partial failure below
+	// rolls these back too.
+	for _, cs := range prog.Schedules {
+		cpa, err := fw.CPA(cs.CPA)
+		if err != nil {
+			fw.teardownPolicy(set)
+			return nil, err
+		}
+		prev := cpa.Plane.SchedulerAlgo()
+		if err := cpa.Plane.InstallScheduler(cs.Algo); err != nil {
+			fw.teardownPolicy(set)
+			return nil, err
+		}
+		set.scheds = append(set.scheds, &policySched{c: cs, prev: prev})
+		fw.Logf("[%v] policy %q: cpa%d scheduler %s -> %s", fw.engine.Now(), name, cs.CPA, prev, cs.Algo)
+	}
 	for _, c := range prog.Rules {
 		pr := &policyRule{c: c, st: &policy.RuleState{}, actionName: "policy/" + name + "/" + c.Name}
 		fw.RegisterAction(pr.actionName, fw.makePolicyAction(pr))
@@ -280,7 +332,8 @@ func (fw *Firmware) installPolicy(name, source string, prog *policy.Program) (*p
 	return set, nil
 }
 
-// teardownPolicy disables and unbinds every trigger of a set.
+// teardownPolicy disables and unbinds every trigger of a set and
+// restores the scheduling algorithms its schedules displaced.
 func (fw *Firmware) teardownPolicy(set *policySet) {
 	for _, pr := range set.rules {
 		if err := fw.removeTrigger(pr.c.CPA, pr.slot); err != nil {
@@ -289,6 +342,19 @@ func (fw *Firmware) teardownPolicy(set *policySet) {
 		delete(fw.actions, pr.actionName)
 	}
 	set.rules = nil
+	for i := len(set.scheds) - 1; i >= 0; i-- {
+		ps := set.scheds[i]
+		cpa, err := fw.CPA(ps.c.CPA)
+		if err == nil {
+			err = cpa.Plane.InstallScheduler(ps.prev)
+		}
+		if err != nil {
+			fw.Logf("  teardown schedule cpa%d: %v", ps.c.CPA, err)
+			continue
+		}
+		fw.Logf("[%v] policy %q: cpa%d scheduler restored to %s", fw.engine.Now(), set.name, ps.c.CPA, ps.prev)
+	}
+	set.scheds = nil
 }
 
 // makePolicyAction synthesizes the prm.Action for one compiled rule:
@@ -376,6 +442,15 @@ func (fw *Firmware) writeTargets(w *policy.Write) []core.DSID {
 func (fw *Firmware) addPolicyTree(set *policySet) {
 	base := "/sys/cpa/policy/" + set.name
 	fw.fs.AddFile(base+"/source", func() (string, error) { return set.source, nil }, nil)
+	if len(set.scheds) > 0 {
+		fw.fs.AddFile(base+"/schedules", func() (string, error) {
+			var b strings.Builder
+			for _, ps := range set.scheds {
+				fmt.Fprintf(&b, "cpa%d %s (was %s)\n", ps.c.CPA, ps.c.Algo, ps.prev)
+			}
+			return strings.TrimRight(b.String(), "\n"), nil
+		}, nil)
+	}
 	for _, pr := range set.rules {
 		pr := pr
 		rb := base + "/rules/" + pr.c.Name
@@ -423,6 +498,10 @@ func (fw *Firmware) ExplainPolicies(name string) (string, error) {
 	for _, pname := range names {
 		set := fw.policies[pname]
 		fmt.Fprintf(&b, "policy %s (%d rules)\n", pname, len(set.rules))
+		for _, ps := range set.scheds {
+			fmt.Fprintf(&b, "%s/%s: installed on cpa%d (restores %q on unload)\n",
+				pname, ps.c.Schedule.String(), ps.c.CPA, ps.prev)
+		}
 		for _, pr := range set.rules {
 			qualified := *pr.c
 			qualified.Qual = pname + "/" + pr.c.Name
