@@ -1,8 +1,8 @@
 // Command benchgate holds the performance trajectory recorded in
-// BENCH.json: it re-measures the engine, LLC hit-path, DRAM pick and
-// PIFO pop micro-benchmarks in-process (the exact workloads
-// cmd/pardbench records) and fails when the fresh numbers regress
-// against the committed record.
+// BENCH.json: it re-measures the engine, LLC hit-path, DRAM pick,
+// PIFO pop and telemetry-scrape micro-benchmarks in-process (the exact
+// workloads cmd/pardbench records) and fails when the fresh numbers
+// regress against the committed record.
 //
 // Usage:
 //
@@ -37,11 +37,12 @@ import (
 // a zero section is skipped rather than failed so the gate can
 // bootstrap itself.
 type baselineDoc struct {
-	Schema     string      `json:"schema"`
-	Engine     bench.Micro `json:"engine"`
-	LLCHitPath bench.Micro `json:"llc_hit_path"`
-	DramPick   bench.Micro `json:"dram_pick"`
-	PifoPop    bench.Micro `json:"pifo_pop"`
+	Schema          string      `json:"schema"`
+	Engine          bench.Micro `json:"engine"`
+	LLCHitPath      bench.Micro `json:"llc_hit_path"`
+	DramPick        bench.Micro `json:"dram_pick"`
+	PifoPop         bench.Micro `json:"pifo_pop"`
+	TelemetryScrape bench.Micro `json:"telemetry_scrape"`
 }
 
 func main() {
@@ -70,6 +71,7 @@ func main() {
 	ok = gate("llc_hit_path", base.LLCHitPath, bench.Best(*runs, bench.MeasureLLCHitPath), *maxRegress) && ok
 	ok = gate("dram_pick", base.DramPick, bench.Best(*runs, bench.MeasureDRAMPick), *maxRegress) && ok
 	ok = gate("pifo_pop", base.PifoPop, bench.Best(*runs, bench.MeasurePIFOPop), *maxRegress) && ok
+	ok = gate("telemetry_scrape", base.TelemetryScrape, bench.Best(*runs, bench.MeasureTelemetryScrape), *maxRegress) && ok
 	if !ok {
 		os.Exit(1)
 	}
@@ -79,23 +81,23 @@ func main() {
 // prints a verdict line; it returns false on regression.
 func gate(name string, base, fresh bench.Micro, maxRegress float64) bool {
 	if base.NsPerEvent == 0 {
-		fmt.Printf("benchgate: %-12s skipped: no committed record (regenerate BENCH.json with pardbench -json)\n", name)
+		fmt.Printf("benchgate: %-16s skipped: no committed record (regenerate BENCH.json with pardbench -json)\n", name)
 		return true
 	}
 	ratio := fresh.NsPerEvent/base.NsPerEvent - 1
 	ok := true
 	if ratio > maxRegress {
-		fmt.Printf("benchgate: %-12s FAIL: %.2f ns/op vs committed %.2f (%+.1f%% > %+.1f%% allowed)\n",
+		fmt.Printf("benchgate: %-16s FAIL: %.2f ns/op vs committed %.2f (%+.1f%% > %+.1f%% allowed)\n",
 			name, fresh.NsPerEvent, base.NsPerEvent, 100*ratio, 100*maxRegress)
 		ok = false
 	}
 	if fresh.AllocsPerEvent > base.AllocsPerEvent {
-		fmt.Printf("benchgate: %-12s FAIL: %.0f allocs/op vs committed %.0f (any increase fails)\n",
+		fmt.Printf("benchgate: %-16s FAIL: %.0f allocs/op vs committed %.0f (any increase fails)\n",
 			name, fresh.AllocsPerEvent, base.AllocsPerEvent)
 		ok = false
 	}
 	if ok {
-		fmt.Printf("benchgate: %-12s ok: %.2f ns/op (%+.1f%% vs committed), %.0f allocs/op\n",
+		fmt.Printf("benchgate: %-16s ok: %.2f ns/op (%+.1f%% vs committed), %.0f allocs/op\n",
 			name, fresh.NsPerEvent, 100*ratio, fresh.AllocsPerEvent)
 	}
 	return ok

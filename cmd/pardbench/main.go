@@ -204,7 +204,9 @@ func writeTrace(path string) error {
 	if err != nil {
 		return fmt.Errorf("pardbench: %w", err)
 	}
-	n, err := sys.Recorder.WritePerfetto(f)
+	// Telemetry rings ride along as Perfetto counter tracks, so the
+	// scraped miss rates and bandwidths render under the packet spans.
+	n, err := sys.Recorder.WritePerfettoWith(f, sys.CounterTracks())
 	if cerr := f.Close(); err == nil {
 		err = cerr
 	}
@@ -252,9 +254,12 @@ type benchJSON struct {
 	// DramPick and PifoPop cover the programmable scheduling plane: the
 	// PIFO-backed FR-FCFS pick path end to end, and the raw PIFO
 	// push+pop primitive. Both are also gated by cmd/benchgate.
-	DramPick    bench.Micro `json:"dram_pick"`
-	PifoPop     bench.Micro `json:"pifo_pop"`
-	Experiments []expJSON   `json:"experiments"`
+	DramPick bench.Micro `json:"dram_pick"`
+	PifoPop  bench.Micro `json:"pifo_pop"`
+	// TelemetryScrape is one steady-state registry scrape over a booted
+	// server's series population; benchgate holds it at 0 allocs/scrape.
+	TelemetryScrape bench.Micro `json:"telemetry_scrape"`
+	Experiments     []expJSON   `json:"experiments"`
 	// RackParallel is the sharded-rack scaling curve; present only when
 	// -shards was given, so existing BENCH.json consumers see no change.
 	RackParallel *rackSweepJSON `json:"rack_parallel,omitempty"`
@@ -277,8 +282,9 @@ func writeBenchJSON(path, scale string, jobs []*job, rackSweep *rackSweepJSON) e
 		BaselineEngine: baselineEngine,
 		Engine:         bench.Best(benchRecordRuns, bench.MeasureEngine),
 		LLCHitPath:     bench.Best(benchRecordRuns, bench.MeasureLLCHitPath),
-		DramPick:       bench.Best(benchRecordRuns, bench.MeasureDRAMPick),
-		PifoPop:        bench.Best(benchRecordRuns, bench.MeasurePIFOPop),
+		DramPick:        bench.Best(benchRecordRuns, bench.MeasureDRAMPick),
+		PifoPop:         bench.Best(benchRecordRuns, bench.MeasurePIFOPop),
+		TelemetryScrape: bench.Best(benchRecordRuns, bench.MeasureTelemetryScrape),
 		RackParallel:   rackSweep,
 	}
 	for _, j := range jobs {

@@ -9,6 +9,7 @@
 //	policy validate|apply <file.pard>   check or hot-load a policy file
 //	stats                               per-LDom LLC/memory summary
 //	trace                               per-hop latency breakdown + memory-path packet probe
+//	telemetry | top [prefix] | journal [n]   time-series and audit-journal views
 //	help
 //	exit
 //
@@ -18,6 +19,11 @@
 //	pardctl policy show <file.pard>          print the canonical form
 //	pardctl policy apply <file.pard>...      load files, then open the console
 //	pardctl policy explain <file.pard>       load, drive contention, replay firings
+//
+// and on the telemetry plane, booting a contended demo server:
+//
+//	pardctl top [ms]        run the demo for ms (default 5) and print series
+//	pardctl journal [ms]    run the demo and print the control-plane audit log
 //
 // Example session:
 //
@@ -37,6 +43,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 
 	"repro/internal/policy"
@@ -48,6 +55,9 @@ func main() {
 	if len(os.Args) > 1 && os.Args[1] == "policy" {
 		os.Exit(policyMain(os.Args[2:]))
 	}
+	if len(os.Args) > 1 && (os.Args[1] == "top" || os.Args[1] == "journal") {
+		os.Exit(telemetryMain(os.Args[1], os.Args[2:]))
+	}
 	sys := bootSystem()
 	fmt.Println("PARD server booted: 4 cores, 4MB LLC, DDR3-1600, 5 control planes.")
 	fmt.Println("Type 'help' for commands.")
@@ -58,7 +68,48 @@ func bootSystem() *pard.System {
 	cfg := pard.DefaultConfig()
 	cfg.ProbeMemory = true
 	cfg.TraceSample = 64 // flight recorder at 1-in-64 sampling
-	return pard.NewSystem(cfg)
+	sys := pard.NewSystem(cfg)
+	sys.ConsoleOrigin = "pardctl"
+	return sys
+}
+
+// telemetryMain drives `pardctl top` / `pardctl journal`: boot a
+// contended two-LDom demo, run it, and print the requested view.
+func telemetryMain(view string, args []string) int {
+	ms := uint64(5)
+	if len(args) > 0 {
+		v, err := strconv.ParseUint(args[0], 10, 32)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "usage: pardctl %s [milliseconds]\n", view)
+			return 2
+		}
+		ms = v
+	}
+	cfg := pard.DefaultConfig()
+	cfg.LLC.SizeBytes = 256 * 1024 // small LLC so contention shows fast
+	cfg.SampleInterval = 50 * pard.Microsecond
+	sys := pard.NewSystem(cfg)
+	sys.ConsoleOrigin = "pardctl"
+	for _, cmd := range []string{
+		"create svc 0 1",
+		"create batch 1",
+		"workload 0 stream",
+		"workload 1 flush",
+		"pardtrigger cpa0 -ldom=0 -stats=miss_rate -cond=gt,300 -action=llc_grow_to_half",
+		fmt.Sprintf("run %d", ms),
+	} {
+		if _, err := pard.Dispatch(sys, cmd); err != nil {
+			fmt.Fprintln(os.Stderr, "pardctl:", err)
+			return 1
+		}
+	}
+	out, err := pard.Dispatch(sys, view)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pardctl:", err)
+		return 1
+	}
+	fmt.Println(out)
+	return 0
 }
 
 func interact(sys *pard.System) {

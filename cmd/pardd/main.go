@@ -13,6 +13,8 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -23,6 +25,7 @@ import (
 
 func main() {
 	listen := flag.String("listen", "127.0.0.1:9090", "address for the management console")
+	httpAddr := flag.String("http", "", "address for the telemetry HTTP API (/metrics, /api/v1/series, /api/v1/journal); empty disables")
 	probe := flag.Bool("probe", true, "enable the memory trace probe")
 	sample := flag.Uint64("trace-sample", 64, "flight-recorder sampling (1-in-N packets, 0 disables)")
 	policyFile := flag.String("policy", "", "validate a .pard policy file at boot and load it (deferred to 'policy apply' if it names LDoms that don't exist yet)")
@@ -44,6 +47,18 @@ func main() {
 	defer console.Close()
 	fmt.Printf("pardd: PRM console on %v (nc %v; 'help' for commands)\n",
 		console.Addr(), console.Addr())
+
+	if *httpAddr != "" {
+		ln, err := net.Listen("tcp", *httpAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pardd:", err)
+			os.Exit(1)
+		}
+		srv := &http.Server{Handler: pard.NewAPIHandler(sys, console)}
+		go srv.Serve(ln)
+		defer srv.Close()
+		fmt.Printf("pardd: telemetry API on http://%v/metrics\n", ln.Addr())
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)

@@ -11,6 +11,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dram"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // Micro is one micro-benchmark measurement, in the units BENCH.json's
@@ -138,6 +139,41 @@ func MeasureLLCHitPath() Micro {
 			for !p.Completed() {
 				e.Step()
 			}
+		}
+	}))
+}
+
+// MeasureTelemetryScrape times one steady-state telemetry scrape over a
+// realistic source population: two planes of five stat columns with
+// four LDom rows each, plus four scalar gauges — about the series count
+// a booted four-LDom server carries. The rows exist before the timer
+// starts, so every iteration is the resynced fast path; benchgate holds
+// it at zero allocations per scrape.
+func MeasureTelemetryScrape() Micro {
+	return fromResult(testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		e := sim.NewEngine()
+		reg := telemetry.NewRegistry(e, 0, 256)
+		for pi := 0; pi < 2; pi++ {
+			params := core.NewTable(core.Column{Name: "p0", Writable: true})
+			stats := core.NewTable(
+				core.Column{Name: "s0"}, core.Column{Name: "s1"},
+				core.Column{Name: "s2"}, core.Column{Name: "s3"},
+				core.Column{Name: "s4"},
+			)
+			p := core.NewPlane(e, "bench", 'B', params, stats, 4)
+			for ds := core.DSID(1); ds <= 4; ds++ {
+				stats.EnsureRow(ds)
+			}
+			reg.AddPlane("cpa"+string(rune('0'+pi)), p)
+		}
+		for gi := 0; gi < 4; gi++ {
+			reg.AddGauge("g"+string(rune('0'+gi)), func() float64 { return 1 })
+		}
+		reg.Scrape() // resync row caches outside the timed loop
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			reg.Scrape()
 		}
 	}))
 }

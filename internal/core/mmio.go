@@ -166,7 +166,12 @@ func (c *CPA) write(ds DSID, col int, sel uint32, v uint64) error {
 		if !cols[col].Writable {
 			return fmt.Errorf("core: cpa%d: parameter %q is read-only", c.Index, cols[col].Name)
 		}
-		return c.Plane.Params().Set(ds, col, v)
+		old, _ := c.Plane.Params().Get(ds, col)
+		if err := c.Plane.Params().Set(ds, col, v); err != nil {
+			return err
+		}
+		c.Plane.ObserveParamWrite(ds, cols[col].Name, old, v)
+		return nil
 	case SelStatistic:
 		return fmt.Errorf("core: cpa%d: statistics table is read-only", c.Index)
 	case SelTrigger:

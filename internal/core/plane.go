@@ -60,7 +60,15 @@ type Plane struct {
 
 	// TriggersFired counts interrupts raised, for tests and reports.
 	TriggersFired uint64
+
+	// paramObs, when set, sees every sanctioned parameter write — both
+	// the Go-level SetParam API and CPA register-file writes — with the
+	// displaced value. The telemetry journal hangs off it.
+	paramObs ParamObserver
 }
+
+// ParamObserver receives sanctioned parameter writes for auditing.
+type ParamObserver func(ds DSID, name string, old, new uint64)
 
 // NewPlane constructs a control plane. ident is the 12-byte identity
 // string exposed through the IDENT registers (e.g. "CACHE_CP"),
@@ -104,6 +112,18 @@ func (p *Plane) Trigger(slot int) (*Trigger, error) {
 
 // SetInterrupt wires the interrupt line to the PRM.
 func (p *Plane) SetInterrupt(fn InterruptLine) { p.intr = fn }
+
+// SetParamObserver registers the audit hook for parameter writes.
+func (p *Plane) SetParamObserver(fn ParamObserver) { p.paramObs = fn }
+
+// ObserveParamWrite reports one sanctioned parameter write to the
+// registered observer. The CPA register file calls it after a
+// successful SelParameter write; SetParam calls it internally.
+func (p *Plane) ObserveParamWrite(ds DSID, name string, old, new uint64) {
+	if p.paramObs != nil {
+		p.paramObs(ds, name, old, new)
+	}
+}
 
 // SetSchedulerHook registers the owning component's scheduling plane:
 // install swaps the component onto a named algorithm, current reports
@@ -180,9 +200,11 @@ func (p *Plane) SetParam(ds DSID, name string, v uint64) {
 	if !p.params.Columns()[i].Writable {
 		panic("core: " + p.ident + ": parameter " + name + " is read-only")
 	}
+	old, _ := p.params.Get(ds, i)
 	if err := p.params.Set(ds, i, v); err != nil {
 		panic("core: " + p.ident + ": " + err.Error())
 	}
+	p.ObserveParamWrite(ds, name, old, v)
 }
 
 // SetStat stores a statistics value.

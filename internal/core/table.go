@@ -25,6 +25,10 @@ type Table struct {
 	cols   []Column
 	byName map[string]int
 	rows   map[DSID][]uint64
+	// gen counts row-set changes (EnsureRow creating, DeleteRow removing)
+	// so the telemetry scraper can keep a cached sorted row list and only
+	// rebuild it when an LDom actually came or went.
+	gen uint64
 }
 
 // NewTable builds a table with the given column layout.
@@ -72,10 +76,35 @@ func (t *Table) EnsureRow(ds DSID) {
 		row[i] = c.Default
 	}
 	t.rows[ds] = row
+	t.gen++
 }
 
 // DeleteRow removes ds's row (LDom teardown).
-func (t *Table) DeleteRow(ds DSID) { delete(t.rows, ds) }
+func (t *Table) DeleteRow(ds DSID) {
+	if _, ok := t.rows[ds]; !ok {
+		return
+	}
+	delete(t.rows, ds)
+	t.gen++
+}
+
+// Generation returns a counter that advances on every row-set change.
+// Equal generations guarantee an identical DS-id set, so a cached
+// AppendRows result is still valid.
+func (t *Table) Generation() uint64 { return t.gen }
+
+// AppendRows appends the DS-ids that have explicit rows, sorted, onto
+// buf and returns the extended slice. Callers that reuse buf across
+// calls (the telemetry scraper) pay no allocation once it has grown.
+func (t *Table) AppendRows(buf []DSID) []DSID {
+	start := len(buf)
+	for ds := range t.rows {
+		//pardlint:ignore hotalloc grows the caller's scratch only on first sight of a larger row set
+		buf = append(buf, ds)
+	}
+	slices.Sort(buf[start:])
+	return buf
+}
 
 // Rows returns the DS-ids that have explicit rows, sorted.
 func (t *Table) Rows() []DSID {

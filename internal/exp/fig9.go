@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/metric"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // Fig9Config parameterizes the trigger⇒action verification (paper
@@ -78,6 +79,19 @@ func Fig9(cfg Fig9Config) *Fig9Result {
 	}
 	e.Schedule(cfg.SampleEvery, sample)
 	c.Sys.Run(cfg.Duration)
+
+	// The audit journal records the exact firing tick; the in-sample
+	// detection above only brackets it to sample granularity (and is the
+	// fallback when telemetry is disabled).
+	if c.Sys.Journal != nil {
+		for i := 0; i < c.Sys.Journal.Len(); i++ {
+			ev := c.Sys.Journal.At(i)
+			if ev.Kind == telemetry.KindTriggerFired {
+				res.FiredAt = ev.When
+				break
+			}
+		}
+	}
 
 	if res.FiredAt > 0 {
 		// "Before" is the interference peak: the miss-rate reading that

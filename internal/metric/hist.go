@@ -6,7 +6,7 @@ package metric
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 )
 
 // Histogram records non-negative integer samples (latencies in ticks or
@@ -19,6 +19,12 @@ type Histogram struct {
 	sum    uint64
 	min    uint64
 	max    uint64
+	// keys caches the sorted bucket set so Percentile is allocation-free
+	// in steady state: the telemetry registry scrapes lat percentiles on
+	// every tick interval, and the bucket set only grows when a sample
+	// lands in a never-seen bucket.
+	keys      []uint64
+	keysStale bool
 }
 
 // NewHistogram returns an empty histogram.
@@ -55,7 +61,12 @@ func bucketEnd(b uint64) uint64 {
 
 // Observe records one sample.
 func (h *Histogram) Observe(v uint64) {
-	h.counts[bucket(v)]++
+	b := bucket(v)
+	c, seen := h.counts[b]
+	if !seen {
+		h.keysStale = true
+	}
+	h.counts[b] = c + 1
 	h.n++
 	h.sum += v
 	if v < h.min {
@@ -126,12 +137,16 @@ func (h *Histogram) Percentile(p float64) uint64 {
 }
 
 func (h *Histogram) sortedBuckets() []uint64 {
-	keys := make([]uint64, 0, len(h.counts))
-	for k := range h.counts {
-		keys = append(keys, k)
+	if !h.keysStale && len(h.keys) == len(h.counts) {
+		return h.keys
 	}
-	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
-	return keys
+	h.keys = h.keys[:0]
+	for k := range h.counts {
+		h.keys = append(h.keys, k)
+	}
+	slices.Sort(h.keys)
+	h.keysStale = false
+	return h.keys
 }
 
 // CDFPoint is one (value, cumulative fraction) pair.
@@ -177,6 +192,8 @@ func (h *Histogram) Reset() {
 	h.counts = make(map[uint64]uint64)
 	h.n, h.sum, h.max = 0, 0, 0
 	h.min = math.MaxUint64
+	h.keys = h.keys[:0]
+	h.keysStale = false
 }
 
 func (h *Histogram) String() string {

@@ -1,0 +1,81 @@
+package metric
+
+import "repro/internal/sim"
+
+// Ring is a fixed-capacity time series: the telemetry registry's
+// storage primitive. Unlike Series (append-only, grows forever), a Ring
+// preallocates its backing array once and then recording is free of
+// allocation — the steady-state scrape path is proven zero-alloc by
+// pardlint's hotalloc analyzer and held dynamically by benchgate.
+// When full, recording overwrites the oldest sample and counts the
+// displacement in Dropped, so exports can surface truncation honestly.
+type Ring struct {
+	name    string
+	buf     []Sample
+	head    int // index of the oldest sample
+	n       int // live samples, <= len(buf)
+	dropped uint64
+}
+
+// NewRing returns a ring holding at most capacity samples. Capacity is
+// clamped to at least 1 so Record is always legal.
+func NewRing(name string, capacity int) *Ring {
+	if capacity < 1 {
+		capacity = 1
+	}
+	//pardlint:ignore hotalloc constructor: one backing array per series, at registration
+	return &Ring{name: name, buf: make([]Sample, capacity)}
+}
+
+// Name returns the series name the ring was registered under.
+func (r *Ring) Name() string { return r.name }
+
+// Record appends a sample, overwriting the oldest when full. It never
+// allocates: the backing array is fixed at construction.
+func (r *Ring) Record(when sim.Tick, v float64) {
+	if r.n < len(r.buf) {
+		i := r.head + r.n
+		if i >= len(r.buf) {
+			i -= len(r.buf)
+		}
+		r.buf[i] = Sample{When: when, Value: v}
+		r.n++
+		return
+	}
+	r.buf[r.head] = Sample{When: when, Value: v}
+	r.head++
+	if r.head == len(r.buf) {
+		r.head = 0
+	}
+	r.dropped++
+}
+
+// Len returns the number of live samples.
+func (r *Ring) Len() int { return r.n }
+
+// Cap returns the fixed capacity.
+func (r *Ring) Cap() int { return len(r.buf) }
+
+// Dropped returns how many old samples have been overwritten.
+func (r *Ring) Dropped() uint64 { return r.dropped }
+
+// At returns the i-th live sample, oldest first. It panics when i is
+// out of [0, Len()).
+func (r *Ring) At(i int) Sample {
+	if i < 0 || i >= r.n {
+		panic("metric: ring index out of range")
+	}
+	j := r.head + i
+	if j >= len(r.buf) {
+		j -= len(r.buf)
+	}
+	return r.buf[j]
+}
+
+// Last returns the most recent sample; ok is false when empty.
+func (r *Ring) Last() (Sample, bool) {
+	if r.n == 0 {
+		return Sample{}, false
+	}
+	return r.At(r.n - 1), true
+}

@@ -1,0 +1,68 @@
+package metric
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestRingRecordAndWrap(t *testing.T) {
+	r := NewRing("s", 3)
+	if r.Cap() != 3 || r.Len() != 0 {
+		t.Fatalf("fresh ring: cap=%d len=%d", r.Cap(), r.Len())
+	}
+	if _, ok := r.Last(); ok {
+		t.Fatal("empty ring reported a last sample")
+	}
+	for i := 0; i < 5; i++ {
+		r.Record(sim.Tick(i*10), float64(i))
+	}
+	if r.Len() != 3 {
+		t.Fatalf("len=%d after 5 records into cap 3", r.Len())
+	}
+	if r.Dropped() != 2 {
+		t.Fatalf("dropped=%d, want 2", r.Dropped())
+	}
+	// Oldest-first view is samples 2, 3, 4.
+	for i := 0; i < 3; i++ {
+		s := r.At(i)
+		want := i + 2
+		if s.When != sim.Tick(want*10) || s.Value != float64(want) {
+			t.Fatalf("At(%d) = {%d %g}, want {%d %d}", i, s.When, s.Value, want*10, want)
+		}
+	}
+	last, ok := r.Last()
+	if !ok || last.Value != 4 {
+		t.Fatalf("Last = %+v ok=%v", last, ok)
+	}
+}
+
+func TestRingAtPanics(t *testing.T) {
+	r := NewRing("s", 2)
+	r.Record(1, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("At(1) on a 1-sample ring did not panic")
+		}
+	}()
+	r.At(1)
+}
+
+func TestRingCapacityClamp(t *testing.T) {
+	r := NewRing("s", 0)
+	r.Record(1, 2)
+	r.Record(2, 3)
+	if r.Cap() != 1 || r.Len() != 1 || r.Dropped() != 1 {
+		t.Fatalf("cap=%d len=%d dropped=%d", r.Cap(), r.Len(), r.Dropped())
+	}
+}
+
+func TestRingRecordDoesNotAllocate(t *testing.T) {
+	r := NewRing("s", 64)
+	allocs := testing.AllocsPerRun(1000, func() {
+		r.Record(1, 1)
+	})
+	if allocs != 0 {
+		t.Fatalf("Record allocates %.1f per call, want 0", allocs)
+	}
+}

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // Platform is the hardware surface the firmware manipulates beyond the
@@ -77,6 +78,7 @@ type slotKey struct {
 type binding struct {
 	action   string
 	cooldown sim.Tick // 0 = no pacing
+	origin   string   // who installed the trigger (journal stamping)
 
 	lastRun    sim.Tick // engine time the action last ran
 	everRan    bool
@@ -123,6 +125,20 @@ type Firmware struct {
 	TriggersSuppressed uint64
 
 	logLines []string
+
+	// journal, when set, receives audit events for every control-plane
+	// verb the firmware performs. A nil journal drops everything.
+	journal *telemetry.Journal
+
+	// scraper, when set, is the telemetry registry whose post-scrape
+	// hooks the CSV monitors ride, so cat-style stat files and /metrics
+	// sample at identical sim-times.
+	scraper *telemetry.Registry
+
+	// origin labels where the currently executing command came from
+	// ("console", "pardctl", "policy:<set>/<rule>"); empty means the
+	// firmware itself. Journal events are stamped with it.
+	origin string
 }
 
 // NewFirmware boots the firmware. platform may be nil in unit tests.
@@ -155,6 +171,34 @@ func NewFirmware(e *sim.Engine, cfg Config, platform Platform) *Firmware {
 
 // FS exposes the device file tree.
 func (fw *Firmware) FS() *FS { return fw.fs }
+
+// SetJournal wires the control-plane audit journal.
+func (fw *Firmware) SetJournal(j *telemetry.Journal) { fw.journal = j }
+
+// Journal returns the wired audit journal (nil when telemetry is off).
+func (fw *Firmware) Journal() *telemetry.Journal { return fw.journal }
+
+// SetScraper wires the telemetry registry the CSV monitors ride.
+func (fw *Firmware) SetScraper(r *telemetry.Registry) { fw.scraper = r }
+
+// Origin reports who is driving the firmware right now, for journal
+// stamping; outside any command context it is the firmware itself.
+func (fw *Firmware) Origin() string {
+	if fw.origin == "" {
+		return "firmware"
+	}
+	return fw.origin
+}
+
+// WithOrigin runs fn with the journal origin label set (and restored
+// after). The console shell and the policy runtime wrap their work in
+// it so every resulting event says who caused it.
+func (fw *Firmware) WithOrigin(origin string, fn func()) {
+	prev := fw.origin
+	fw.origin = origin
+	fn()
+	fw.origin = prev
+}
 
 // Logf appends to the firmware log.
 func (fw *Firmware) Logf(format string, args ...interface{}) {
@@ -191,7 +235,21 @@ func (fw *Firmware) Mount(cpa *core.CPA) {
 	if cpa.Plane.HasScheduler() {
 		fw.fs.AddFile(base+"/scheduler",
 			func() (string, error) { return cpa.Plane.SchedulerAlgo(), nil },
-			func(s string) error { return cpa.Plane.InstallScheduler(strings.TrimSpace(s)) })
+			func(s string) error {
+				algo := strings.TrimSpace(s)
+				prev := cpa.Plane.SchedulerAlgo()
+				if err := cpa.Plane.InstallScheduler(algo); err != nil {
+					return err
+				}
+				fw.journal.Record(telemetry.Event{
+					Kind:   telemetry.KindSchedInstall,
+					Origin: fw.Origin(),
+					Plane:  name,
+					Name:   algo,
+					Detail: "displaced " + prev,
+				})
+				return nil
+			})
 	}
 
 	cpa.Plane.SetInterrupt(func(n core.Notification) {
@@ -256,6 +314,16 @@ func (fw *Firmware) handle(cpaIdx int, n core.Notification) {
 			n.When, cpaIdx, n.Plane.Ident(), n.Slot, n.DSID, n.Stat, n.Value)
 		fw.Logf("  suppressed: action %q on cooldown (%v since last run, window %v)",
 			b.action, now-b.lastRun, b.cooldown)
+		fw.journal.Record(telemetry.Event{
+			Kind:   telemetry.KindTriggerSuppress,
+			Origin: b.origin,
+			Plane:  fw.mounts[cpaIdx].name,
+			DS:     n.DSID,
+			Name:   n.Stat,
+			Old:    uint64(now - b.lastRun),
+			New:    uint64(b.cooldown),
+			Detail: "suppressed: action " + b.action + " on cooldown",
+		})
 		if b.onCooldown != nil {
 			b.onCooldown(n)
 		}
@@ -268,8 +336,26 @@ func (fw *Firmware) handle(cpaIdx int, n core.Notification) {
 
 	if b == nil {
 		fw.Logf("  no action bound; ignored")
+		fw.journal.Record(telemetry.Event{
+			Kind:   telemetry.KindTriggerFired,
+			Origin: "firmware",
+			Plane:  fw.mounts[cpaIdx].name,
+			DS:     n.DSID,
+			Name:   n.Stat,
+			New:    n.Value,
+			Detail: "no action bound",
+		})
 		return
 	}
+	fw.journal.Record(telemetry.Event{
+		Kind:   telemetry.KindTriggerFired,
+		Origin: b.origin,
+		Plane:  fw.mounts[cpaIdx].name,
+		DS:     n.DSID,
+		Name:   n.Stat,
+		New:    n.Value,
+		Detail: "action " + b.action,
+	})
 	fn, ok := fw.actions[b.action]
 	if !ok {
 		fw.ActionErrors++
@@ -279,7 +365,11 @@ func (fw *Firmware) handle(cpaIdx int, n core.Notification) {
 	b.everRan = true
 	b.lastRun = now
 	b.handled++
-	if err := fn(fw, n); err != nil {
+	// Parameter writes the action makes journal under the trigger's
+	// install-time origin (policy actions re-wrap with their rule name).
+	var err error
+	fw.WithOrigin(b.origin, func() { err = fn(fw, n) })
+	if err != nil {
 		fw.ActionErrors++
 		fw.Logf("  action %q failed: %v", b.action, err)
 		return
@@ -350,7 +440,7 @@ func (fw *Firmware) InstallTriggerSpec(cpaIdx int, spec TriggerSpec) (int, error
 		}
 	}
 	key := slotKey{cpa: cpaIdx, slot: slot}
-	b := &binding{action: spec.Action, cooldown: spec.Cooldown}
+	b := &binding{action: spec.Action, cooldown: spec.Cooldown, origin: fw.Origin()}
 	fw.bindings[key] = b
 	path := fmt.Sprintf("/sys/cpa/cpa%d/ldoms/ldom%d/triggers/%d", cpaIdx, spec.DSID, slot)
 	fw.fs.AddFile(path,

@@ -32,11 +32,25 @@ type Monitor struct {
 	dropped uint64
 	running bool
 	stopped bool
+
+	// nextDue is the next sample time when the monitor rides the
+	// telemetry scraper instead of scheduling its own events.
+	nextDue sim.Tick
 }
 
 // StartMonitor begins sampling the given paths every interval. The
 // resulting log appears in the file tree at /log/<name>.csv with one
 // column per path plus a leading time_ms column.
+//
+// When a telemetry registry is wired (SetScraper), the monitor does not
+// schedule its own events: it rides the registry's post-scrape hook and
+// samples on scrape ticks once its interval has elapsed. With the
+// monitor interval equal to the scrape interval (the default system
+// wiring) every CSV row lands at exactly a scrape's sim-time, so
+// cat-style lat files and /metrics report identical values at identical
+// times instead of double-sampling on offset schedules. A monitor
+// interval finer than the scrape interval is effectively clamped to the
+// scrape cadence.
 func (fw *Firmware) StartMonitor(name string, interval sim.Tick, paths []string) (*Monitor, error) {
 	if interval == 0 {
 		return nil, fmt.Errorf("prm: monitor %q needs a positive interval", name)
@@ -65,8 +79,26 @@ func (fw *Firmware) StartMonitor(name string, interval sim.Tick, paths []string)
 		return nil, err
 	}
 	m.running = true
-	fw.engine.Schedule(interval, m.tick)
+	if fw.scraper != nil {
+		m.nextDue = fw.engine.Now() + interval
+		fw.scraper.AddHook(m.onScrape)
+	} else {
+		fw.engine.Schedule(interval, m.tick)
+	}
 	return m, nil
+}
+
+// onScrape is the scraper-ridden sampling path.
+func (m *Monitor) onScrape(now sim.Tick) {
+	if m.stopped {
+		m.running = false
+		return
+	}
+	if now < m.nextDue {
+		return
+	}
+	m.sample(now)
+	m.nextDue = now + m.Interval
 }
 
 // Stop halts sampling; the accumulated log stays readable.
@@ -99,7 +131,12 @@ func (m *Monitor) tick() {
 		m.running = false
 		return
 	}
-	now := m.fw.engine.Now()
+	m.sample(m.fw.engine.Now())
+	m.fw.engine.Schedule(m.Interval, m.tick)
+}
+
+// sample reads every path and appends one CSV row stamped now.
+func (m *Monitor) sample(now sim.Tick) {
 	row := make([]string, 0, len(m.Paths)+1)
 	row = append(row, fmt.Sprintf("%d.%03d", uint64(now/sim.Millisecond), uint64(now%sim.Millisecond/sim.Microsecond)))
 	for _, p := range m.Paths {
@@ -132,7 +169,6 @@ func (m *Monitor) tick() {
 		m.rows = m.rows[:len(m.rows)-chunk]
 		m.dropped += uint64(chunk)
 	}
-	m.fw.engine.Schedule(m.Interval, m.tick)
 }
 
 // csvField escapes one CSV field per RFC 4180: values containing a

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/policy"
+	"repro/internal/telemetry"
 )
 
 // policyRule is one installed rule: its compiled form, the trigger
@@ -121,6 +122,13 @@ func (fw *Firmware) LoadPolicy(name, source string) error {
 	fw.policies[name] = set
 	fw.addPolicyTree(set)
 	fw.Logf("[%v] policy %q loaded (%d rules)", fw.engine.Now(), name, len(set.rules))
+	fw.journal.Record(telemetry.Event{
+		Kind:   telemetry.KindPolicyLoad,
+		Origin: fw.Origin(),
+		Name:   name,
+		New:    uint64(len(set.rules)),
+		Detail: fmt.Sprintf("%d rules, %d schedules", len(set.rules), len(set.scheds)),
+	})
 	return nil
 }
 
@@ -164,6 +172,13 @@ func (fw *Firmware) ReloadPolicy(name, source string) error {
 	fw.policies[name] = set
 	fw.addPolicyTree(set)
 	fw.Logf("[%v] policy %q reloaded (%d rules)", fw.engine.Now(), name, len(set.rules))
+	fw.journal.Record(telemetry.Event{
+		Kind:   telemetry.KindPolicyReload,
+		Origin: fw.Origin(),
+		Name:   name,
+		New:    uint64(len(set.rules)),
+		Detail: fmt.Sprintf("%d rules, %d schedules", len(set.rules), len(set.scheds)),
+	})
 	return nil
 }
 
@@ -178,6 +193,11 @@ func (fw *Firmware) UnloadPolicy(name string) error {
 	delete(fw.policies, name)
 	fw.fs.Remove("/sys/cpa/policy/" + name)
 	fw.Logf("[%v] policy %q unloaded", fw.engine.Now(), name)
+	fw.journal.Record(telemetry.Event{
+		Kind:   telemetry.KindPolicyUnload,
+		Origin: fw.Origin(),
+		Name:   name,
+	})
 	return nil
 }
 
@@ -299,19 +319,32 @@ func (fw *Firmware) installPolicy(name, source string, prog *policy.Program) (*p
 		}
 		set.scheds = append(set.scheds, &policySched{c: cs, prev: prev})
 		fw.Logf("[%v] policy %q: cpa%d scheduler %s -> %s", fw.engine.Now(), name, cs.CPA, prev, cs.Algo)
+		fw.journal.Record(telemetry.Event{
+			Kind:   telemetry.KindSchedInstall,
+			Origin: "policy:" + name,
+			Plane:  fw.mounts[cs.CPA].name,
+			Name:   cs.Algo,
+			Detail: "displaced " + prev,
+		})
 	}
 	for _, c := range prog.Rules {
 		pr := &policyRule{c: c, st: &policy.RuleState{}, actionName: "policy/" + name + "/" + c.Name}
 		fw.RegisterAction(pr.actionName, fw.makePolicyAction(pr))
-		slot, err := fw.InstallTriggerSpec(c.CPA, TriggerSpec{
-			DSID:       c.DSID,
-			Stat:       c.Stat,
-			Op:         c.Op,
-			Value:      c.Threshold,
-			Level:      c.Level,
-			Hysteresis: c.Hysteresis,
-			Action:     pr.actionName,
-			Cooldown:   c.Cooldown,
+		// Install under the rule's identity so trigger firings and
+		// suppressions journal with the rule as their origin.
+		var slot int
+		var err error
+		fw.WithOrigin("policy:"+name+"/"+c.Name, func() {
+			slot, err = fw.InstallTriggerSpec(c.CPA, TriggerSpec{
+				DSID:       c.DSID,
+				Stat:       c.Stat,
+				Op:         c.Op,
+				Value:      c.Threshold,
+				Level:      c.Level,
+				Hysteresis: c.Hysteresis,
+				Action:     pr.actionName,
+				Cooldown:   c.Cooldown,
+			})
 		})
 		if err != nil {
 			delete(fw.actions, pr.actionName)
@@ -353,14 +386,32 @@ func (fw *Firmware) teardownPolicy(set *policySet) {
 			continue
 		}
 		fw.Logf("[%v] policy %q: cpa%d scheduler restored to %s", fw.engine.Now(), set.name, ps.c.CPA, ps.prev)
+		fw.journal.Record(telemetry.Event{
+			Kind:   telemetry.KindSchedRestore,
+			Origin: "policy:" + set.name,
+			Plane:  fw.mounts[ps.c.CPA].name,
+			Name:   ps.prev,
+			Detail: "displaced " + ps.c.Algo,
+		})
 	}
 	set.scheds = nil
 }
 
 // makePolicyAction synthesizes the prm.Action for one compiled rule:
 // rate-limit check, then the rule's write set applied through the CPA
-// MMIO path, with every firing recorded for explain.
+// MMIO path, with every firing recorded for explain. The body runs
+// under the rule's origin so its parameter writes journal as
+// "policy:<set>/<rule>", not as anonymous firmware work.
 func (fw *Firmware) makePolicyAction(pr *policyRule) Action {
+	inner := fw.policyActionBody(pr)
+	return func(fw *Firmware, n core.Notification) error {
+		var err error
+		fw.WithOrigin("policy:"+pr.actionName[len("policy/"):], func() { err = inner(fw, n) })
+		return err
+	}
+}
+
+func (fw *Firmware) policyActionBody(pr *policyRule) Action {
 	return func(fw *Firmware, n core.Notification) error {
 		if pr.c.LimitN > 0 && !pr.st.AllowRate(n.When, pr.c.LimitN, pr.c.LimitPer) {
 			detail, _ := fw.policyWrites(pr, true)

@@ -38,7 +38,24 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 )
+
+// ShardProfile accumulates one shard's runtime counters across barrier
+// windows — the data ROADMAP item 3 needs to attack lockstep overhead.
+// Events, ActiveWindows, Sends and MailboxPeak are deterministic for a
+// given simulation. RunNs and WaitNs are wall-clock (populated only
+// when the group's profiling timer is enabled) and never reach
+// simulation state: they feed telemetry series and BENCH.json, not the
+// event schedule.
+type ShardProfile struct {
+	Events        uint64 // events executed inside windows
+	ActiveWindows uint64 // windows in which this shard executed >= 1 event
+	Sends         uint64 // cross-shard messages sent
+	MailboxPeak   uint64 // deepest single-barrier inbound merge
+	RunNs         int64  // wall time spent executing windows
+	WaitNs        int64  // wall time stalled waiting for the slowest shard
+}
 
 // xmsg is one cross-shard message: fn runs on the destination shard's
 // engine at tick when. sent/src/seq exist only to make the barrier
@@ -71,6 +88,11 @@ type Shard struct {
 	// barrier. No locks — the barrier is the synchronization.
 	out [][]xmsg
 	seq uint64
+
+	// lastRunNs is the wall time of the most recent window, written by
+	// the shard's worker and read by the coordinator after the barrier
+	// (the WaitGroup provides the happens-before edge).
+	lastRunNs int64
 }
 
 // Engine returns the shard's private event engine.
@@ -108,12 +130,29 @@ func (s *Shard) Send(dst int, delay Tick, fn func()) {
 }
 
 // runWindow advances the shard's engine to the window bounds the
-// coordinator published before dispatch.
+// coordinator published before dispatch, updating the shard's profile.
 func (s *Shard) runWindow() {
+	var t0 time.Time
+	if s.group.timed {
+		//pardlint:ignore determinism wall-clock profiling feeds telemetry series only, never simulation state
+		t0 = time.Now()
+	}
+	before := s.eng.Executed()
 	if s.inclusive {
 		s.eng.Run(s.limit)
 	} else {
 		s.eng.RunBefore(s.limit)
+	}
+	p := &s.group.prof[s.index]
+	if d := s.eng.Executed() - before; d > 0 {
+		p.Events += d
+		p.ActiveWindows++
+	}
+	s.lastRunNs = 0
+	if s.group.timed {
+		//pardlint:ignore determinism wall-clock profiling feeds telemetry series only, never simulation state
+		s.lastRunNs = time.Since(t0).Nanoseconds()
+		p.RunNs += s.lastRunNs
 	}
 }
 
@@ -134,6 +173,16 @@ type ShardGroup struct {
 	// given simulation and exposed for tests and BENCH.json.
 	WindowsRun uint64
 	CrossSends uint64
+
+	// SpannedTicks accumulates each window's [first, end) span, so
+	// SpannedTicks / elapsed is the horizon utilization: the fraction of
+	// the advanced timeline that actually needed lockstep execution.
+	SpannedTicks Tick
+
+	// prof[i] is shard i's runtime profile. Workers write only their own
+	// entry during a window; the coordinator reads at barriers.
+	prof  []ShardProfile
+	timed bool
 }
 
 // NewShardGroup builds n shards synchronized on windows of the given
@@ -155,7 +204,7 @@ func NewShardGroup(n int, window Tick, workers int) *ShardGroup {
 	if workers > n {
 		workers = n
 	}
-	g := &ShardGroup{window: window, workers: workers}
+	g := &ShardGroup{window: window, workers: workers, prof: make([]ShardProfile, n)}
 	for i := 0; i < n; i++ {
 		g.shards = append(g.shards, &Shard{
 			group: g,
@@ -182,6 +231,30 @@ func (g *ShardGroup) Window() Tick { return g.window }
 // Now returns the group's global time (every shard engine agrees with
 // it between Run calls).
 func (g *ShardGroup) Now() Tick { return g.now }
+
+// EnableProfileTimers turns on wall-clock run/wait measurement. The
+// deterministic counters (events, windows, sends, mailbox depth) are
+// always collected; the timers cost two clock reads per shard-window,
+// so they are opt-in.
+func (g *ShardGroup) EnableProfileTimers() { g.timed = true }
+
+// Profile returns a snapshot of shard i's runtime profile, including
+// the cumulative cross-shard send count. Call between Run invocations —
+// never while the group is executing.
+func (g *ShardGroup) Profile(i int) ShardProfile {
+	p := g.prof[i]
+	p.Sends = g.shards[i].seq
+	return p
+}
+
+// HorizonUtilization reports SpannedTicks as a fraction of elapsed, the
+// share of the advanced timeline that carried lockstep windows.
+func (g *ShardGroup) HorizonUtilization() float64 {
+	if g.now == 0 {
+		return 0
+	}
+	return float64(g.SpannedTicks) / float64(g.now)
+}
 
 // Run advances the whole group by d, executing windows until every
 // event inside the horizon has run. Events exactly at the horizon are
@@ -238,11 +311,27 @@ func (g *ShardGroup) Run(d Tick) {
 			s.inclusive = inclusive
 		}
 		if parallel {
+			var t0 time.Time
+			if g.timed {
+				//pardlint:ignore determinism wall-clock profiling feeds telemetry series only, never simulation state
+				t0 = time.Now()
+			}
 			wg.Add(len(g.shards))
 			for _, s := range g.shards {
 				jobs <- s
 			}
 			wg.Wait()
+			if g.timed {
+				// A shard's barrier wait is the window's wall time minus
+				// its own run time: how long it idled for the slowest peer.
+				//pardlint:ignore determinism wall-clock profiling feeds telemetry series only, never simulation state
+				wall := time.Since(t0).Nanoseconds()
+				for i, s := range g.shards {
+					if wait := wall - s.lastRunNs; wait > 0 {
+						g.prof[i].WaitNs += wait
+					}
+				}
+			}
 		} else {
 			for _, s := range g.shards {
 				s.runWindow()
@@ -250,6 +339,7 @@ func (g *ShardGroup) Run(d Tick) {
 		}
 		g.now = end
 		g.WindowsRun++
+		g.SpannedTicks += end - first
 		g.mergeMailboxes()
 		// An inclusive pass may have injected messages landing exactly
 		// on the horizon; the loop keeps running passes at target until
@@ -320,6 +410,9 @@ func (g *ShardGroup) mergeMailboxes() {
 			d.eng.At(m[i].when, m[i].fn)
 		}
 		g.CrossSends += uint64(len(m))
+		if depth := uint64(len(m)); depth > g.prof[dst].MailboxPeak {
+			g.prof[dst].MailboxPeak = depth
+		}
 		clear(m)
 		g.merge = m[:0]
 	}

@@ -1,0 +1,261 @@
+package telemetry
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/metric"
+	"repro/internal/sim"
+)
+
+// Registry scrapes registered sources into fixed-capacity ring series
+// on a sim-tick interval. Enumeration order is deterministic — sources
+// in registration order, rows in sorted DS-id order, columns in table
+// layout order — so a sequential run's exported series are
+// byte-identical across repeats (the bit-reproducibility contract
+// behind EXPERIMENTS.md, extended to telemetry).
+//
+// The steady-state scrape allocates nothing: rings are preallocated,
+// row lists are cached against Table.Generation and only rebuilt when
+// an LDom comes or goes. pardlint's hotalloc analyzer proves this from
+// the scrape root; benchgate's telemetry_scrape section holds it
+// dynamically.
+type Registry struct {
+	eng      *sim.Engine
+	interval sim.Tick
+	capacity int
+
+	planes []*planeSource
+	gauges []*gauge
+	hooks  []func(now sim.Tick)
+
+	series  []*metric.Ring // every ring, in creation order
+	scrapes uint64
+	started bool
+}
+
+// planeSource scrapes one control plane's statistics table plus any
+// per-LDom gauge templates attached to it.
+type planeSource struct {
+	prefix string
+	plane  *core.Plane
+	synced bool
+	gen    uint64 // stats-table generation the caches were built against
+
+	rows  []core.DSID
+	rings [][]*metric.Ring // parallel to rows, one ring per stat column
+	byDS  map[core.DSID][]*metric.Ring
+	tmpls []*gaugeTemplate
+}
+
+// gaugeTemplate is a per-LDom numeric gauge (e.g. a latency percentile
+// read from the trace recorder) instantiated for every row the source
+// currently has.
+type gaugeTemplate struct {
+	name   string
+	read   func(core.DSID) float64
+	byDS   map[core.DSID]*metric.Ring
+	active []*metric.Ring // parallel to the source's rows
+}
+
+// gauge is a scalar source sampled once per scrape.
+type gauge struct {
+	ring *metric.Ring
+	read func() float64
+}
+
+// NewRegistry returns a registry scraping every interval ticks into
+// rings of the given sample capacity. Start must be called to begin
+// scraping.
+func NewRegistry(eng *sim.Engine, interval sim.Tick, capacity int) *Registry {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Registry{eng: eng, interval: interval, capacity: capacity}
+}
+
+// AddPlane registers a control plane's statistics table under a series
+// prefix (conventionally the CPA mount name, "cpa0"). Every statistics
+// column of every current and future row is scraped as
+// "<prefix>.ds<id>.<column>".
+func (r *Registry) AddPlane(prefix string, p *core.Plane) {
+	r.planes = append(r.planes, &planeSource{
+		prefix: prefix,
+		plane:  p,
+		byDS:   make(map[core.DSID][]*metric.Ring),
+	})
+}
+
+// AddPlaneGauge attaches a per-LDom gauge to a previously added plane
+// source: read is called for each DS-id the plane currently has a
+// statistics row for, producing "<prefix>.ds<id>.<name>" series. It
+// panics on an unknown prefix — wiring bugs must not fail silently.
+func (r *Registry) AddPlaneGauge(prefix, name string, read func(core.DSID) float64) {
+	for _, src := range r.planes {
+		if src.prefix == prefix {
+			src.tmpls = append(src.tmpls, &gaugeTemplate{
+				name: name,
+				read: read,
+				byDS: make(map[core.DSID]*metric.Ring),
+			})
+			src.synced = false // force a resync to instantiate existing rows
+			return
+		}
+	}
+	panic("telemetry: AddPlaneGauge: no plane source " + prefix)
+}
+
+// AddGauge registers a scalar gauge sampled once per scrape and returns
+// its ring.
+func (r *Registry) AddGauge(name string, read func() float64) *metric.Ring {
+	ring := metric.NewRing(name, r.capacity)
+	r.gauges = append(r.gauges, &gauge{ring: ring, read: read})
+	r.series = append(r.series, ring)
+	return ring
+}
+
+// AddHook registers a function run after every scrape at the scrape's
+// sim-time. The PRM's CSV monitor rides here (satellite of the scraper)
+// so cat-style stat files and /metrics report identical values at
+// identical sim-times.
+func (r *Registry) AddHook(fn func(now sim.Tick)) {
+	r.hooks = append(r.hooks, fn)
+}
+
+// Start schedules the first scrape one interval from now. It is a
+// no-op when already started or when the interval is zero (telemetry
+// disabled).
+func (r *Registry) Start() {
+	if r.started || r.interval <= 0 {
+		return
+	}
+	r.started = true
+	r.eng.ScheduleEventer(r.interval, r)
+}
+
+// RunEvent is the self-rescheduling scrape event.
+func (r *Registry) RunEvent() {
+	r.Scrape()
+	r.eng.ScheduleEventer(r.interval, r)
+}
+
+// Scrape performs one scrape at the current sim-time: resync row caches
+// if any table's row set changed, sample every source, then run the
+// post-scrape hooks. Exported so benchgate can measure the steady state
+// without driving the engine.
+func (r *Registry) Scrape() {
+	r.maybeResync()
+	now := r.eng.Now()
+	r.scrape(now)
+	for _, h := range r.hooks {
+		h(now)
+	}
+	r.scrapes++
+}
+
+// maybeResync rebuilds a source's row and ring caches only when its
+// statistics table's generation moved — LDom create/destroy cadence,
+// not scrape cadence.
+func (r *Registry) maybeResync() {
+	for _, src := range r.planes {
+		g := src.plane.Stats().Generation()
+		if src.synced && g == src.gen {
+			continue
+		}
+		r.resync(src)
+		src.gen = g
+		src.synced = true
+	}
+}
+
+// resync rebuilds one source's caches. Rings persist across resyncs —
+// a destroyed LDom's series stops updating but keeps its history; a
+// recreated DS-id resumes its old ring.
+func (r *Registry) resync(src *planeSource) {
+	src.rows = src.rows[:0]
+	src.rows = src.plane.Stats().AppendRows(src.rows)
+	cols := src.plane.Stats().Columns()
+	src.rings = src.rings[:0]
+	for _, t := range src.tmpls {
+		t.active = t.active[:0]
+	}
+	for _, ds := range src.rows {
+		rowRings, ok := src.byDS[ds]
+		if !ok {
+			//pardlint:ignore hotalloc first sight of a DS-id: resync runs on stat-table generation change (LDom create/destroy), not per scrape
+			rowRings = make([]*metric.Ring, len(cols))
+			for ci, c := range cols {
+				//pardlint:ignore hotalloc first sight of a DS-id: one ring name per (DS-id, column), bounded by LDom count
+				ring := metric.NewRing(fmt.Sprintf("%s.ds%d.%s", src.prefix, ds, c.Name), r.capacity)
+				rowRings[ci] = ring
+				r.series = append(r.series, ring)
+			}
+			src.byDS[ds] = rowRings
+		}
+		src.rings = append(src.rings, rowRings)
+		for _, t := range src.tmpls {
+			g, ok := t.byDS[ds]
+			if !ok {
+				//pardlint:ignore hotalloc first sight of a DS-id: one gauge ring per (DS-id, template), bounded by LDom count
+				g = metric.NewRing(fmt.Sprintf("%s.ds%d.%s", src.prefix, ds, t.name), r.capacity)
+				t.byDS[ds] = g
+				r.series = append(r.series, g)
+			}
+			t.active = append(t.active, g)
+		}
+	}
+}
+
+// scrape samples every source at now. This is the telemetry hot path:
+// with row caches in sync it performs table reads, gauge reads and ring
+// writes only.
+//
+//pardlint:hotpath telemetry steady-state scrape: every stat column, per-LDom gauge and scalar gauge, zero allocation
+func (r *Registry) scrape(now sim.Tick) {
+	for _, src := range r.planes {
+		st := src.plane.Stats()
+		for ri, ds := range src.rows {
+			rowRings := src.rings[ri]
+			for ci := range rowRings {
+				v, err := st.Get(ds, ci)
+				if err != nil {
+					continue
+				}
+				rowRings[ci].Record(now, float64(v))
+			}
+			for _, t := range src.tmpls {
+				t.active[ri].Record(now, t.read(ds))
+			}
+		}
+	}
+	for _, g := range r.gauges {
+		g.ring.Record(now, g.read())
+	}
+}
+
+// Series returns every ring in creation order. The slice is the
+// registry's own — callers must not mutate it.
+func (r *Registry) Series() []*metric.Ring { return r.series }
+
+// Find returns the ring with the given series name, or nil.
+func (r *Registry) Find(name string) *metric.Ring {
+	for _, s := range r.series {
+		if s.Name() == name {
+			return s
+		}
+	}
+	return nil
+}
+
+// Scrapes returns how many scrapes have run.
+func (r *Registry) Scrapes() uint64 { return r.scrapes }
+
+// Interval returns the scrape interval in ticks.
+func (r *Registry) Interval() sim.Tick { return r.interval }
+
+// Capacity returns the per-series sample capacity.
+func (r *Registry) Capacity() int { return r.capacity }
+
+// Now returns the registry engine's current sim-time (export surfaces
+// stamp documents with it).
+func (r *Registry) Now() sim.Tick { return r.eng.Now() }

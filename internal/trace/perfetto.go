@@ -40,6 +40,20 @@ type perfettoDoc struct {
 	DisplayTimeUnit string          `json:"displayTimeUnit"`
 }
 
+// CounterPoint is one sample on a Perfetto counter track.
+type CounterPoint struct {
+	Ts    sim.Tick
+	Value float64
+}
+
+// CounterTrack is a named time series rendered as a Perfetto counter
+// ("C" events) alongside the packet spans — the bridge from the
+// telemetry registry's rings into the trace UI.
+type CounterTrack struct {
+	Name   string
+	Points []CounterPoint
+}
+
 // dsPalette indexes Chrome's reserved color names by DS-id.
 var dsPalette = [...]string{
 	"good", "rail_response", "yellow", "rail_animation",
@@ -55,6 +69,14 @@ func us(t sim.Tick) float64 { return float64(t) / 1e6 }
 // WritePerfetto exports the archived traces as Chrome/Perfetto
 // trace-event JSON and returns the number of packet traces written.
 func (r *Recorder) WritePerfetto(w io.Writer) (int, error) {
+	return r.WritePerfettoWith(w, nil)
+}
+
+// WritePerfettoWith is WritePerfetto plus counter tracks: each track
+// renders as a "C" event series in a second process ("pard-telemetry"),
+// so plane statistics scraped by the telemetry registry line up
+// time-axis-aligned under the packet spans they explain.
+func (r *Recorder) WritePerfettoWith(w io.Writer, counters []CounterTrack) (int, error) {
 	if r == nil {
 		return 0, fmt.Errorf("trace: recorder not enabled")
 	}
@@ -108,6 +130,20 @@ func (r *Recorder) WritePerfetto(w io.Writer) (int, error) {
 			Name: name, Cat: "packet", Ph: "e", Pid: 1, Tid: track,
 			Ts: us(t.End), ID: id, Cname: col, Args: ends,
 		})
+	}
+	if len(counters) > 0 {
+		events = append(events, perfettoEvent{
+			Name: "process_name", Ph: "M", Pid: 2,
+			Args: map[string]any{"name": "pard-telemetry"},
+		})
+		for _, ct := range counters {
+			for _, pt := range ct.Points {
+				events = append(events, perfettoEvent{
+					Name: ct.Name, Cat: "telemetry", Ph: "C", Pid: 2,
+					Ts: us(pt.Ts), Args: map[string]any{"value": pt.Value},
+				})
+			}
+		}
 	}
 	enc := json.NewEncoder(w)
 	if err := enc.Encode(perfettoDoc{TraceEvents: events, DisplayTimeUnit: "ns"}); err != nil {

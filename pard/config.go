@@ -50,6 +50,24 @@ type Config struct {
 	// SampleInterval is the statistics window used by all control
 	// planes when their own configs leave it zero.
 	SampleInterval sim.Tick
+
+	// Telemetry configures the time-series registry and audit journal.
+	// Enabled by default; scraping and journaling never perturb
+	// simulation state (StateDigest is identical either way).
+	Telemetry TelemetryConfig
+}
+
+// TelemetryConfig tunes the telemetry plane.
+type TelemetryConfig struct {
+	// Disable turns the registry and journal off entirely.
+	Disable bool
+	// Interval is the scrape period in ticks; 0 inherits SampleInterval,
+	// so stat series sample on the same cadence the planes publish.
+	Interval sim.Tick
+	// SeriesCapacity is samples retained per series (0 = 512).
+	SeriesCapacity int
+	// JournalCapacity is audit events retained (0 = 1024).
+	JournalCapacity int
 }
 
 // DefaultConfig returns Table 2's parameters:
@@ -110,6 +128,17 @@ func (c *Config) fillDefaults() {
 	}
 	if c.NIC.BytesPerSec == 0 {
 		c.NIC = iodev.DefaultNICConfig()
+	}
+	if !c.Telemetry.Disable {
+		if c.Telemetry.Interval == 0 {
+			c.Telemetry.Interval = c.SampleInterval
+		}
+		if c.Telemetry.SeriesCapacity == 0 {
+			c.Telemetry.SeriesCapacity = 512
+		}
+		if c.Telemetry.JournalCapacity == 0 {
+			c.Telemetry.JournalCapacity = 1024
+		}
 	}
 	if c.SampleInterval != 0 {
 		if c.LLC.SampleInterval == 0 {

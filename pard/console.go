@@ -5,6 +5,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -19,6 +20,9 @@ import (
 //	policy apply <file.pard>
 //	stats
 //	trace
+//	telemetry
+//	top [series-prefix]
+//	journal [n]
 //	help
 //
 // plus the firmware's own `policy [show|explain|unload]` subcommands.
@@ -33,7 +37,7 @@ func Dispatch(sys *System, line string) (string, error) {
 	switch fields[0] {
 	case "help":
 		return "firmware: cat echo ls tree pardtrigger policy ldoms log\n" +
-			"platform: create <name> <core> [prio] | workload <core> <kind> | run <ms> | policy validate|apply <file> | stats | trace | exit", nil
+			"platform: create <name> <core> [prio] | workload <core> <kind> | run <ms> | policy validate|apply <file> | stats | trace | telemetry | top [prefix] | journal [n] | exit", nil
 
 	case "create":
 		if len(fields) < 3 {
@@ -129,6 +133,36 @@ func Dispatch(sys *System, line string) (string, error) {
 			return fmt.Sprintf("applied policy %q", policyNameFromPath(fields[2])), nil
 		}
 		return sys.Sh(line)
+
+	case "telemetry":
+		if sys.Telemetry == nil {
+			return "", fmt.Errorf("telemetry disabled (Config.Telemetry.Disable)")
+		}
+		return telemetry.SummaryText(sys.Telemetry, sys.Journal), nil
+
+	case "top":
+		if sys.Telemetry == nil {
+			return "", fmt.Errorf("telemetry disabled (Config.Telemetry.Disable)")
+		}
+		prefix := ""
+		if len(fields) > 1 {
+			prefix = fields[1]
+		}
+		return telemetry.TopText(sys.Telemetry, prefix), nil
+
+	case "journal":
+		if sys.Journal == nil {
+			return "", fmt.Errorf("telemetry disabled (Config.Telemetry.Disable)")
+		}
+		n := 20
+		if len(fields) > 1 {
+			var err error
+			n, err = strconv.Atoi(fields[1])
+			if err != nil {
+				return "", fmt.Errorf("usage: journal [n]")
+			}
+		}
+		return telemetry.JournalText(sys.Journal, n), nil
 
 	case "trace":
 		if sys.Recorder == nil && sys.MemProbe == nil {

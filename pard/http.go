@@ -1,0 +1,140 @@
+package pard
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// NewAPIHandler exposes the telemetry plane over HTTP — pardd's serving
+// surface:
+//
+//	GET /metrics                 Prometheus text exposition (0.0.4)
+//	GET /api/v1/series           pard-telemetry/v1 JSON (?prefix= filters)
+//	GET /api/v1/journal          pard-journal/v1 JSON (?since=<seq>&limit=<n>)
+//	GET /api/v1/journal/stream   NDJSON long-poll of journal events
+//
+// Every read runs through console.Do, the single executor goroutine
+// that owns the simulation, so scrapes are consistent snapshots even
+// while operators mutate policy over the console. Handlers render into
+// a buffer under Do and write the response outside it, keeping the
+// executor unblocked by slow clients.
+func NewAPIHandler(sys *System, console *Console) http.Handler {
+	mux := http.NewServeMux()
+
+	render := func(w http.ResponseWriter, contentType string, fn func(buf *bytes.Buffer) error) {
+		if sys.Telemetry == nil {
+			http.Error(w, "telemetry disabled (Config.Telemetry.Disable)", http.StatusServiceUnavailable)
+			return
+		}
+		var buf bytes.Buffer
+		var err error
+		if doErr := console.Do(func() { err = fn(&buf) }); doErr != nil {
+			http.Error(w, doErr.Error(), http.StatusServiceUnavailable)
+			return
+		}
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", contentType)
+		w.Write(buf.Bytes())
+	}
+
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		render(w, "text/plain; version=0.0.4; charset=utf-8", func(buf *bytes.Buffer) error {
+			return telemetry.WritePrometheus(buf, sys.Telemetry, sys.Journal)
+		})
+	})
+
+	mux.HandleFunc("/api/v1/series", func(w http.ResponseWriter, r *http.Request) {
+		prefix := r.URL.Query().Get("prefix")
+		render(w, "application/json", func(buf *bytes.Buffer) error {
+			return telemetry.WriteSeriesJSON(buf, sys.Telemetry, prefix)
+		})
+	})
+
+	mux.HandleFunc("/api/v1/journal", func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query()
+		since, err := parseUintParam(q.Get("since"), 0)
+		if err != nil {
+			http.Error(w, "bad since: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		limit64, err := parseUintParam(q.Get("limit"), 0)
+		if err != nil {
+			http.Error(w, "bad limit: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		render(w, "application/json", func(buf *bytes.Buffer) error {
+			return telemetry.WriteJournalJSON(buf, sys.Telemetry, sys.Journal, since, int(limit64))
+		})
+	})
+
+	mux.HandleFunc("/api/v1/journal/stream", func(w http.ResponseWriter, r *http.Request) {
+		if sys.Journal == nil {
+			http.Error(w, "telemetry disabled (Config.Telemetry.Disable)", http.StatusServiceUnavailable)
+			return
+		}
+		since, err := parseUintParam(r.URL.Query().Get("since"), 0)
+		if err != nil {
+			http.Error(w, "bad since: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		streamJournal(w, r, console, sys.Journal, since)
+	})
+
+	return mux
+}
+
+// streamJournal writes journal events as NDJSON, long-polling for new
+// ones until the client disconnects or the console closes. The poll
+// cadence is wall-clock (the journal only grows when a console command
+// advances the simulation).
+func streamJournal(w http.ResponseWriter, r *http.Request, console *Console, j *telemetry.Journal, since uint64) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-cache")
+	flusher, _ := w.(http.Flusher)
+
+	enc := json.NewEncoder(w)
+	var batch []telemetry.Event
+	cursor := since
+	for {
+		batch = batch[:0]
+		if err := console.Do(func() {
+			batch = j.Since(cursor, batch)
+		}); err != nil {
+			return
+		}
+		for _, ev := range batch {
+			if err := enc.Encode(ev); err != nil {
+				return
+			}
+			cursor = ev.Seq + 1
+		}
+		if len(batch) > 0 && flusher != nil {
+			flusher.Flush()
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+}
+
+func parseUintParam(s string, def uint64) (uint64, error) {
+	if s == "" {
+		return def, nil
+	}
+	v, err := strconv.ParseUint(s, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("%q is not a non-negative integer", s)
+	}
+	return v, nil
+}

@@ -31,6 +31,7 @@ import (
 	"repro/internal/policy"
 	"repro/internal/prm"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/workload"
 	"repro/internal/xbar"
@@ -114,6 +115,18 @@ type System struct {
 
 	Firmware *prm.Firmware
 
+	// Telemetry is the time-series registry scraping every plane stat
+	// and PRM counter; Journal the control-plane audit log. Both are nil
+	// when Config.Telemetry.Disable is set (all recording call sites are
+	// nil-safe).
+	Telemetry *telemetry.Registry
+	Journal   *telemetry.Journal
+
+	// ConsoleOrigin labels journal events caused by operator commands
+	// dispatched through this System (Sh, policy loads). Defaults to
+	// "console"; pardctl overrides it with "pardctl".
+	ConsoleOrigin string
+
 	// InterruptsByCore counts APIC deliveries per core.
 	InterruptsByCore []uint64
 }
@@ -187,6 +200,10 @@ func NewSystemOn(cfg Config, e *sim.Engine, ids *core.IDSource) *System {
 	if s.Xbar != nil {
 		s.Firmware.Mount(core.NewCPA(s.Xbar.Plane(), 5))
 	}
+	s.ConsoleOrigin = "console"
+	if !cfg.Telemetry.Disable {
+		s.attachTelemetry()
+	}
 	if cfg.TraceSample > 0 {
 		s.attachRecorder(cfg.TraceSample)
 	}
@@ -248,6 +265,11 @@ func (s *System) attachRecorder(sampleEvery uint64) {
 			if err != nil {
 				panic("pard: " + err.Error())
 			}
+			if s.Telemetry != nil {
+				s.Telemetry.AddPlaneGauge("cpa"+strconv.Itoa(hc.cpa), sp.name, func(ds core.DSID) float64 {
+					return float64(rec.Percentile(hop, ds, sp.service, sp.q))
+				})
+			}
 		}
 	}
 }
@@ -300,17 +322,21 @@ type LDomConfig struct {
 // control plane, tags the LDom's cores and routes its interrupts —
 // fully hardware-supported virtualization, no hypervisor (paper §7.1.1).
 func (s *System) CreateLDom(cfg LDomConfig) (*LDom, error) {
-	ld, err := s.Firmware.CreateLDom(prm.LDomSpec{
-		Name: cfg.Name, Cores: cfg.Cores,
-		MemBase: cfg.MemBase, MemSize: cfg.MemSize,
-		Priority: cfg.Priority, RowBuf: cfg.RowBuf,
-		MAC: cfg.MAC, NICBuf: cfg.NICBuf,
+	var ld *prm.LDom
+	var err error
+	s.Firmware.WithOrigin(s.originLabel(), func() {
+		ld, err = s.Firmware.CreateLDom(prm.LDomSpec{
+			Name: cfg.Name, Cores: cfg.Cores,
+			MemBase: cfg.MemBase, MemSize: cfg.MemSize,
+			Priority: cfg.Priority, RowBuf: cfg.RowBuf,
+			MAC: cfg.MAC, NICBuf: cfg.NICBuf,
+		})
+		if err == nil && cfg.DiskQuota != 0 {
+			s.IDE.Plane().SetParam(ld.DSID, iodev.ParamBandwidth, cfg.DiskQuota)
+		}
 	})
 	if err != nil {
 		return nil, err
-	}
-	if cfg.DiskQuota != 0 {
-		s.IDE.Plane().SetParam(ld.DSID, iodev.ParamBandwidth, cfg.DiskQuota)
 	}
 	return ld, nil
 }
@@ -321,14 +347,22 @@ func (s *System) CreateLDom(cfg LDomConfig) (*LDom, error) {
 // installed — on unknown names, conflicting rules or exhausted
 // trigger slots.
 func (s *System) LoadPolicy(name, source string) error {
-	return s.Firmware.LoadPolicy(name, source)
+	var err error
+	s.Firmware.WithOrigin(s.originLabel(), func() {
+		err = s.Firmware.LoadPolicy(name, source)
+	})
+	return err
 }
 
 // ReloadPolicy atomically replaces a loaded policy set with a new
 // source: the replacement is fully validated before the old rules are
 // torn down, so a bad reload leaves the running policy untouched.
 func (s *System) ReloadPolicy(name, source string) error {
-	return s.Firmware.ReloadPolicy(name, source)
+	var err error
+	s.Firmware.WithOrigin(s.originLabel(), func() {
+		err = s.Firmware.ReloadPolicy(name, source)
+	})
+	return err
 }
 
 // ApplyPolicyFile loads (or hot-reloads) a .pard policy file; the
@@ -338,7 +372,7 @@ func (s *System) ApplyPolicyFile(path string) error {
 	if err != nil {
 		return err
 	}
-	return s.Firmware.ReloadPolicy(policyNameFromPath(path), string(src))
+	return s.ReloadPolicy(policyNameFromPath(path), string(src))
 }
 
 // ValidatePolicyFile parses and typechecks a .pard policy file against
@@ -379,7 +413,24 @@ func (s *System) RunWorkload(coreID int, gen Workload) {
 func (s *System) Run(d Tick) { s.Engine.Run(s.Engine.Now() + d) }
 
 // Sh executes a firmware shell command (cat/echo/ls/tree/pardtrigger).
-func (s *System) Sh(cmd string) (string, error) { return s.Firmware.Sh(cmd) }
+// Parameter writes it causes are journaled under ConsoleOrigin.
+func (s *System) Sh(cmd string) (string, error) {
+	var out string
+	var err error
+	s.Firmware.WithOrigin(s.originLabel(), func() {
+		out, err = s.Firmware.Sh(cmd)
+	})
+	return out, err
+}
+
+// originLabel is the journal origin for operator commands entering
+// through this System.
+func (s *System) originLabel() string {
+	if s.ConsoleOrigin == "" {
+		return "console"
+	}
+	return s.ConsoleOrigin
+}
 
 // CPUUtilization returns the mean busy fraction across all cores.
 func (s *System) CPUUtilization() float64 {

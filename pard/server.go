@@ -39,6 +39,7 @@ type Console struct {
 
 type consoleCmd struct {
 	line  string
+	fn    func() // non-nil: run fn instead of dispatching line
 	reply chan consoleReply
 }
 
@@ -119,10 +120,31 @@ func (c *Console) execLoop() {
 		case <-c.quit:
 			return
 		case cmd := <-c.cmds:
+			if cmd.fn != nil {
+				cmd.fn()
+				cmd.reply <- consoleReply{}
+				break
+			}
 			out, err := Dispatch(c.sys, cmd.line)
 			cmd.reply <- consoleReply{out: out, err: err}
 		}
 	}
+}
+
+// Do runs fn on the executor goroutine — the only goroutine allowed to
+// touch the simulation — and returns once it completes. HTTP handlers
+// (the pardd /metrics and JSON endpoints) use it so concurrent scrapes
+// and console commands observe a consistent machine. Returns an error
+// without running fn when the console is shutting down.
+func (c *Console) Do(fn func()) error {
+	reply := make(chan consoleReply, 1)
+	select {
+	case <-c.quit:
+		return fmt.Errorf("console closed")
+	case c.cmds <- consoleCmd{fn: fn, reply: reply}:
+	}
+	<-reply
+	return nil
 }
 
 func (c *Console) acceptLoop() {

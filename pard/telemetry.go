@@ -1,0 +1,115 @@
+package pard
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+	"repro/internal/trace"
+)
+
+// attachTelemetry boots the telemetry plane: the audit journal, the
+// time-series registry scraping every mounted control plane's
+// statistics table, parameter-write observers on every plane, and the
+// firmware counter gauges. Called after the control planes are mounted
+// and before the flight recorder attaches (the recorder adds its
+// latency-percentile gauges onto the plane sources created here).
+//
+// Everything registered here only ever reads simulation state;
+// StateDigest is byte-identical with telemetry enabled or disabled.
+func (s *System) attachTelemetry() {
+	tcfg := s.Cfg.Telemetry
+	s.Journal = telemetry.NewJournal(s.Engine, tcfg.JournalCapacity)
+	s.Telemetry = telemetry.NewRegistry(s.Engine, tcfg.Interval, tcfg.SeriesCapacity)
+	s.Firmware.SetJournal(s.Journal)
+	s.Firmware.SetScraper(s.Telemetry)
+
+	for i := 0; ; i++ {
+		cpa, err := s.Firmware.CPA(i)
+		if err != nil {
+			break
+		}
+		name := fmt.Sprintf("cpa%d", i)
+		s.Telemetry.AddPlane(name, cpa.Plane)
+		plane := cpa.Plane
+		plane.SetParamObserver(func(ds core.DSID, pname string, old, new uint64) {
+			s.Journal.Record(telemetry.Event{
+				Kind:   telemetry.KindParamWrite,
+				Origin: s.Firmware.Origin(),
+				Plane:  name,
+				DS:     ds,
+				Name:   pname,
+				Old:    old,
+				New:    new,
+			})
+		})
+	}
+
+	s.Telemetry.AddGauge("prm.triggers_handled", func() float64 {
+		return float64(s.Firmware.TriggersHandled)
+	})
+	s.Telemetry.AddGauge("prm.triggers_suppressed", func() float64 {
+		return float64(s.Firmware.TriggersSuppressed)
+	})
+	s.Telemetry.AddGauge("prm.action_errors", func() float64 {
+		return float64(s.Firmware.ActionErrors)
+	})
+
+	s.Telemetry.Start()
+}
+
+// CounterTracks converts every telemetry series into a Perfetto
+// counter track for Recorder.WritePerfettoWith, so scraped plane
+// statistics render time-axis-aligned under the packet spans. Returns
+// nil when telemetry is disabled.
+func (s *System) CounterTracks() []trace.CounterTrack {
+	if s.Telemetry == nil {
+		return nil
+	}
+	var tracks []trace.CounterTrack
+	for _, ring := range s.Telemetry.Series() {
+		ct := trace.CounterTrack{Name: ring.Name()}
+		for i := 0; i < ring.Len(); i++ {
+			sm := ring.At(i)
+			ct.Points = append(ct.Points, trace.CounterPoint{Ts: sm.When, Value: sm.Value})
+		}
+		if len(ct.Points) > 0 {
+			tracks = append(tracks, ct)
+		}
+	}
+	return tracks
+}
+
+// ShardSeriesInto records a parallel rack's PDES runtime profiles into
+// a registry as "pdes.shard<i>.*" gauge samples stamped at the group's
+// current sim-time, plus group-level window counters. Call it between
+// Run chunks (never while the group executes) to build per-shard series
+// the ordinary export surfaces — /metrics, JSON dumps, Perfetto counter
+// tracks — render like any other telemetry.
+func ShardSeriesInto(reg *telemetry.Registry, g *sim.ShardGroup) {
+	now := g.Now()
+	rec := func(name string, v float64) {
+		ring := reg.Find(name)
+		if ring == nil {
+			ring = reg.AddGauge(name, func() float64 { return 0 })
+		}
+		ring.Record(now, v)
+	}
+	for i := 0; i < g.NumShards(); i++ {
+		p := g.Profile(i)
+		base := fmt.Sprintf("pdes.shard%d.", i)
+		rec(base+"events", float64(p.Events))
+		rec(base+"active_windows", float64(p.ActiveWindows))
+		rec(base+"cross_sends", float64(p.Sends))
+		rec(base+"mailbox_peak", float64(p.MailboxPeak))
+		rec(base+"run_ns", float64(p.RunNs))
+		rec(base+"wait_ns", float64(p.WaitNs))
+		if total := p.RunNs + p.WaitNs; total > 0 {
+			rec(base+"barrier_wait_share", float64(p.WaitNs)/float64(total))
+		}
+	}
+	rec("pdes.windows_run", float64(g.WindowsRun))
+	rec("pdes.cross_sends", float64(g.CrossSends))
+	rec("pdes.horizon_utilization", g.HorizonUtilization())
+}
