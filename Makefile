@@ -33,8 +33,10 @@ benchgate:
 	go run ./cmd/benchgate -baseline BENCH.json
 
 # Policy-language parser fuzzing: no panics on arbitrary input, and
-# parse -> print -> parse is a fixpoint. CI runs a 30s smoke; crank
+# parse -> print -> parse is a fixpoint — for both per-server policies
+# and cluster intent blocks. CI runs a 30s smoke of each; crank
 # FUZZTIME for longer local campaigns.
 FUZZTIME ?= 30s
 fuzz:
 	go test ./internal/policy -fuzz FuzzParsePolicy -fuzztime $(FUZZTIME)
+	go test ./internal/policy -fuzz FuzzParseIntent -fuzztime $(FUZZTIME)

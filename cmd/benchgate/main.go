@@ -1,8 +1,8 @@
 // Command benchgate holds the performance trajectory recorded in
 // BENCH.json: it re-measures the engine, LLC hit-path, DRAM pick,
-// PIFO pop and telemetry-scrape micro-benchmarks in-process (the exact
-// workloads cmd/pardbench records) and fails when the fresh numbers
-// regress against the committed record.
+// PIFO pop, telemetry-scrape and cluster-steady micro-benchmarks
+// in-process (the exact workloads cmd/pardbench records) and fails when
+// the fresh numbers regress against the committed record.
 //
 // Usage:
 //
@@ -37,12 +37,13 @@ import (
 // a zero section is skipped rather than failed so the gate can
 // bootstrap itself.
 type baselineDoc struct {
-	Schema          string      `json:"schema"`
-	Engine          bench.Micro `json:"engine"`
-	LLCHitPath      bench.Micro `json:"llc_hit_path"`
-	DramPick        bench.Micro `json:"dram_pick"`
-	PifoPop         bench.Micro `json:"pifo_pop"`
-	TelemetryScrape bench.Micro `json:"telemetry_scrape"`
+	Schema          string             `json:"schema"`
+	Engine          bench.Micro        `json:"engine"`
+	LLCHitPath      bench.Micro        `json:"llc_hit_path"`
+	DramPick        bench.Micro        `json:"dram_pick"`
+	PifoPop         bench.Micro        `json:"pifo_pop"`
+	TelemetryScrape bench.Micro        `json:"telemetry_scrape"`
+	ClusterSteady   bench.ClusterMicro `json:"cluster_steady"`
 }
 
 func main() {
@@ -72,9 +73,35 @@ func main() {
 	ok = gate("dram_pick", base.DramPick, bench.Best(*runs, bench.MeasureDRAMPick), *maxRegress) && ok
 	ok = gate("pifo_pop", base.PifoPop, bench.Best(*runs, bench.MeasurePIFOPop), *maxRegress) && ok
 	ok = gate("telemetry_scrape", base.TelemetryScrape, bench.Best(*runs, bench.MeasureTelemetryScrape), *maxRegress) && ok
+	ok = gateCluster(base.ClusterSteady, *runs, *maxRegress) && ok
 	if !ok {
 		os.Exit(1)
 	}
+}
+
+// gateCluster holds the cluster_steady section: the usual ns/op margin
+// plus an exact cross-rack frame-count comparison — that count is a
+// deterministic function of the reference topology and workload, so any
+// drift is a simulation-determinism regression, not machine noise.
+// Baselines recorded before the cluster plane landed have a zero
+// section and are skipped, like every other bootstrap.
+func gateCluster(base bench.ClusterMicro, runs int, maxRegress float64) bool {
+	if base.NsPerEvent == 0 {
+		fmt.Printf("benchgate: %-16s skipped: no committed record (regenerate BENCH.json with pardbench -json)\n", "cluster_steady")
+		return true
+	}
+	fresh, err := bench.BestCluster(runs)
+	if err != nil {
+		fmt.Printf("benchgate: %-16s FAIL: %v\n", "cluster_steady", err)
+		return false
+	}
+	ok := gate("cluster_steady", base.Micro, fresh.Micro, maxRegress)
+	if fresh.CrossRackFrames != base.CrossRackFrames {
+		fmt.Printf("benchgate: %-16s FAIL: %d cross-rack frames vs committed %d (must match exactly)\n",
+			"cluster_steady", fresh.CrossRackFrames, base.CrossRackFrames)
+		ok = false
+	}
+	return ok
 }
 
 // gate compares one fresh measurement against its committed record and

@@ -55,6 +55,7 @@ func main() {
 	tracePath := flag.String("trace", "", "file to write a Perfetto trace of a short two-LDom run into")
 	policyPath := flag.String("policy", "", "route the fig8/fig9 QoS rule through this .pard policy file instead of the built-in action")
 	shardsFlag := flag.String("shards", "", "comma-separated shard counts for the rack-scaling sweep (e.g. 1,2,4); first entry is the speedup baseline")
+	clusterFlag := flag.Bool("cluster", false, "run the cluster determinism smoke (4-rack leaf/spine at shards 1,2,4) instead of the figure sweep")
 	flag.Parse()
 
 	var llcGuardPolicy string
@@ -72,6 +73,16 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
+		return
+	}
+
+	if *clusterFlag {
+		block, err := runClusterSmoke()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Print(block)
 		return
 	}
 
@@ -259,7 +270,12 @@ type benchJSON struct {
 	// TelemetryScrape is one steady-state registry scrape over a booted
 	// server's series population; benchgate holds it at 0 allocs/scrape.
 	TelemetryScrape bench.Micro `json:"telemetry_scrape"`
-	Experiments     []expJSON   `json:"experiments"`
+	// ClusterSteady is one steady-state run of the reference 4-rack
+	// leaf/spine cluster: ns per engine event, simulated ticks per wall
+	// second, and the deterministic cross-rack frame count benchgate
+	// compares exactly.
+	ClusterSteady bench.ClusterMicro `json:"cluster_steady"`
+	Experiments   []expJSON          `json:"experiments"`
 	// RackParallel is the sharded-rack scaling curve; present only when
 	// -shards was given, so existing BENCH.json consumers see no change.
 	RackParallel *rackSweepJSON `json:"rack_parallel,omitempty"`
@@ -276,16 +292,21 @@ const benchRecordRuns = 5
 // ran. The micro-benchmarks live in internal/bench so cmd/benchgate
 // replays the identical workloads when gating this file.
 func writeBenchJSON(path, scale string, jobs []*job, rackSweep *rackSweepJSON) error {
+	clusterSteady, err := bench.BestCluster(benchRecordRuns)
+	if err != nil {
+		return fmt.Errorf("pardbench: %w", err)
+	}
 	doc := benchJSON{
-		Schema:         "pard-bench/v1",
-		Scale:          scale,
-		BaselineEngine: baselineEngine,
-		Engine:         bench.Best(benchRecordRuns, bench.MeasureEngine),
-		LLCHitPath:     bench.Best(benchRecordRuns, bench.MeasureLLCHitPath),
+		Schema:          "pard-bench/v1",
+		Scale:           scale,
+		BaselineEngine:  baselineEngine,
+		Engine:          bench.Best(benchRecordRuns, bench.MeasureEngine),
+		LLCHitPath:      bench.Best(benchRecordRuns, bench.MeasureLLCHitPath),
 		DramPick:        bench.Best(benchRecordRuns, bench.MeasureDRAMPick),
 		PifoPop:         bench.Best(benchRecordRuns, bench.MeasurePIFOPop),
 		TelemetryScrape: bench.Best(benchRecordRuns, bench.MeasureTelemetryScrape),
-		RackParallel:   rackSweep,
+		ClusterSteady:   clusterSteady,
+		RackParallel:    rackSweep,
 	}
 	for _, j := range jobs {
 		if h, ok := j.res.(exp.Headliner); ok {

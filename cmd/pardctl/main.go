@@ -22,8 +22,20 @@
 //
 // and on the telemetry plane, booting a contended demo server:
 //
-//	pardctl top [ms]        run the demo for ms (default 5) and print series
-//	pardctl journal [ms]    run the demo and print the control-plane audit log
+//	pardctl top [-server NAME] [ms]      run the demo for ms (default 5) and print series
+//	pardctl journal [-server NAME] [ms]  run the demo and print the control-plane audit log
+//
+// With -server the demo boots the reference 4-rack leaf/spine cluster
+// instead, rolls out the example memtier intent through the federated
+// controller, and prints the named member's view ("" for cluster-wide,
+// "cluster" under top for the aggregated series only).
+//
+// Cluster intents (§8: DS-ids beyond one machine) compile against the
+// same reference cluster:
+//
+//	pardctl intent validate <file.pard>...   compile intents against the live topology
+//	pardctl intent explain <file.pard>       print the per-server policies + switch writes
+//	pardctl intent apply <file.pard>...      roll out via the controller, run, report
 //
 // Example session:
 //
@@ -40,6 +52,7 @@ package main
 
 import (
 	"bufio"
+	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -54,6 +67,9 @@ import (
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "policy" {
 		os.Exit(policyMain(os.Args[2:]))
+	}
+	if len(os.Args) > 1 && os.Args[1] == "intent" {
+		os.Exit(intentMain(os.Args[2:]))
 	}
 	if len(os.Args) > 1 && (os.Args[1] == "top" || os.Args[1] == "journal") {
 		os.Exit(telemetryMain(os.Args[1], os.Args[2:]))
@@ -74,16 +90,33 @@ func bootSystem() *pard.System {
 }
 
 // telemetryMain drives `pardctl top` / `pardctl journal`: boot a
-// contended two-LDom demo, run it, and print the requested view.
+// contended two-LDom demo, run it, and print the requested view. With
+// -server the demo scales up to the reference cluster and the view
+// narrows to one member (or, with -server="", stays cluster-wide).
 func telemetryMain(view string, args []string) int {
+	fs := flag.NewFlagSet("pardctl "+view, flag.ContinueOnError)
+	server := fs.String("server", "", `cluster member to select (boots the reference 4-rack cluster; "" keeps the cluster-wide view)`)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	serverSet := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "server" {
+			serverSet = true
+		}
+	})
+	args = fs.Args()
 	ms := uint64(5)
 	if len(args) > 0 {
 		v, err := strconv.ParseUint(args[0], 10, 32)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "usage: pardctl %s [milliseconds]\n", view)
+			fmt.Fprintf(os.Stderr, "usage: pardctl %s [-server NAME] [milliseconds]\n", view)
 			return 2
 		}
 		ms = v
+	}
+	if serverSet {
+		return clusterTelemetry(view, *server, ms)
 	}
 	cfg := pard.DefaultConfig()
 	cfg.LLC.SizeBytes = 256 * 1024 // small LLC so contention shows fast

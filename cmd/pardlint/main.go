@@ -89,7 +89,7 @@ func main() {
 	// system so pardcheck sees the real control-plane schemas.
 	if wholeModule && !*noPolicy {
 		sys := pard.NewSystem(pard.DefaultConfig())
-		policyDiags, err := lint.CheckPolicyFiles(".", sys.Firmware.ValidatePolicy)
+		policyDiags, err := lint.CheckPolicyFiles(".", sys.Firmware.ValidatePolicy, sys.Firmware.PolicyRegistry())
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "pardlint:", err)
 			os.Exit(2)

@@ -1,0 +1,99 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/pard"
+)
+
+// ClusterMicro is the cluster_steady BENCH.json section: the shared
+// Micro timing fields (events here are engine events summed across the
+// cluster's shards) plus the cluster-specific determinism facts. The
+// frame count is a pure function of the topology and workload, so
+// cmd/benchgate compares it exactly — a drift is a determinism
+// regression, not noise.
+type ClusterMicro struct {
+	Micro
+	SimTicksPerSec  float64 `json:"sim_ticks_per_sec"`
+	CrossRackFrames uint64  `json:"cross_rack_frames"`
+}
+
+// clusterSteadyRacks et al. pin the reference measurement topology: the
+// same 4-rack × 2-server leaf/spine cluster the equivalence tests and
+// `pardbench -cluster` drive. Changing these invalidates the committed
+// cluster_steady record.
+const (
+	clusterSteadyRacks   = 4
+	clusterSteadyServers = 2
+	clusterSteadyFrames  = 25
+	clusterSteadyRun     = pard.Millisecond
+)
+
+// MeasureClusterSteady times one steady-state run of the reference
+// cluster: build it sequentially (Shards=1 — the measurement is the
+// per-event cost of the fabric-extended simulation, not the parallel
+// speedup, which BENCH.json's rack_parallel section already tracks),
+// drive the cross-rack workload for a fixed simulated window, and
+// normalize wall time by engine events executed. Allocation counts are
+// not measured — a whole-cluster run has warmup allocations by design —
+// so AllocsPerEvent stays zero and benchgate's alloc gate is inert for
+// this section.
+func MeasureClusterSteady() (ClusterMicro, error) {
+	scfg := pard.DefaultConfig()
+	scfg.Cores = 2 // small servers: the fabric, not the cores, is under test
+	c, err := pard.NewCluster(pard.ClusterConfig{
+		Racks:          clusterSteadyRacks,
+		ServersPerRack: clusterSteadyServers,
+		Shards:         1,
+		Server:         scfg,
+	})
+	if err != nil {
+		return ClusterMicro{}, fmt.Errorf("bench: cluster_steady: %w", err)
+	}
+	if err := pard.ProvisionClusterWorkload(c, clusterSteadyFrames); err != nil {
+		return ClusterMicro{}, fmt.Errorf("bench: cluster_steady: %w", err)
+	}
+	start := time.Now()
+	c.Run(clusterSteadyRun)
+	wall := time.Since(start)
+
+	var events uint64
+	for i := 0; i < c.Topo.Shards; i++ {
+		events += c.Group.Shard(i).Engine().Executed()
+	}
+	ns := float64(wall.Nanoseconds()) / float64(events)
+	return ClusterMicro{
+		Micro: Micro{
+			EventsPerSec: 1e9 / ns,
+			NsPerEvent:   ns,
+		},
+		SimTicksPerSec:  float64(clusterSteadyRun) / wall.Seconds(),
+		CrossRackFrames: c.CrossRackFrames(),
+	}, nil
+}
+
+// BestCluster is Best for the cluster measurement: fastest of n runs,
+// with the deterministic CrossRackFrames cross-checked between runs —
+// a mismatch means the simulation itself is not reproducible.
+func BestCluster(n int) (ClusterMicro, error) {
+	out, err := MeasureClusterSteady()
+	if err != nil {
+		return out, err
+	}
+	for i := 1; i < n; i++ {
+		m, err := MeasureClusterSteady()
+		if err != nil {
+			return out, err
+		}
+		if m.CrossRackFrames != out.CrossRackFrames {
+			return out, fmt.Errorf("bench: cluster_steady: cross-rack frames differ between runs (%d vs %d)",
+				m.CrossRackFrames, out.CrossRackFrames)
+		}
+		if m.NsPerEvent < out.NsPerEvent {
+			m.CrossRackFrames = out.CrossRackFrames
+			out = m
+		}
+	}
+	return out, nil
+}

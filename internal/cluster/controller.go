@@ -1,0 +1,256 @@
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/fabric"
+	"repro/internal/policy"
+	"repro/internal/prm"
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+)
+
+// Server is one federated member: a name the intent language can glob,
+// the server's PRM firmware handle, and its local telemetry surfaces.
+// Telemetry and Journal may be nil when the server runs with telemetry
+// disabled; the controller then skips it during aggregation.
+type Server struct {
+	Name      string
+	Firmware  *prm.Firmware
+	Telemetry *telemetry.Registry
+	Journal   *telemetry.Journal
+}
+
+// Controller federates the per-server PRMs of one cluster: it owns the
+// firmware handles, compiles intents against the live topology, pushes
+// the resulting per-server policies and switch parameter writes, and
+// aggregates server telemetry into cluster-level series. Every
+// cross-server action it takes is journaled — on the target server
+// through Firmware.WithOrigin, and in the controller's own journal —
+// under an origin=cluster:<intent> label.
+type Controller struct {
+	engine   *sim.Engine
+	topo     Topology
+	servers  []*Server
+	byName   map[string]*Server
+	switches map[string]*fabric.Switch
+
+	// Registry holds the aggregated series Collect builds:
+	// "<server>.<series>" per member plus summed "cluster.<series>",
+	// and per-switch forwarding counters. Journal records every
+	// ApplyIntent action.
+	Registry *telemetry.Registry
+	Journal  *telemetry.Journal
+
+	// Applied lists intent names in application order.
+	Applied []string
+}
+
+// NewController builds a controller stamping its journal and aggregated
+// series with e's clock (shard 0's engine for a sharded cluster; all
+// shards agree on time at the collection barriers where Collect runs).
+func NewController(e *sim.Engine, topo Topology) *Controller {
+	return &Controller{
+		engine:   e,
+		topo:     topo,
+		byName:   make(map[string]*Server),
+		switches: make(map[string]*fabric.Switch),
+		Registry: telemetry.NewRegistry(e, 0, 256),
+		Journal:  telemetry.NewJournal(e, 512),
+	}
+}
+
+// Topology returns the cluster shape the controller was built for.
+func (c *Controller) Topology() Topology { return c.topo }
+
+// AttachServer registers a federation member. Attachment order is the
+// topology's server order and fixes aggregation order.
+func (c *Controller) AttachServer(srv Server) error {
+	if srv.Name == "" || srv.Firmware == nil {
+		return fmt.Errorf("cluster: server needs a name and a firmware handle")
+	}
+	if _, dup := c.byName[srv.Name]; dup {
+		return fmt.Errorf("cluster: server %q already attached", srv.Name)
+	}
+	s := srv
+	c.servers = append(c.servers, &s)
+	c.byName[srv.Name] = &s
+	return nil
+}
+
+// AttachSwitch registers a fabric switch under the name intent-compiled
+// parameter writes address it by.
+func (c *Controller) AttachSwitch(name string, sw *fabric.Switch) error {
+	if name == "" || sw == nil {
+		return fmt.Errorf("cluster: switch needs a name and a handle")
+	}
+	if _, dup := c.switches[name]; dup {
+		return fmt.Errorf("cluster: switch %q already attached", name)
+	}
+	c.switches[name] = sw
+	return nil
+}
+
+// Server looks up a member by name.
+func (c *Controller) Server(name string) (*Server, bool) {
+	s, ok := c.byName[name]
+	return s, ok
+}
+
+// Servers returns the members in attachment order.
+func (c *Controller) Servers() []*Server { return c.servers }
+
+// SwitchNames returns the attached switch names, sorted.
+func (c *Controller) SwitchNames() []string { return core.SortedKeys(c.switches) }
+
+// IntentTopology exposes the live federation to the intent compiler:
+// each member's firmware as a policy.Registry, plus the switch names.
+func (c *Controller) IntentTopology() policy.IntentTopology {
+	t := policy.IntentTopology{Switches: c.SwitchNames()}
+	for _, s := range c.servers {
+		t.Servers = append(t.Servers, policy.IntentServer{
+			Name: s.Name,
+			Reg:  s.Firmware.PolicyRegistry(),
+		})
+	}
+	return t
+}
+
+// CompileIntents compiles a parsed intent file against the live
+// federation.
+func (c *Controller) CompileIntents(f *policy.File, opts policy.Options) ([]*policy.CompiledIntent, error) {
+	return policy.CompileIntents(f, c.IntentTopology(), opts)
+}
+
+// ApplyIntent pushes one compiled intent: each server policy loads (or
+// atomically swaps) through that server's firmware under the
+// cluster:<intent> origin, then each switch parameter write lands on
+// the named switch's control plane. Unbound switch writes — possible
+// only when the intent was compiled with AllowUnboundLDoms — are
+// skipped. Fails fast on the first server that rejects its policy;
+// servers already updated keep the new version, as with any partially
+// rolled out fleet change, and the journal records how far it got.
+func (c *Controller) ApplyIntent(ci *policy.CompiledIntent) error {
+	origin := "cluster:" + ci.Intent.Name
+	for _, sp := range ci.Policies {
+		srv, ok := c.byName[sp.Server]
+		if !ok {
+			return fmt.Errorf("cluster: intent %q targets unknown server %q", ci.Intent.Name, sp.Server)
+		}
+		var lerr error
+		srv.Firmware.WithOrigin(origin, func() {
+			lerr = srv.Firmware.ReloadPolicy(sp.Name, sp.Source)
+		})
+		if lerr != nil {
+			return fmt.Errorf("cluster: intent %q on server %s: %w", ci.Intent.Name, sp.Server, lerr)
+		}
+		c.Journal.Record(telemetry.Event{
+			Kind:   telemetry.KindPolicyLoad,
+			Origin: origin,
+			Name:   sp.Name,
+			Detail: "server " + sp.Server,
+		})
+	}
+	for _, w := range ci.SwitchWrites {
+		if w.Unbound {
+			continue
+		}
+		sw, ok := c.switches[w.Switch]
+		if !ok {
+			return fmt.Errorf("cluster: intent %q writes to unknown switch %q", ci.Intent.Name, w.Switch)
+		}
+		plane := sw.Plane()
+		plane.CreateRow(w.DSID)
+		old := plane.Param(w.DSID, w.Param)
+		plane.SetParam(w.DSID, w.Param, w.Value)
+		c.Journal.Record(telemetry.Event{
+			Kind:   telemetry.KindParamWrite,
+			Origin: origin,
+			Plane:  w.Switch,
+			DS:     w.DSID,
+			Name:   w.Param,
+			Old:    old,
+			New:    w.Value,
+		})
+	}
+	c.Applied = append(c.Applied, ci.Intent.Name)
+	return nil
+}
+
+// Collect aggregates every member's latest telemetry samples into the
+// controller registry: each series re-recorded as "<server>.<series>",
+// per-name sums as "cluster.<series>", and switch forwarding counters
+// as "<switch>.fwd_frames"/"<switch>.drops". Call it between Run
+// chunks, never while shards execute.
+func (c *Controller) Collect() {
+	now := c.engine.Now()
+	rec := func(name string, v float64) {
+		ring := c.Registry.Find(name)
+		if ring == nil {
+			ring = c.Registry.AddGauge(name, func() float64 { return 0 })
+		}
+		ring.Record(now, v)
+	}
+	sums := make(map[string]float64)
+	for _, s := range c.servers {
+		if s.Telemetry == nil {
+			continue
+		}
+		for _, ring := range s.Telemetry.Series() {
+			if ring.Len() == 0 {
+				continue
+			}
+			last := ring.At(ring.Len() - 1)
+			rec(s.Name+"."+ring.Name(), last.Value)
+			sums[ring.Name()] += last.Value
+		}
+	}
+	for _, name := range core.SortedKeys(sums) {
+		rec("cluster."+name, sums[name])
+	}
+	for _, name := range core.SortedKeys(c.switches) {
+		sw := c.switches[name]
+		rec(name+".fwd_frames", float64(sw.Forwarded))
+		rec(name+".drops", float64(sw.Dropped))
+	}
+}
+
+// TopText renders the aggregated series; a non-empty server name
+// narrows to that member's "<server>." slice (or "cluster." style
+// prefixes — any series prefix works).
+func (c *Controller) TopText(server string) string {
+	prefix := ""
+	if server != "" {
+		prefix = server + "."
+	}
+	return telemetry.TopText(c.Registry, prefix)
+}
+
+// JournalText renders the controller's own action journal, or — given
+// a server name — that member's local journal (every cross-server
+// action appears there too, labeled with its cluster:<intent> origin).
+func (c *Controller) JournalText(server string, n int) (string, error) {
+	if server == "" {
+		return telemetry.JournalText(c.Journal, n), nil
+	}
+	srv, ok := c.byName[server]
+	if !ok {
+		return "", fmt.Errorf("cluster: no server %q (have %s)", server, c.serverNames())
+	}
+	if srv.Journal == nil {
+		return "", fmt.Errorf("cluster: server %q runs with telemetry disabled", server)
+	}
+	return telemetry.JournalText(srv.Journal, n), nil
+}
+
+func (c *Controller) serverNames() string {
+	out := ""
+	for i, s := range c.servers {
+		if i > 0 {
+			out += ", "
+		}
+		out += s.Name
+	}
+	return out
+}

@@ -1,0 +1,145 @@
+// Package cluster is PARD's federation layer: a spine/leaf Topology
+// describing many racks behind a switch fabric, and a Controller that
+// owns every server's PRM firmware handle, aggregates their telemetry
+// into cluster-level series, and applies compiled intents — per-server
+// policy loads journaled under an origin=cluster:<intent> label plus
+// fabric parameter writes. It is the "SDN controller for computers"
+// the paper's §8 sketches; pard.Cluster composes it with the actual
+// simulated servers and fabric.
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Topology describes a spine/leaf cluster: Racks racks of
+// ServersPerRack servers, each rack behind one leaf switch, every leaf
+// linked to every spine. Zero-valued fields take defaults from
+// Normalize.
+type Topology struct {
+	Racks          int
+	ServersPerRack int
+	Spines         int
+
+	// RackLatency is the intra-rack link latency: server↔server ring
+	// links and server↔leaf uplinks. A rack always lives on one shard,
+	// so it may be smaller than the PDES lookahead window.
+	RackLatency sim.Tick
+
+	// FabricLatency is the leaf↔spine link latency. Cross-rack links
+	// cross shards, so it is also the conservative-PDES lookahead
+	// window a sharded run synchronizes on: it must be positive, and
+	// every cross-shard link latency must be >= it.
+	FabricLatency sim.Tick
+
+	// Shards is the ShardGroup width; 0 means one shard per rack.
+	Shards int
+}
+
+// DefaultFabricLatency is the leaf↔spine latency when unspecified:
+// one microsecond, matching pard.DefaultLinkLatency so a cluster's
+// lookahead window equals the sharded rack's.
+const DefaultFabricLatency = sim.Microsecond
+
+// Normalize fills defaults in place: 1 spine, DefaultFabricLatency,
+// one shard per rack.
+func (t *Topology) Normalize() {
+	if t.Spines == 0 {
+		t.Spines = 1
+	}
+	if t.FabricLatency == 0 {
+		t.FabricLatency = DefaultFabricLatency
+	}
+	if t.Shards == 0 {
+		t.Shards = t.Racks
+	}
+}
+
+// Validate checks the topology at wiring time, before any engine or
+// shard group exists. window is the PDES lookahead the cluster will
+// run on (the fabric latency itself for pard.Cluster); every
+// cross-shard link latency must reach it, and the error says so by
+// name rather than letting sim.Shard.Send panic mid-run.
+func (t Topology) Validate(window sim.Tick) error {
+	if t.Racks < 1 {
+		return fmt.Errorf("cluster: topology needs at least 1 rack, have %d", t.Racks)
+	}
+	if t.ServersPerRack < 1 {
+		return fmt.Errorf("cluster: topology needs at least 1 server per rack, have %d", t.ServersPerRack)
+	}
+	if t.Spines < 1 {
+		return fmt.Errorf("cluster: topology needs at least 1 spine, have %d", t.Spines)
+	}
+	if t.Shards < 1 || t.Shards > t.Racks {
+		return fmt.Errorf("cluster: shard count %d out of range [1, %d racks]", t.Shards, t.Racks)
+	}
+	if window <= 0 {
+		return fmt.Errorf("cluster: PDES lookahead window must be positive, have %v", window)
+	}
+	if t.FabricLatency < window {
+		return fmt.Errorf("cluster: fabric link latency %v is below the PDES lookahead window %v; cross-shard links need latency >= the window (raise FabricLatency or shrink the window)",
+			t.FabricLatency, window)
+	}
+	return nil
+}
+
+// NumServers returns the total server count.
+func (t Topology) NumServers() int { return t.Racks * t.ServersPerRack }
+
+// RackOf returns the rack a global server index belongs to.
+func (t Topology) RackOf(server int) int { return server / t.ServersPerRack }
+
+// ShardOfRack maps a rack onto a shard, round-robin.
+func (t Topology) ShardOfRack(rack int) int { return rack % t.Shards }
+
+// SpineFor returns the spine that carries traffic toward a rack: a
+// static ECMP-free assignment, so forwarding is deterministic.
+func (t Topology) SpineFor(rack int) int { return rack % t.Spines }
+
+// ServerName names a server: "rack<r>-srv<s>". Hyphenated so the name
+// is a single .pard identifier for `servers` globs.
+func (t Topology) ServerName(rack, srv int) string {
+	return fmt.Sprintf("rack%d-srv%d", rack, srv)
+}
+
+// LeafName names a rack's leaf switch.
+func (t Topology) LeafName(rack int) string { return fmt.Sprintf("leaf%d", rack) }
+
+// SpineName names a spine switch.
+func (t Topology) SpineName(spine int) string { return fmt.Sprintf("spine%d", spine) }
+
+// ConnectRing drives a pairwise link function over a ring: server i to
+// server (i+1) mod n. A two-server "ring" is the single link. Rack,
+// ParallelRack and the cluster's intra-rack wiring all share it.
+func ConnectRing(n int, link func(i, j int) error) error {
+	if n < 2 {
+		return fmt.Errorf("cluster: ring topology needs at least 2 servers, have %d", n)
+	}
+	for i := 0; i < n; i++ {
+		j := (i + 1) % n
+		if n == 2 && i == 1 {
+			break // both directions of the single link already exist
+		}
+		if err := link(i, j); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ConnectFullMesh drives a pairwise link function over every pair.
+func ConnectFullMesh(n int, link func(i, j int) error) error {
+	if n < 2 {
+		return fmt.Errorf("cluster: mesh topology needs at least 2 servers, have %d", n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if err := link(i, j); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -8,13 +8,16 @@ import (
 
 // PlaneType bytes, matching the paper's device-file "type" node:
 // cache ('C'), memory ('M'), I/O bridge ('B'), plus IDE ('I') and
-// NIC ('N') for the additional device control planes.
+// NIC ('N') for the additional device control planes, and switch ('S')
+// for the cluster fabric's ICN switches (paper §8: "integrate PARD and
+// SDN so that DS-id can be propagated in a data center wide").
 const (
 	PlaneTypeCache  byte = 'C'
 	PlaneTypeMemory byte = 'M'
 	PlaneTypeBridge byte = 'B'
 	PlaneTypeIDE    byte = 'I'
 	PlaneTypeNIC    byte = 'N'
+	PlaneTypeSwitch byte = 'S'
 )
 
 // Notification is the payload carried on a control plane's interrupt

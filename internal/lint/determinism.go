@@ -17,6 +17,8 @@ var simClocked = map[string]bool{
 	"internal/xbar":     true,
 	"internal/iodev":    true,
 	"internal/cpu":      true,
+	"internal/fabric":   true,
+	"internal/cluster":  true,
 	"internal/exp":      true,
 	"internal/workload": true,
 	"cmd/pardbench":     true,

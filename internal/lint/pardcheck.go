@@ -26,13 +26,31 @@ import (
 // platform assembly just to know the plane schemas.
 type PolicyCompiler func(filename, source string) (*policy.Program, error)
 
+// refIntentTopology is the synthetic cluster intent files are checked
+// against: two racks of two servers — every server presenting the
+// injected registry's plane schemas — behind a leaf/spine fabric. It
+// mirrors the reference topology `pardctl intent validate` boots.
+func refIntentTopology(reg policy.Registry) policy.IntentTopology {
+	return policy.IntentTopology{
+		Servers: []policy.IntentServer{
+			{Name: "rack0-srv0", Reg: reg},
+			{Name: "rack0-srv1", Reg: reg},
+			{Name: "rack1-srv0", Reg: reg},
+			{Name: "rack1-srv1", Reg: reg},
+		},
+		Switches: []string{"leaf0", "leaf1", "spine0"},
+	}
+}
+
 var pardIgnoreRe = regexp.MustCompile(`#\s*pardlint:ignore\s+([A-Za-z0-9_,]+)`)
 
 // CheckPolicyFiles compiles and abstractly interprets every .pard file
 // under root (skipping testdata and hidden directories) and returns
 // pardcheck diagnostics: compile failures plus policy.Lint findings
-// not covered by an ignore comment.
-func CheckPolicyFiles(root string, compile PolicyCompiler) ([]Diagnostic, error) {
+// not covered by an ignore comment. Files declaring intents compile
+// through the intent compiler against a synthetic reference cluster
+// built over reg (nil reg reports intent files as uncheckable).
+func CheckPolicyFiles(root string, compile PolicyCompiler, reg policy.Registry) ([]Diagnostic, error) {
 	var files []string
 	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
 		if err != nil {
@@ -57,7 +75,7 @@ func CheckPolicyFiles(root string, compile PolicyCompiler) ([]Diagnostic, error)
 
 	var out []Diagnostic
 	for _, path := range files {
-		diags, err := checkPolicyFile(path, compile)
+		diags, err := checkPolicyFile(path, compile, reg)
 		if err != nil {
 			return nil, err
 		}
@@ -67,7 +85,7 @@ func CheckPolicyFiles(root string, compile PolicyCompiler) ([]Diagnostic, error)
 	return out, nil
 }
 
-func checkPolicyFile(path string, compile PolicyCompiler) ([]Diagnostic, error) {
+func checkPolicyFile(path string, compile PolicyCompiler, reg policy.Registry) ([]Diagnostic, error) {
 	src, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
@@ -82,6 +100,12 @@ func checkPolicyFile(path string, compile PolicyCompiler) ([]Diagnostic, error) 
 			Pos:      token.Position{Filename: path, Line: pos.Line, Column: pos.Col},
 			Message:  msg,
 		}}
+	}
+
+	// Intent files take the cluster path: compile against the synthetic
+	// reference topology, then lint every emitted per-server program.
+	if f, perr := policy.Parse(filepath.Base(path), string(src)); perr == nil && len(f.Intents) > 0 {
+		return checkIntentFile(path, f, reg, report)
 	}
 
 	prog, err := compile(filepath.Base(path), string(src))
@@ -99,6 +123,41 @@ func checkPolicyFile(path string, compile PolicyCompiler) ([]Diagnostic, error) 
 	var out []Diagnostic
 	for _, issue := range policy.Lint(prog) {
 		out = append(out, report(issue.Pos, issue.Msg)...)
+	}
+	return out, nil
+}
+
+func checkIntentFile(path string, f *policy.File, reg policy.Registry, report func(policy.Pos, string) []Diagnostic) ([]Diagnostic, error) {
+	if reg == nil {
+		return report(policy.Pos{Line: 1, Col: 1}, "intent file cannot be checked without a control-plane registry"), nil
+	}
+	cis, err := policy.CompileIntents(f, refIntentTopology(reg), policy.Options{AllowUnboundLDoms: true})
+	if err != nil {
+		if pe, ok := err.(*policy.PosError); ok {
+			return report(pe.Pos, fmt.Sprintf("intent does not compile: %s", pe.Msg)), nil
+		}
+		return report(policy.Pos{Line: 1, Col: 1}, fmt.Sprintf("intent does not compile: %v", err)), nil
+	}
+	// Every server of the reference topology shares one registry, so
+	// the emitted programs — and their findings — are identical across
+	// servers; lint one per intent and dedupe by position and message.
+	var out []Diagnostic
+	seen := map[string]bool{}
+	for _, ci := range cis {
+		for _, sp := range ci.Policies {
+			for _, issue := range policy.Lint(sp.Program) {
+				key := fmt.Sprintf("%d:%d:%s", issue.Pos.Line, issue.Pos.Col, issue.Msg)
+				if seen[key] {
+					continue
+				}
+				seen[key] = true
+				// The emitted program's positions point into generated
+				// source; anchor the finding at the intent declaration.
+				out = append(out, report(ci.Intent.Pos,
+					fmt.Sprintf("intent %q lowers to a policy with findings: %s", ci.Intent.Name, issue.Msg))...)
+			}
+			break // identical across servers; one is enough
+		}
 	}
 	return out, nil
 }

@@ -5,20 +5,22 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/policy"
 	"repro/pard"
 )
 
 // livePolicyCompiler boots a default system so fixture policies
 // compile against the real control-plane schemas — the same registry
 // `pardlint ./...` and `pardctl policy validate` use.
-func livePolicyCompiler(t *testing.T) PolicyCompiler {
+func livePolicyCompiler(t *testing.T) (PolicyCompiler, policy.Registry) {
 	t.Helper()
 	sys := pard.NewSystem(pard.DefaultConfig())
-	return sys.Firmware.ValidatePolicy
+	return sys.Firmware.ValidatePolicy, sys.Firmware.PolicyRegistry()
 }
 
 func TestPardcheckFixtures(t *testing.T) {
-	diags, err := CheckPolicyFiles(filepath.Join("testdata", "policies"), livePolicyCompiler(t))
+	compile, reg := livePolicyCompiler(t)
+	diags, err := CheckPolicyFiles(filepath.Join("testdata", "policies"), compile, reg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -49,7 +51,8 @@ func TestPardcheckFixtures(t *testing.T) {
 // `pardlint ./...` enforces in CI. Fixture directories are skipped by
 // CheckPolicyFiles's testdata rule.
 func TestPolicyFilesCleanAtHead(t *testing.T) {
-	diags, err := CheckPolicyFiles(filepath.Join("..", ".."), livePolicyCompiler(t))
+	compile, reg := livePolicyCompiler(t)
+	diags, err := CheckPolicyFiles(filepath.Join("..", ".."), compile, reg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -15,6 +15,9 @@ var resourcePkgs = map[string]bool{
 	"internal/xbar":  true,
 	"internal/iodev": true,
 	"internal/cpu":   true,
+	// The switch fabric is a resource model too: its forwarding path
+	// reads weights and rate caps but never programs its own tables.
+	"internal/fabric": true,
 }
 
 // tableMutators are the (*core.Table) methods that change table

@@ -55,11 +55,78 @@ func errAt(pos Pos, format string, args ...any) error {
 	return &PosError{Pos: pos, Msg: fmt.Sprintf(format, args...)}
 }
 
-// File is a parsed policy: scheduler installations plus an ordered
-// list of rules.
+// File is a parsed policy: scheduler installations, an ordered list of
+// rules, and any cluster-level intent blocks. Intents never compile
+// through the plain per-server Compile path — CompileIntents lowers
+// them against a cluster topology into per-server rule sets.
 type File struct {
 	Schedules []*Schedule
 	Rules     []*Rule
+	Intents   []*Intent
+}
+
+// Intent is one cluster-level objective block:
+//
+//	intent memtier {
+//	    servers rack0-*;
+//	    target miss_rate <= 30% on llc;
+//	    protect ldom svc on cpa*;
+//	    fabric weight ldom svc = 4;
+//	}
+//
+// The intent compiler (CompileIntents) lowers it — against the
+// federated controller's live topology — into one concrete .pard
+// guard-rule set per matching server plus switch parameter writes.
+type Intent struct {
+	Pos  Pos
+	Name string
+
+	// Servers is the server-name glob of the `servers` clause; ""
+	// (clause absent) means every server.
+	Servers    string
+	ServersPos Pos
+
+	Targets  []*IntentTarget
+	Protects []*IntentProtect
+	Fabric   []*IntentFabric
+}
+
+// IntentTarget is one `target STAT CMP VALUE [on PLANE];` clause: the
+// objective the compiled guard rule defends. The comparison states the
+// desired envelope (lat <= 1ms); the lowered rule triggers on its
+// negation.
+type IntentTarget struct {
+	Pos     Pos
+	Stat    string
+	StatPos Pos
+	Op      core.CmpOp
+	Value   Literal  // threshold when !IsDur
+	IsDur   bool     // threshold spelled as a duration (1ms)
+	Dur     Duration // valid when IsDur
+	// Plane is the optional `on PLANE` ref; "" means resolve the plane
+	// by searching each server's registry for the statistic.
+	Plane    string
+	PlanePos Pos
+}
+
+// IntentProtect is one `protect ldom REF [on PLANEGLOB];` clause: the
+// LDom whose resources the compiled rules defend. Planes is a glob
+// over plane short names and cpaN spellings; "" means every plane.
+type IntentProtect struct {
+	Pos       Pos
+	LDom      LDomRef
+	Planes    string
+	PlanesPos Pos
+}
+
+// IntentFabric is one `fabric PARAM ldom REF = N;` clause: a switch
+// parameter write applied fabric-wide by the federated controller.
+type IntentFabric struct {
+	Pos      Pos
+	Param    string // "weight" or "rate_cap"
+	ParamPos Pos
+	LDom     LDomRef
+	Value    Literal
 }
 
 // Schedule is one `schedule <plane> <algorithm>` declaration: install
@@ -211,7 +278,8 @@ func CmpSymbol(op core.CmpOp) string {
 }
 
 // String renders the file in canonical form. Parsing the result yields
-// the same AST (the parse→print→parse fixpoint FuzzParsePolicy checks).
+// the same AST (the parse→print→parse fixpoint FuzzParsePolicy and
+// FuzzParseIntent check).
 func (f *File) String() string {
 	var b strings.Builder
 	for _, s := range f.Schedules {
@@ -225,6 +293,48 @@ func (f *File) String() string {
 		b.WriteString(r.String())
 		b.WriteByte('\n')
 	}
+	for i, in := range f.Intents {
+		if i > 0 || len(f.Schedules) > 0 || len(f.Rules) > 0 {
+			b.WriteByte('\n')
+		}
+		b.WriteString(in.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// String renders one intent block in canonical form: the servers
+// clause first, then targets, protects and fabric clauses in source
+// order within each kind.
+func (in *Intent) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "intent %s {\n", in.Name)
+	if in.Servers != "" {
+		fmt.Fprintf(&b, "    servers %s;\n", in.Servers)
+	}
+	for _, t := range in.Targets {
+		fmt.Fprintf(&b, "    target %s %s ", t.Stat, CmpSymbol(t.Op))
+		if t.IsDur {
+			b.WriteString(t.Dur.String())
+		} else {
+			b.WriteString(t.Value.Text)
+		}
+		if t.Plane != "" {
+			fmt.Fprintf(&b, " on %s", t.Plane)
+		}
+		b.WriteString(";\n")
+	}
+	for _, p := range in.Protects {
+		fmt.Fprintf(&b, "    protect ldom %s", p.LDom)
+		if p.Planes != "" {
+			fmt.Fprintf(&b, " on %s", p.Planes)
+		}
+		b.WriteString(";\n")
+	}
+	for _, fc := range in.Fabric {
+		fmt.Fprintf(&b, "    fabric %s ldom %s = %s;\n", fc.Param, fc.LDom, fc.Value.Text)
+	}
+	b.WriteString("}")
 	return b.String()
 }
 

@@ -71,6 +71,7 @@ var schedCatalogue = map[byte][]string{
 	core.PlaneTypeMemory: {"frfcfs", "pifo-frfcfs", "strict", "edf"},
 	core.PlaneTypeIDE:    {"drr", "pifo-drr"},
 	core.PlaneTypeCache:  {"fifo", "pifo-fifo"},
+	core.PlaneTypeSwitch: {"fifo", "wfq"},
 }
 
 // SchedAlgos returns the scheduling algorithms a plane type implements
@@ -237,6 +238,9 @@ type compiler struct {
 // Compile typechecks the file against the registry and lowers every
 // rule. All errors carry source positions.
 func Compile(f *File, reg Registry, opts Options) (*Program, error) {
+	if len(f.Intents) > 0 {
+		return nil, errAt(f.Intents[0].Pos, "intent %q targets a cluster, not one server: compile it with CompileIntents against a cluster topology (pardctl intent)", f.Intents[0].Name)
+	}
 	c := &compiler{reg: reg, opts: opts, planes: reg.Planes(), unbound: map[string]core.DSID{}}
 	prog := &Program{}
 	for _, s := range f.Schedules {

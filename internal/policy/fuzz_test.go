@@ -50,3 +50,48 @@ func FuzzParsePolicy(f *testing.F) {
 		}
 	})
 }
+
+// FuzzParseIntent is FuzzParsePolicy's sibling for the intent grammar:
+// no panics on arbitrary input, and parse∘print is a fixpoint. Seeds
+// are the shipped example intents plus inline corners of the block
+// syntax (globs, durations, clause ordering, unterminated blocks).
+func FuzzParseIntent(f *testing.F) {
+	seeds := []string{
+		"intent a { }",
+		"intent memtier { servers *; target miss_rate <= 30% on llc; protect ldom svc on cpa*; fabric weight ldom svc = 4; }",
+		"intent lat { target lat_p99 <= 1ms; protect ldom 1 on cpa*; }",
+		"intent x { servers rack0-*; target avg_qlat <= 12 on mem; protect ldom svc; }",
+		"intent caps { fabric rate_cap ldom batch = 100000000; fabric weight ldom 2 = 8; }",
+		"intent multi { target miss_rate <= 5% on llc; target avg_qlat <= 12 on mem; protect ldom svc on cpa*; }",
+		"intent dur { target lat_p99 <= 500 us; protect ldom svc; }",
+		"intent bad { servers ; }",          // missing glob
+		"intent open { target x <= 1",       // unterminated block
+		"intent semi { protect ldom svc }",  // missing ';'
+		"intent glob { servers ra*ck-*-9; protect ldom svc; target a != 0; }",
+		"intent mix { protect ldom svc; }\ncpa llc ldom web: when miss_rate > 1 => waymask = 1",
+	}
+	matches, _ := filepath.Glob(filepath.Join("..", "..", "examples", "intents", "*.pard"))
+	for _, m := range matches {
+		if src, err := os.ReadFile(m); err == nil {
+			seeds = append(seeds, string(src))
+		}
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+
+	f.Fuzz(func(t *testing.T, src string) {
+		file, err := Parse("fuzz.pard", src)
+		if err != nil {
+			return
+		}
+		printed := file.String()
+		again, err := Parse("fuzz.pard", printed)
+		if err != nil {
+			t.Fatalf("printed form does not re-parse: %v\nprinted:\n%s", err, printed)
+		}
+		if got := again.String(); got != printed {
+			t.Fatalf("print is not a fixpoint:\nfirst:\n%s\nsecond:\n%s", printed, got)
+		}
+	})
+}

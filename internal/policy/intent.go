@@ -1,0 +1,401 @@
+package policy
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// IntentServer is one server of the cluster topology an intent
+// compiles against: its name (matched by `servers` globs) and its
+// control-plane registry (the firmware's live mounts).
+type IntentServer struct {
+	Name string
+	Reg  Registry
+}
+
+// IntentTopology is the federated controller's view the intent
+// compiler lowers against: every attached server plus the fabric
+// switch names that receive `fabric` parameter writes.
+type IntentTopology struct {
+	Servers  []IntentServer
+	Switches []string
+}
+
+// ServerPolicy is one compiled per-server policy set: canonical .pard
+// source (what `pardctl intent explain` prints and the controller
+// loads) plus its compilation against that server's registry.
+type ServerPolicy struct {
+	Server  string
+	Name    string // policy-set name the firmware loads it under
+	Source  string
+	Program *Program
+}
+
+// SwitchWrite is one lowered fabric parameter write.
+type SwitchWrite struct {
+	Switch  string
+	LDom    LDomRef
+	DSID    core.DSID
+	Unbound bool // LDom unresolved under Options.AllowUnboundLDoms
+	Param   string
+	Value   uint64
+}
+
+// CompiledIntent is one intent lowered against a topology.
+type CompiledIntent struct {
+	Intent       *Intent
+	Servers      []string // matched server names, topology order
+	Policies     []ServerPolicy
+	SwitchWrites []SwitchWrite
+}
+
+// IntentFabricParams lists the switch parameters `fabric` clauses may
+// write. It mirrors internal/fabric's writable columns (asserted by
+// TestIntentFabricParamsMatchSwitch) without importing the package.
+var IntentFabricParams = []string{"weight", "rate_cap"}
+
+// intentKnob describes the resource knob the compiler programs on a
+// plane type when an objective on that plane is violated: the
+// protected LDom gets the protect value, every other LDom the squeeze
+// value. Values assume the default platform configuration (16-way LLC
+// masks, 0-15 memory priorities, percent IDE quotas).
+type intentKnob struct {
+	param   string
+	protect uint64
+	squeeze uint64
+	// spell renders a value in the conventional spelling for the
+	// parameter ("0xff00" for masks, "8" for priorities).
+	hex bool
+}
+
+var intentKnobs = map[byte]intentKnob{
+	core.PlaneTypeCache:  {param: "waymask", protect: 0xff00, squeeze: 0x00ff, hex: true},
+	core.PlaneTypeMemory: {param: "priority", protect: 8, squeeze: 0},
+	core.PlaneTypeIDE:    {param: "bandwidth", protect: 80, squeeze: 10},
+}
+
+// invertCmp negates an objective comparison: the intent states the
+// envelope the operator wants to hold (lat <= 1ms), the lowered guard
+// rule fires on its violation (lat > 1ms).
+func invertCmp(op core.CmpOp) core.CmpOp {
+	switch op {
+	case core.OpGT:
+		return core.OpLE
+	case core.OpGE:
+		return core.OpLT
+	case core.OpLT:
+		return core.OpGE
+	case core.OpLE:
+		return core.OpGT
+	case core.OpEQ:
+		return core.OpNE
+	default:
+		return core.OpEQ
+	}
+}
+
+// globMatch matches s against a pattern where '*' matches any run of
+// characters (including none). No other metacharacters exist.
+func globMatch(pat, s string) bool {
+	segs := strings.Split(pat, "*")
+	if len(segs) == 1 {
+		return pat == s
+	}
+	if !strings.HasPrefix(s, segs[0]) {
+		return false
+	}
+	s = s[len(segs[0]):]
+	for _, seg := range segs[1 : len(segs)-1] {
+		i := strings.Index(s, seg)
+		if i < 0 {
+			return false
+		}
+		s = s[i+len(seg):]
+	}
+	return strings.HasSuffix(s, segs[len(segs)-1])
+}
+
+// CompileIntents lowers every intent block of f against the topology:
+// for each intent, one guard-rule policy per matching server (compiled
+// and conflict-checked against that server's registry) plus the fabric
+// switch writes. Plain rules or schedules in the same file are
+// rejected — an intent file states cluster objectives only.
+func CompileIntents(f *File, topo IntentTopology, opts Options) ([]*CompiledIntent, error) {
+	if len(f.Intents) == 0 {
+		return nil, fmt.Errorf("policy: no intent blocks in file")
+	}
+	if len(f.Rules) > 0 {
+		return nil, errAt(f.Rules[0].Pos, "intent files must not mix per-server rules with intent blocks")
+	}
+	if len(f.Schedules) > 0 {
+		return nil, errAt(f.Schedules[0].Pos, "intent files must not mix schedule declarations with intent blocks")
+	}
+	if len(topo.Servers) == 0 {
+		return nil, fmt.Errorf("policy: intent topology has no servers")
+	}
+	var out []*CompiledIntent
+	names := map[string]Pos{}
+	for _, in := range f.Intents {
+		if prev, dup := names[in.Name]; dup {
+			return nil, errAt(in.Pos, "duplicate intent name %q (first declared at %v)", in.Name, prev)
+		}
+		names[in.Name] = in.Pos
+		ci, err := compileIntent(in, topo, opts)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ci)
+	}
+	return out, nil
+}
+
+func compileIntent(in *Intent, topo IntentTopology, opts Options) (*CompiledIntent, error) {
+	if len(in.Targets) == 0 && len(in.Fabric) == 0 {
+		return nil, errAt(in.Pos, "intent %q has no target or fabric clause: nothing to compile", in.Name)
+	}
+	if len(in.Targets) > 0 && len(in.Protects) == 0 {
+		return nil, errAt(in.Pos, "intent %q has targets but no 'protect ldom' clause naming the LDom to defend", in.Name)
+	}
+	ci := &CompiledIntent{Intent: in}
+	glob := in.Servers
+	if glob == "" {
+		glob = "*"
+	}
+	var matched []IntentServer
+	for _, srv := range topo.Servers {
+		if globMatch(glob, srv.Name) {
+			matched = append(matched, srv)
+			ci.Servers = append(ci.Servers, srv.Name)
+		}
+	}
+	if len(matched) == 0 {
+		return nil, errAt(in.ServersPos, "intent %q: servers glob %q matches no server in the topology", in.Name, glob)
+	}
+	for _, srv := range matched {
+		sp, err := compileIntentServer(in, srv, opts)
+		if err != nil {
+			return nil, err
+		}
+		if sp != nil {
+			ci.Policies = append(ci.Policies, *sp)
+		}
+	}
+	writes, err := compileIntentFabric(in, matched, topo, opts)
+	if err != nil {
+		return nil, err
+	}
+	ci.SwitchWrites = writes
+	return ci, nil
+}
+
+// compileIntentServer lowers an intent's targets into one guard-rule
+// policy for a single server, or nil when the intent has no targets.
+func compileIntentServer(in *Intent, srv IntentServer, opts Options) (*ServerPolicy, error) {
+	if len(in.Targets) == 0 {
+		return nil, nil
+	}
+	c := &compiler{reg: srv.Reg, opts: opts, planes: srv.Reg.Planes(), unbound: map[string]core.DSID{}}
+	lowered := &File{}
+	claimed := map[int]Pos{} // plane index -> claiming target, for clear errors
+	for _, t := range in.Targets {
+		pi, err := resolveTargetPlane(c, t, srv.Name)
+		if err != nil {
+			return nil, err
+		}
+		if prev, dup := claimed[pi.Index]; dup {
+			return nil, errAt(t.Pos, "intent %q: two targets resolve to plane %s on server %s (first at %v); each plane's knob can serve one objective", in.Name, pi.ShortName(), srv.Name, prev)
+		}
+		claimed[pi.Index] = t.Pos
+		knob, ok := intentKnobs[pi.Type]
+		if !ok {
+			return nil, errAt(t.Pos, "intent %q: plane %s on server %s has no resource knob the intent compiler can program", in.Name, pi.ShortName(), srv.Name)
+		}
+		prot, err := protectFor(in, pi)
+		if err != nil {
+			return nil, err
+		}
+		lowered.Rules = append(lowered.Rules, guardRule(in, t, pi, knob, prot))
+	}
+	src := lowered.String()
+	// Reparse the canonical text: the loaded artifact is the text, so
+	// the program must be compiled from exactly what will be loaded.
+	reparsed, err := Parse(fmt.Sprintf("intent:%s@%s", in.Name, srv.Name), src)
+	if err != nil {
+		return nil, fmt.Errorf("policy: internal error: lowered intent %q does not reparse: %w", in.Name, err)
+	}
+	prog, err := Compile(reparsed, srv.Reg, opts)
+	if err != nil {
+		return nil, fmt.Errorf("intent %q on server %s: %w", in.Name, srv.Name, err)
+	}
+	return &ServerPolicy{
+		Server:  srv.Name,
+		Name:    "intent-" + in.Name,
+		Source:  src,
+		Program: prog,
+	}, nil
+}
+
+// resolveTargetPlane resolves a target's plane: the explicit `on`
+// reference when present, else the unique plane carrying the
+// statistic.
+func resolveTargetPlane(c *compiler, t *IntentTarget, server string) (PlaneInfo, error) {
+	if t.Plane != "" {
+		pi, err := c.resolvePlane(t.Plane, t.PlanePos)
+		if err != nil {
+			return PlaneInfo{}, err
+		}
+		if columnIndex(pi.Stats, t.Stat) < 0 {
+			return PlaneInfo{}, errAt(t.StatPos, "plane %s (cpa%d) has no statistic %q (available: %s)",
+				pi.ShortName(), pi.Index, t.Stat, columnNames(pi.Stats))
+		}
+		return pi, nil
+	}
+	var found []PlaneInfo
+	for _, pi := range c.planes {
+		if columnIndex(pi.Stats, t.Stat) >= 0 {
+			found = append(found, pi)
+		}
+	}
+	switch len(found) {
+	case 0:
+		return PlaneInfo{}, errAt(t.StatPos, "no plane on server %s has a statistic %q", server, t.Stat)
+	case 1:
+		return found[0], nil
+	}
+	var names []string
+	for _, pi := range found {
+		names = append(names, pi.ShortName())
+	}
+	return PlaneInfo{}, errAt(t.StatPos, "statistic %q is ambiguous on server %s (planes %s): add 'on <plane>'",
+		t.Stat, server, strings.Join(names, ", "))
+}
+
+// protectFor finds the single protect clause covering a plane. The
+// clause's glob matches the plane short name or its cpaN spelling.
+func protectFor(in *Intent, pi PlaneInfo) (*IntentProtect, error) {
+	var match *IntentProtect
+	for _, pr := range in.Protects {
+		glob := pr.Planes
+		if glob == "" {
+			glob = "*"
+		}
+		if !globMatch(glob, pi.ShortName()) && !globMatch(glob, fmt.Sprintf("cpa%d", pi.Index)) {
+			continue
+		}
+		if match != nil {
+			return nil, errAt(pr.Pos, "intent %q: protect clauses for ldoms %s and %s both cover plane %s; a plane's knob defends one LDom",
+				in.Name, match.LDom, pr.LDom, pi.ShortName())
+		}
+		match = pr
+	}
+	if match == nil {
+		return nil, errAt(in.Pos, "intent %q: no protect clause covers plane %s (target requires one)", in.Name, pi.ShortName())
+	}
+	return match, nil
+}
+
+// guardRule builds the lowered rule AST for one target: watch the
+// objective statistic on the protected LDom's row and, when the
+// objective is violated, set the plane knob in the protected LDom's
+// favor while squeezing every other LDom.
+func guardRule(in *Intent, t *IntentTarget, pi PlaneInfo, knob intentKnob, prot *IntentProtect) *Rule {
+	threshold := t.Value
+	if t.IsDur {
+		// Duration thresholds compile to raw ticks (1 tick = 1 ps),
+		// the unit every latency statistic is stored in.
+		threshold = Literal{Text: fmt.Sprintf("%d", uint64(t.Dur.Ticks())), Uint: uint64(t.Dur.Ticks())}
+	}
+	return &Rule{
+		Name:      fmt.Sprintf("%s_%s", in.Name, pi.ShortName()),
+		Plane:     pi.ShortName(),
+		LDom:      prot.LDom,
+		Stat:      t.Stat,
+		Op:        invertCmp(t.Op),
+		Threshold: threshold,
+		Actions: []*Action{
+			{Target: TargetSelf, Param: knob.param, Op: AssignSet, Operand: knobLiteral(knob, knob.protect)},
+			{Target: TargetOthers, Param: knob.param, Op: AssignSet, Operand: knobLiteral(knob, knob.squeeze)},
+		},
+	}
+}
+
+func knobLiteral(knob intentKnob, v uint64) Literal {
+	if knob.hex {
+		return Literal{Text: fmt.Sprintf("%#04x", v), Uint: v}
+	}
+	return Literal{Text: fmt.Sprintf("%d", v), Uint: v}
+}
+
+// compileIntentFabric lowers the fabric clauses into per-switch
+// parameter writes, resolving each LDom name consistently across every
+// matched server.
+func compileIntentFabric(in *Intent, matched []IntentServer, topo IntentTopology, opts Options) ([]SwitchWrite, error) {
+	if len(in.Fabric) == 0 {
+		return nil, nil
+	}
+	if len(topo.Switches) == 0 {
+		return nil, errAt(in.Fabric[0].Pos, "intent %q has fabric clauses but the topology has no switches", in.Name)
+	}
+	var writes []SwitchWrite
+	for _, fc := range in.Fabric {
+		if !contains(IntentFabricParams, fc.Param) {
+			return nil, errAt(fc.ParamPos, "unknown fabric parameter %q (available: %s)", fc.Param, strings.Join(IntentFabricParams, ", "))
+		}
+		val, err := paramValue(fc.Param, fc.Value)
+		if err != nil {
+			return nil, err
+		}
+		ds, unbound, err := resolveClusterLDom(in, fc.LDom, matched, opts)
+		if err != nil {
+			return nil, err
+		}
+		for _, sw := range topo.Switches {
+			writes = append(writes, SwitchWrite{
+				Switch: sw, LDom: fc.LDom, DSID: ds, Unbound: unbound, Param: fc.Param, Value: val,
+			})
+		}
+	}
+	return writes, nil
+}
+
+// resolveClusterLDom maps an LDom reference to the DS-id it carries on
+// the fabric. Symbolic names must resolve to the same DS-id on every
+// matched server — the fabric tags frames with one DS-id cluster-wide,
+// so a name that aliases different ids per server is a topology error.
+func resolveClusterLDom(in *Intent, ref LDomRef, matched []IntentServer, opts Options) (core.DSID, bool, error) {
+	if ref.IsNum {
+		return core.DSID(ref.Num), false, nil
+	}
+	var ds core.DSID
+	var onServer string
+	found := false
+	for _, srv := range matched {
+		got, ok := srv.Reg.LDomByName(ref.Name)
+		if !ok {
+			continue
+		}
+		if found && got != ds {
+			return 0, false, errAt(ref.Pos, "intent %q: ldom %q resolves to DS-id %d on %s but %d on %s; fabric writes need one cluster-wide DS-id",
+				in.Name, ref.Name, ds, onServer, got, srv.Name)
+		}
+		ds, onServer, found = got, srv.Name, true
+	}
+	if !found {
+		if opts.AllowUnboundLDoms {
+			return syntheticDSIDBase, true, nil
+		}
+		return 0, false, errAt(ref.Pos, "intent %q: no matched server has an LDom named %q", in.Name, ref.Name)
+	}
+	return ds, false, nil
+}
+
+func contains(list []string, s string) bool {
+	for _, v := range list {
+		if v == s {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,195 @@
+package policy
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// intentTopo builds a 2-rack × 2-server topology over fakeReg, with
+// the "svc" LDom bound to DS-id 0 everywhere (the per-server firmware
+// allocates DS-ids from zero, so symbolic names resolve identically).
+func intentTopo() IntentTopology {
+	reg := &fakeReg{ldoms: map[string]core.DSID{"svc": 0, "batch": 1}, max: 1}
+	return IntentTopology{
+		Servers: []IntentServer{
+			{Name: "rack0-srv0", Reg: reg},
+			{Name: "rack0-srv1", Reg: reg},
+			{Name: "rack1-srv0", Reg: reg},
+			{Name: "rack1-srv1", Reg: reg},
+		},
+		Switches: []string{"leaf0", "leaf1", "spine0"},
+	}
+}
+
+func compileIntentSrc(t *testing.T, src string, opts Options) ([]*CompiledIntent, error) {
+	t.Helper()
+	f, err := Parse("test.pard", src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	return CompileIntents(f, intentTopo(), opts)
+}
+
+func TestCompileIntentLowersGuardRules(t *testing.T) {
+	cis, err := compileIntentSrc(t, `
+intent memtier {
+    servers *;
+    target miss_rate <= 30% on llc;
+    protect ldom svc on cpa*;
+    fabric weight ldom svc = 4;
+}
+`, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cis) != 1 {
+		t.Fatalf("got %d compiled intents, want 1", len(cis))
+	}
+	ci := cis[0]
+	if len(ci.Policies) != 4 {
+		t.Fatalf("got %d server policies, want 4", len(ci.Policies))
+	}
+	sp := ci.Policies[0]
+	if sp.Server != "rack0-srv0" || sp.Name != "intent-memtier" {
+		t.Fatalf("policy header: %+v", sp)
+	}
+	// The objective `<= 30%` lowers to a guard firing on its negation.
+	if !strings.Contains(sp.Source, "when miss_rate > 30%") {
+		t.Fatalf("lowered source missing inverted condition:\n%s", sp.Source)
+	}
+	if !strings.Contains(sp.Source, "waymask = 0xff00, others waymask = 0x00ff") {
+		t.Fatalf("lowered source missing cache knob writes:\n%s", sp.Source)
+	}
+	if len(sp.Program.Rules) != 1 {
+		t.Fatalf("compiled %d rules, want 1", len(sp.Program.Rules))
+	}
+	cr := sp.Program.Rules[0]
+	if cr.Op != core.OpGT || cr.Threshold != 300 {
+		t.Fatalf("lowered trigger: op=%v threshold=%d, want gt 300", cr.Op, cr.Threshold)
+	}
+	// One weight write per switch.
+	if len(ci.SwitchWrites) != 3 {
+		t.Fatalf("got %d switch writes, want 3", len(ci.SwitchWrites))
+	}
+	for _, w := range ci.SwitchWrites {
+		if w.Param != "weight" || w.Value != 4 || w.DSID != 0 || w.Unbound {
+			t.Fatalf("switch write: %+v", w)
+		}
+	}
+}
+
+func TestCompileIntentServerGlobScopes(t *testing.T) {
+	cis, err := compileIntentSrc(t, `
+intent edge {
+    servers rack0-*;
+    target avg_qlat <= 12 on mem;
+    protect ldom svc;
+}
+`, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cis[0].Servers; len(got) != 2 || got[0] != "rack0-srv0" || got[1] != "rack0-srv1" {
+		t.Fatalf("matched servers %v, want rack0's two", got)
+	}
+	if !strings.Contains(cis[0].Policies[0].Source, "priority = 8, others priority = 0") {
+		t.Fatalf("memory knob not lowered:\n%s", cis[0].Policies[0].Source)
+	}
+}
+
+func TestCompileIntentImplicitPlaneByStat(t *testing.T) {
+	// miss_rate exists only on the cache plane, so `on llc` is optional.
+	cis, err := compileIntentSrc(t, `
+intent implied {
+    target miss_rate <= 10% ;
+    protect ldom svc;
+}
+`, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(cis[0].Policies[0].Source, "cpa cache") {
+		t.Fatalf("implicit plane not resolved to cache:\n%s", cis[0].Policies[0].Source)
+	}
+}
+
+func TestCompileIntentErrors(t *testing.T) {
+	cases := []struct {
+		src, wantSub string
+	}{
+		{"intent a { target miss_rate <= 1%; }", "no 'protect ldom'"},
+		{"intent a { servers nomatch-*; target miss_rate <= 1%; protect ldom svc; }", "matches no server"},
+		{"intent a { protect ldom svc; }", "nothing to compile"},
+		{"intent a { target miss_rate <= 1%; target miss_rate <= 2% on cache; protect ldom svc; }", "two targets resolve to plane cache"},
+		{"intent a { target miss_rate <= 1%; protect ldom svc on mem; }", "no protect clause covers plane cache"},
+		{"intent a { target miss_rate <= 1%; protect ldom svc; protect ldom batch; }", "both cover plane cache"},
+		{"intent a { target nope <= 1; protect ldom svc; }", "no plane on server rack0-srv0 has a statistic"},
+		{"intent a { target miss_rate <= 1%; protect ldom ghost; }", `no LDom named "ghost" exists`},
+		{"intent a { fabric bogus ldom svc = 1; }", "unknown fabric parameter"},
+		{"intent a { fabric weight ldom ghost = 1; }", `no matched server has an LDom named "ghost"`},
+		{"intent a { fabric weight ldom svc = 1; }\nintent a { fabric weight ldom svc = 1; }", "duplicate intent name"},
+		{"intent a { fabric weight ldom svc = 1; }\ncpa llc ldom svc: when miss_rate > 1 => waymask = 1", "must not mix per-server rules"},
+		{"schedule mem edf\nintent a { fabric weight ldom svc = 1; }", "must not mix schedule declarations"},
+	}
+	for _, tc := range cases {
+		_, err := compileIntentSrc(t, tc.src, Options{})
+		if err == nil {
+			t.Errorf("CompileIntents(%q) succeeded, want error containing %q", tc.src, tc.wantSub)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantSub) {
+			t.Errorf("CompileIntents(%q) error %q, want substring %q", tc.src, err, tc.wantSub)
+		}
+	}
+	// The protect-ldom error above fires at per-server compile time;
+	// under AllowUnboundLDoms it validates instead.
+	cis, err := compileIntentSrc(t, "intent a { target miss_rate <= 1%; protect ldom ghost; }", Options{AllowUnboundLDoms: true})
+	if err != nil {
+		t.Fatalf("AllowUnboundLDoms validate failed: %v", err)
+	}
+	if ub := cis[0].Policies[0].Program.Unbound; len(ub) != 1 || ub[0] != "ghost" {
+		t.Fatalf("Unbound = %v, want [ghost]", ub)
+	}
+	cis, err = compileIntentSrc(t, "intent a { fabric weight ldom ghost = 1; }", Options{AllowUnboundLDoms: true})
+	if err != nil {
+		t.Fatalf("AllowUnboundLDoms fabric validate failed: %v", err)
+	}
+	if !cis[0].SwitchWrites[0].Unbound {
+		t.Fatalf("fabric write not marked unbound: %+v", cis[0].SwitchWrites[0])
+	}
+}
+
+func TestCompileRejectsIntentFiles(t *testing.T) {
+	f, err := Parse("test.pard", "intent a { protect ldom web; }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Compile(f, testReg(), Options{}); err == nil || !strings.Contains(err.Error(), "CompileIntents") {
+		t.Fatalf("Compile on an intent file: %v, want redirect to CompileIntents", err)
+	}
+}
+
+func TestGlobMatch(t *testing.T) {
+	cases := []struct {
+		pat, s string
+		want   bool
+	}{
+		{"*", "anything", true},
+		{"*", "", true},
+		{"rack0-*", "rack0-srv1", true},
+		{"rack0-*", "rack1-srv1", false},
+		{"*-srv0", "rack7-srv0", true},
+		{"ra*-*0", "rack1-srv0", true},
+		{"rack0-srv0", "rack0-srv0", true},
+		{"rack0-srv0", "rack0-srv1", false},
+		{"a*a", "aa", true},
+		{"a*a", "a", false},
+	}
+	for _, tc := range cases {
+		if got := globMatch(tc.pat, tc.s); got != tc.want {
+			t.Errorf("globMatch(%q, %q) = %v, want %v", tc.pat, tc.s, got, tc.want)
+		}
+	}
+}

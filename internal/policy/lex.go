@@ -17,6 +17,9 @@ const (
 	tokAddEq   // +=
 	tokSubEq   // -=
 	tokCmp     // > >= < <= == !=
+	tokLBrace  // {
+	tokRBrace  // }
+	tokSemi    // ;
 )
 
 func (k tokKind) String() string {
@@ -43,6 +46,12 @@ func (k tokKind) String() string {
 		return "'-='"
 	case tokCmp:
 		return "comparison operator"
+	case tokLBrace:
+		return "'{'"
+	case tokRBrace:
+		return "'}'"
+	case tokSemi:
+		return "';'"
 	}
 	return "token"
 }
@@ -105,8 +114,11 @@ func (lx *lexer) advance() byte {
 
 func isSpace(c byte) bool { return c == ' ' || c == '\t' || c == '\r' || c == '\n' }
 
+// isIdentStart accepts '*' so glob patterns in intent blocks — "*",
+// "cpa*", "rack0-*" — lex as ordinary identifiers; contexts that need a
+// plain name reject the wildcard during resolution, not lexing.
 func isIdentStart(c byte) bool {
-	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+	return c == '_' || c == '*' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
 }
 
 func isIdentCont(c byte) bool { return isIdentStart(c) || (c >= '0' && c <= '9') }
@@ -171,6 +183,12 @@ func (lx *lexer) next() (token, error) {
 		return token{kind: tokColon, text: ":", pos: pos}, nil
 	case ',':
 		return token{kind: tokComma, text: ",", pos: pos}, nil
+	case '{':
+		return token{kind: tokLBrace, text: "{", pos: pos}, nil
+	case '}':
+		return token{kind: tokRBrace, text: "}", pos: pos}, nil
+	case ';':
+		return token{kind: tokSemi, text: ";", pos: pos}, nil
 	case '=':
 		switch lx.peekByte() {
 		case '>':

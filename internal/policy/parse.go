@@ -2,6 +2,7 @@ package policy
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/core"
 )
@@ -22,6 +23,14 @@ func Parse(filename, src string) (*File, error) {
 				return nil, err
 			}
 			f.Schedules = append(f.Schedules, s)
+			continue
+		}
+		if p.isKw("intent") {
+			in, err := p.parseIntent()
+			if err != nil {
+				return nil, err
+			}
+			f.Intents = append(f.Intents, in)
 			continue
 		}
 		r, err := p.parseRule()
@@ -98,7 +107,7 @@ func describe(t token) string {
 func (p *parser) parseRule() (*Rule, error) {
 	start := p.peek()
 	if start.kind != tokIdent || (start.text != "rule" && start.text != "cpa") {
-		return nil, errAt(start.pos, "expected 'rule', 'cpa' or 'schedule' to start a declaration, found %s", describe(start))
+		return nil, errAt(start.pos, "expected 'rule', 'cpa', 'schedule' or 'intent' to start a declaration, found %s", describe(start))
 	}
 	r := &Rule{Pos: start.pos}
 	if p.isKw("rule") {
@@ -231,6 +240,156 @@ func (p *parser) parseSchedule() (*Schedule, error) {
 	}
 	s.Algo, s.AlgoPos = algo.text, algo.pos
 	return s, nil
+}
+
+// parseIntent parses one cluster-level intent block:
+//
+//	"intent" NAME "{" { clause ";" } "}"
+//	clause = "servers" GLOB
+//	       | "target" STAT CMP (LITERAL | DURATION) ["on" PLANE]
+//	       | "protect" "ldom" LDOM ["on" PLANEGLOB]
+//	       | "fabric" PARAM "ldom" LDOM "=" LITERAL
+func (p *parser) parseIntent() (*Intent, error) {
+	kw := p.next() // "intent", checked by the caller
+	in := &Intent{Pos: kw.pos}
+	name, err := p.expectIdent("intent name")
+	if err != nil {
+		return nil, err
+	}
+	if strings.ContainsRune(name.text, '*') {
+		return nil, errAt(name.pos, "intent name %q may not contain '*'", name.text)
+	}
+	in.Name = name.text
+	if _, err := p.expect(tokLBrace); err != nil {
+		return nil, err
+	}
+	for p.peek().kind != tokRBrace {
+		switch {
+		case p.isKw("servers"):
+			kw := p.next()
+			if in.Servers != "" {
+				return nil, errAt(kw.pos, "duplicate servers clause")
+			}
+			glob, err := p.expectIdent("server-name glob")
+			if err != nil {
+				return nil, err
+			}
+			in.Servers, in.ServersPos = glob.text, glob.pos
+		case p.isKw("target"):
+			t, err := p.parseIntentTarget()
+			if err != nil {
+				return nil, err
+			}
+			in.Targets = append(in.Targets, t)
+		case p.isKw("protect"):
+			pr, err := p.parseIntentProtect()
+			if err != nil {
+				return nil, err
+			}
+			in.Protects = append(in.Protects, pr)
+		case p.isKw("fabric"):
+			fc, err := p.parseIntentFabric()
+			if err != nil {
+				return nil, err
+			}
+			in.Fabric = append(in.Fabric, fc)
+		default:
+			return nil, errAt(p.peek().pos, "expected 'servers', 'target', 'protect', 'fabric' or '}' in intent block, found %s", describe(p.peek()))
+		}
+		if _, err := p.expect(tokSemi); err != nil {
+			return nil, err
+		}
+	}
+	p.next() // '}'
+	return in, nil
+}
+
+func (p *parser) parseIntentTarget() (*IntentTarget, error) {
+	kw := p.next() // "target"
+	t := &IntentTarget{Pos: kw.pos}
+	stat, err := p.expectIdent("statistic name")
+	if err != nil {
+		return nil, err
+	}
+	t.Stat, t.StatPos = stat.text, stat.pos
+	cmp, err := p.expect(tokCmp)
+	if err != nil {
+		return nil, err
+	}
+	if t.Op, err = core.ParseCmpOp(cmp.text); err != nil {
+		return nil, errAt(cmp.pos, "%v", err)
+	}
+	// A non-float integer followed by a duration unit is a duration
+	// threshold (1ms); anything else is an ordinary literal.
+	if n := p.peek(); n.kind == tokNumber && !n.isFloat {
+		if u := p.toks[p.i+1]; u.kind == tokIdent {
+			if _, isUnit := durationTicks[u.text]; isUnit {
+				if t.Dur, err = p.parseDuration(); err != nil {
+					return nil, err
+				}
+				t.IsDur = true
+			}
+		}
+	}
+	if !t.IsDur {
+		if t.Value, err = p.parseLiteral(); err != nil {
+			return nil, err
+		}
+	}
+	if p.isKw("on") {
+		p.next()
+		plane, pos, err := p.parsePlaneRef()
+		if err != nil {
+			return nil, err
+		}
+		t.Plane, t.PlanePos = plane, pos
+	}
+	return t, nil
+}
+
+func (p *parser) parseIntentProtect() (*IntentProtect, error) {
+	kw := p.next() // "protect"
+	pr := &IntentProtect{Pos: kw.pos}
+	if err := p.expectKw("ldom"); err != nil {
+		return nil, err
+	}
+	ref, err := p.parseLDomRef()
+	if err != nil {
+		return nil, err
+	}
+	pr.Pos, pr.LDom = kw.pos, ref
+	if p.isKw("on") {
+		p.next()
+		glob, err := p.expectIdent("plane glob")
+		if err != nil {
+			return nil, err
+		}
+		pr.Planes, pr.PlanesPos = glob.text, glob.pos
+	}
+	return pr, nil
+}
+
+func (p *parser) parseIntentFabric() (*IntentFabric, error) {
+	kw := p.next() // "fabric"
+	fc := &IntentFabric{Pos: kw.pos}
+	param, err := p.expectIdent("fabric parameter name")
+	if err != nil {
+		return nil, err
+	}
+	fc.Param, fc.ParamPos = param.text, param.pos
+	if err := p.expectKw("ldom"); err != nil {
+		return nil, err
+	}
+	if fc.LDom, err = p.parseLDomRef(); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokAssign); err != nil {
+		return nil, err
+	}
+	if fc.Value, err = p.parseLiteral(); err != nil {
+		return nil, err
+	}
+	return fc, nil
 }
 
 // parsePlaneRef accepts a plane alias ("llc", "mem", "cpa0") or a bare

@@ -117,7 +117,7 @@ func TestParseErrorsArePositionAccurate(t *testing.T) {
 		wantPos string // file:line[:col] prefix
 		wantSub string
 	}{
-		{"bogus", "test.pard:1:1", "expected 'rule', 'cpa' or 'schedule'"},
+		{"bogus", "test.pard:1:1", "expected 'rule', 'cpa', 'schedule' or 'intent'"},
 		{"cpa llc ldom web when miss_rate > 1 => waymask = 1", "test.pard:1:18", "expected ':'"},
 		{"cpa llc ldom web: when miss_rate >> 1 => waymask = 1", "test.pard:1:", "expected number"},
 		{"cpa llc ldom web: when miss_rate > 1 => waymask 1", "test.pard:1:", "expected '=', '+=' or '-='"},

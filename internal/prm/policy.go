@@ -70,6 +70,12 @@ func (r fwRegistry) LDomExists(ds core.DSID) bool {
 	return ok
 }
 
+// PolicyRegistry exposes the firmware's live control-plane and LDom
+// naming environment as a policy.Registry. The federated cluster
+// controller compiles intents against it; per-server policy loads use
+// it implicitly through LoadPolicy/ValidatePolicy.
+func (fw *Firmware) PolicyRegistry() policy.Registry { return fwRegistry{fw} }
+
 // ValidatePolicy parses and typechecks policy source against the
 // mounted planes without installing anything. LDom names that do not
 // exist yet are tolerated (they resolve at load time); statistic and

@@ -3,6 +3,7 @@ package pard
 import (
 	"fmt"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/iodev"
 	"repro/internal/sim"
@@ -93,7 +94,8 @@ func (r *ParallelRack) ConnectLatency(i, j int, latency Tick) error {
 		return fmt.Errorf("pard: bad rack link %d-%d", i, j)
 	}
 	if latency < r.window {
-		return fmt.Errorf("pard: link latency %v below lookahead window %v", latency, r.window)
+		return fmt.Errorf("pard: link %d-%d latency %v is below the PDES lookahead window: links need latency >= %v here, or a smaller LinkLatency when building the rack (Connect's zero-latency default only exists on the sequential Rack)",
+			i, j, latency, r.window)
 	}
 	k := linkKey{i, j}.normalize()
 	if r.links[k] {
@@ -119,12 +121,12 @@ func (r *ParallelRack) ConnectLatency(i, j int, latency Tick) error {
 // ConnectRing links server i to (i+1) mod n; ConnectFullMesh links
 // every pair. Both use the rack's link latency.
 func (r *ParallelRack) ConnectRing() error {
-	return connectRing(len(r.Servers), r.Connect)
+	return cluster.ConnectRing(len(r.Servers), r.Connect)
 }
 
 // ConnectFullMesh links every server pair at the rack's link latency.
 func (r *ParallelRack) ConnectFullMesh() error {
-	return connectFullMesh(len(r.Servers), r.Connect)
+	return cluster.ConnectFullMesh(len(r.Servers), r.Connect)
 }
 
 // Run advances the whole rack by d through barrier windows.

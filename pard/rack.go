@@ -3,6 +3,7 @@ package pard
 import (
 	"fmt"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/sim"
 )
@@ -75,50 +76,19 @@ func (r *Rack) addLink(i, j int) error {
 
 // ConnectRing links server i to server (i+1) mod n with the given
 // latency — the standard multi-server bench topology. A two-server
-// "ring" is the single link.
+// "ring" is the single link. The topology walk lives in
+// internal/cluster so Rack, ParallelRack and Cluster share it.
 func (r *Rack) ConnectRing(latency Tick) error {
-	return connectRing(len(r.Servers), func(i, j int) error {
+	return cluster.ConnectRing(len(r.Servers), func(i, j int) error {
 		return r.ConnectLatency(i, j, latency)
 	})
 }
 
 // ConnectFullMesh links every server pair with the given latency.
 func (r *Rack) ConnectFullMesh(latency Tick) error {
-	return connectFullMesh(len(r.Servers), func(i, j int) error {
+	return cluster.ConnectFullMesh(len(r.Servers), func(i, j int) error {
 		return r.ConnectLatency(i, j, latency)
 	})
-}
-
-// connectRing and connectFullMesh drive a pairwise link function over
-// the topology; Rack and ParallelRack share them.
-func connectRing(n int, link func(i, j int) error) error {
-	if n < 2 {
-		return fmt.Errorf("pard: ring topology needs at least 2 servers, have %d", n)
-	}
-	for i := 0; i < n; i++ {
-		j := (i + 1) % n
-		if n == 2 && i == 1 {
-			break // both directions of the single link already exist
-		}
-		if err := link(i, j); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-func connectFullMesh(n int, link func(i, j int) error) error {
-	if n < 2 {
-		return fmt.Errorf("pard: mesh topology needs at least 2 servers, have %d", n)
-	}
-	for i := 0; i < n; i++ {
-		for j := i + 1; j < n; j++ {
-			if err := link(i, j); err != nil {
-				return err
-			}
-		}
-	}
-	return nil
 }
 
 // Run advances the whole rack by d.
