@@ -7,6 +7,7 @@
 // Usage:
 //
 //	benchgate [-baseline BENCH.json] [-max-regress 0.10] [-runs 5]
+//	          [-speedup-floor 1.8] [-speedup-shards 4]
 //
 // Two gates, per benchmark section:
 //
@@ -19,7 +20,21 @@
 //     load-bearing invariant (hotalloc proves it statically; this gate
 //     proves it dynamically).
 //
-// Exit status: 0 when both sections hold, 1 on regression, 2 on a
+// Two further structural gates:
+//
+//   - engine_calendar: at every committed pending population the fresh
+//     calendar-queue measurement must hold exactly zero allocs/op, and
+//     from 100k pending on it must beat the fresh heap measurement
+//     head-to-head on this machine — the crossover is the point of the
+//     calendar queue, so losing it fails even if no trajectory
+//     regressed.
+//   - rack speedup: the 1-vs-N-shard rack sweep, measured fresh, must
+//     reach -speedup-floor at -speedup-shards shards. On a host with
+//     fewer CPUs than shards the number would be meaningless
+//     (time-sliced workers), so the gate skips with an explicit note;
+//     CI enforces it from a multi-core runner.
+//
+// Exit status: 0 when every gate holds, 1 on regression, 2 on a
 // missing or malformed baseline.
 package main
 
@@ -28,8 +43,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"repro/internal/bench"
+	"repro/internal/exp"
 )
 
 // baselineDoc is the slice of the pard-bench/v1 schema this gate reads.
@@ -44,12 +61,15 @@ type baselineDoc struct {
 	PifoPop         bench.Micro        `json:"pifo_pop"`
 	TelemetryScrape bench.Micro        `json:"telemetry_scrape"`
 	ClusterSteady   bench.ClusterMicro `json:"cluster_steady"`
+	EngineCalendar  []bench.QueuePoint `json:"engine_calendar"`
 }
 
 func main() {
 	baselinePath := flag.String("baseline", "BENCH.json", "committed benchmark record to gate against")
 	maxRegress := flag.Float64("max-regress", 0.10, "allowed fractional ns/op regression (0.10 = +10%)")
 	runs := flag.Int("runs", 5, "fresh measurements per benchmark; the best one is compared")
+	speedupFloor := flag.Float64("speedup-floor", 1.8, "minimum wall-clock speedup the rack sweep must reach at -speedup-shards shards; 0 disables the gate")
+	speedupShards := flag.Int("speedup-shards", 4, "shard count the speedup floor applies to")
 	flag.Parse()
 
 	raw, err := os.ReadFile(*baselinePath)
@@ -74,9 +94,80 @@ func main() {
 	ok = gate("pifo_pop", base.PifoPop, bench.Best(*runs, bench.MeasurePIFOPop), *maxRegress) && ok
 	ok = gate("telemetry_scrape", base.TelemetryScrape, bench.Best(*runs, bench.MeasureTelemetryScrape), *maxRegress) && ok
 	ok = gateCluster(base.ClusterSteady, *runs, *maxRegress) && ok
+	ok = gateQueueCurve(base.EngineCalendar, *runs, *maxRegress) && ok
+	ok = gateSpeedup(*speedupFloor, *speedupShards, *runs) && ok
 	if !ok {
 		os.Exit(1)
 	}
+}
+
+// gateQueueCurve holds the engine_calendar section: per committed
+// pending population, the fresh calendar measurement is gated on the
+// usual ns/op trajectory, on an exact-zero allocation count, and — from
+// 100k pending on — on beating the fresh heap measurement head-to-head.
+// Both disciplines are measured fresh on this machine, so the crossover
+// comparison is wall-clock-noise-free in the way committed-vs-fresh
+// comparisons are not.
+func gateQueueCurve(base []bench.QueuePoint, runs int, maxRegress float64) bool {
+	if len(base) == 0 {
+		fmt.Printf("benchgate: %-16s skipped: baseline has no engine_calendar section — regenerate BENCH.json with `pardbench -run all -scale quick -shards 1,2,4 -json BENCH.json` to commit the queue crossover curve\n",
+			"engine_calendar")
+		return true
+	}
+	ok := true
+	for _, b := range base {
+		fresh := bench.BestQueuePoint(runs, b.Pending)
+		name := fmt.Sprintf("engine_cal/%dk", b.Pending/1000)
+		ok = gate(name, b.Calendar, fresh.Calendar, maxRegress) && ok
+		if fresh.Calendar.AllocsPerEvent != 0 {
+			fmt.Printf("benchgate: %-16s FAIL: calendar steady state allocates (%.2f allocs/op; must be exactly 0)\n",
+				name, fresh.Calendar.AllocsPerEvent)
+			ok = false
+		}
+		if b.Pending >= 100_000 && fresh.Calendar.NsPerEvent >= fresh.Heap.NsPerEvent {
+			fmt.Printf("benchgate: %-16s FAIL: calendar %.2f ns/op does not beat heap %.2f at %d pending\n",
+				name, fresh.Calendar.NsPerEvent, fresh.Heap.NsPerEvent, b.Pending)
+			ok = false
+		}
+	}
+	return ok
+}
+
+// gateSpeedup re-measures the 1-vs-N-shard rack sweep and requires the
+// best observed speedup to reach the committed floor. The floor is only
+// meaningful when each shard's worker can own a CPU, so a smaller host
+// skips with an explicit note instead of recording a meaningless
+// failure; CI runs this gate from a multi-core runner.
+func gateSpeedup(floor float64, shards, runs int) bool {
+	const name = "rack_speedup"
+	if floor <= 0 {
+		fmt.Printf("benchgate: %-16s skipped: -speedup-floor 0 disables the multi-core speedup gate\n", name)
+		return true
+	}
+	if cpus := runtime.NumCPU(); cpus < shards {
+		fmt.Printf("benchgate: %-16s skipped: host has %d CPU(s) < %d shards — %d-shard wall clock would measure time-slicing, not scaling; CI's multi-core job enforces the %.2fx floor\n",
+			name, cpus, shards, shards, floor)
+		return true
+	}
+	best := 0.0
+	for i := 0; i < runs; i++ {
+		sweep, err := bench.MeasureRackSweep([]int{1, shards}, exp.Quick)
+		if err != nil {
+			fmt.Printf("benchgate: %-16s FAIL: %v\n", name, err)
+			return false
+		}
+		if s := sweep.Points[1].SpeedupVs1; s > best {
+			best = s
+		}
+	}
+	if best < floor {
+		fmt.Printf("benchgate: %-16s FAIL: best of %d runs reached %.2fx at %d shards on %d CPUs, below the committed %.2fx floor\n",
+			name, runs, best, shards, runtime.NumCPU(), floor)
+		return false
+	}
+	fmt.Printf("benchgate: %-16s ok: %.2fx at %d shards on %d CPUs (floor %.2fx)\n",
+		name, best, shards, runtime.NumCPU(), floor)
+	return true
 }
 
 // gateCluster holds the cluster_steady section: the usual ns/op margin
@@ -108,7 +199,7 @@ func gateCluster(base bench.ClusterMicro, runs int, maxRegress float64) bool {
 // prints a verdict line; it returns false on regression.
 func gate(name string, base, fresh bench.Micro, maxRegress float64) bool {
 	if base.NsPerEvent == 0 {
-		fmt.Printf("benchgate: %-16s skipped: no committed record (regenerate BENCH.json with pardbench -json)\n", name)
+		fmt.Printf("benchgate: %-16s skipped: baseline has no %s section (regenerate BENCH.json with pardbench -json)\n", name, name)
 		return true
 	}
 	ratio := fresh.NsPerEvent/base.NsPerEvent - 1

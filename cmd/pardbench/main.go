@@ -39,6 +39,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"sync"
 
 	"repro/internal/bench"
@@ -56,7 +57,33 @@ func main() {
 	policyPath := flag.String("policy", "", "route the fig8/fig9 QoS rule through this .pard policy file instead of the built-in action")
 	shardsFlag := flag.String("shards", "", "comma-separated shard counts for the rack-scaling sweep (e.g. 1,2,4); first entry is the speedup baseline")
 	clusterFlag := flag.Bool("cluster", false, "run the cluster determinism smoke (4-rack leaf/spine at shards 1,2,4) instead of the figure sweep")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file (pprof format)")
+	memProfile := flag.String("memprofile", "", "write a heap profile at exit to this file (pprof format)")
 	flag.Parse()
+
+	// Profiles cover everything the invocation runs — experiments, rack
+	// sweep, JSON recording — so a CI artifact shows where sweep time
+	// goes. Profiling never touches stdout or simulation state; on an
+	// error exit the profile is simply left unflushed.
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pardbench:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "pardbench:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			if err := writeMemProfile(*memProfile); err != nil {
+				fmt.Fprintln(os.Stderr, "pardbench:", err)
+			}
+		}()
+	}
 
 	var llcGuardPolicy string
 	if *policyPath != "" {
@@ -161,7 +188,7 @@ func main() {
 		fmt.Printf("---- %s done ----\n\n", j.name)
 	}
 
-	var rackSweep *rackSweepJSON
+	var rackSweep *bench.RackSweep
 	if *shardsFlag != "" {
 		counts, err := parseShards(*shardsFlag)
 		if err != nil {
@@ -229,6 +256,21 @@ func writeTrace(path string) error {
 	return nil
 }
 
+// writeMemProfile snapshots the heap profile after a final GC, so the
+// artifact shows live steady-state allocations rather than garbage.
+func writeMemProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	runtime.GC()
+	err = pprof.WriteHeapProfile(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
 // job is one experiment: its runner, then its result and rendered output.
 type job struct {
 	name string
@@ -275,10 +317,15 @@ type benchJSON struct {
 	// second, and the deterministic cross-rack frame count benchgate
 	// compares exactly.
 	ClusterSteady bench.ClusterMicro `json:"cluster_steady"`
-	Experiments   []expJSON          `json:"experiments"`
+	// EngineCalendar is the queue-discipline crossover curve: heap vs
+	// calendar ns/event at each pending population. benchgate requires
+	// the calendar to win the head-to-head from 100k pending on and to
+	// hold exactly zero allocations per event at every point.
+	EngineCalendar []bench.QueuePoint `json:"engine_calendar"`
+	Experiments    []expJSON          `json:"experiments"`
 	// RackParallel is the sharded-rack scaling curve; present only when
 	// -shards was given, so existing BENCH.json consumers see no change.
-	RackParallel *rackSweepJSON `json:"rack_parallel,omitempty"`
+	RackParallel *bench.RackSweep `json:"rack_parallel,omitempty"`
 }
 
 // benchRecordRuns is how many times each gated micro-benchmark is
@@ -291,10 +338,14 @@ const benchRecordRuns = 5
 // experiment's headline metrics, and the rack scaling sweep when one
 // ran. The micro-benchmarks live in internal/bench so cmd/benchgate
 // replays the identical workloads when gating this file.
-func writeBenchJSON(path, scale string, jobs []*job, rackSweep *rackSweepJSON) error {
+func writeBenchJSON(path, scale string, jobs []*job, rackSweep *bench.RackSweep) error {
 	clusterSteady, err := bench.BestCluster(benchRecordRuns)
 	if err != nil {
 		return fmt.Errorf("pardbench: %w", err)
+	}
+	var queueCurve []bench.QueuePoint
+	for _, pending := range bench.QueueCurvePendings {
+		queueCurve = append(queueCurve, bench.BestQueuePoint(benchRecordRuns, pending))
 	}
 	doc := benchJSON{
 		Schema:          "pard-bench/v1",
@@ -306,6 +357,7 @@ func writeBenchJSON(path, scale string, jobs []*job, rackSweep *rackSweepJSON) e
 		PifoPop:         bench.Best(benchRecordRuns, bench.MeasurePIFOPop),
 		TelemetryScrape: bench.Best(benchRecordRuns, bench.MeasureTelemetryScrape),
 		ClusterSteady:   clusterSteady,
+		EngineCalendar:  queueCurve,
 		RackParallel:    rackSweep,
 	}
 	for _, j := range jobs {

@@ -1,0 +1,96 @@
+package bench
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// QueuePoint is one head-to-head engine-queue measurement at a fixed
+// pending-event population — one entry of BENCH.json's engine_calendar
+// curve. Both disciplines run the identical workload back to back in
+// the same process, so the comparison sees the same machine state.
+type QueuePoint struct {
+	Pending  int   `json:"pending"`
+	Heap     Micro `json:"heap"`
+	Calendar Micro `json:"calendar"`
+}
+
+// QueueCurvePendings is the committed curve's populations. benchgate
+// requires the calendar queue to win the head-to-head from 100k pending
+// on, and to hold exactly zero allocations per event at every point.
+var QueueCurvePendings = []int{1_000, 100_000, 1_000_000}
+
+// queueSteadySteps is the timed Step count per measurement: large
+// enough that per-lap effects (bucket window slides, retunes) are
+// sampled at their steady-state frequency for every curve point.
+const queueSteadySteps = 1 << 20
+
+// queueTick keeps the pending population constant: each execution
+// reschedules itself one full period ahead, so every Step pops one
+// event and pushes one at the population's far edge — the access
+// pattern that sinks a binary heap (log n touches over a cold array)
+// and that the calendar's bucket ring turns into an append.
+type queueTick struct {
+	e      *sim.Engine
+	period sim.Tick
+}
+
+func (t *queueTick) RunEvent() { t.e.ScheduleEventer(t.period, t) }
+
+// measureQueueSteady builds an engine on the given queue with `pending`
+// events spaced one tick apart, drains it to steady state (slice
+// capacities grown, calendar bucket width retuned), then measures
+// allocations and wall time per Step. Timing is explicit time.Now
+// arithmetic rather than testing.Benchmark: the benchmark harness
+// re-runs setup per calibration round, and at a million pending events
+// setup would dominate the measurement.
+func measureQueueSteady(kind sim.QueueKind, pending int) Micro {
+	e := sim.NewEngine(sim.WithQueue(kind))
+	tick := &queueTick{e: e, period: sim.Tick(pending)}
+	for i := 0; i < pending; i++ {
+		e.ScheduleEventer(sim.Tick(i+1), tick)
+	}
+	// Two full laps of the population, plus several calendar retune
+	// periods so the bucket width has converged before anything counts.
+	e.Drain(uint64(pending)*2 + 1<<15)
+	allocs := testing.AllocsPerRun(512, func() { e.Step() })
+	start := time.Now()
+	for i := 0; i < queueSteadySteps; i++ {
+		e.Step()
+	}
+	ns := float64(time.Since(start).Nanoseconds()) / float64(queueSteadySteps)
+	return Micro{
+		EventsPerSec:   1e9 / ns,
+		NsPerEvent:     ns,
+		AllocsPerEvent: allocs,
+	}
+}
+
+// MeasureQueuePoint measures both queue disciplines at one population.
+func MeasureQueuePoint(pending int) QueuePoint {
+	return QueuePoint{
+		Pending:  pending,
+		Heap:     measureQueueSteady(sim.Heap, pending),
+		Calendar: measureQueueSteady(sim.Calendar, pending),
+	}
+}
+
+// BestQueuePoint keeps, per discipline, the fastest of n measurements —
+// the same minimum-of-N noise-floor estimator Best uses — while
+// AllocsPerEvent comes from whichever run won (it is identical across
+// runs by construction; the zero-alloc gate would catch drift).
+func BestQueuePoint(n, pending int) QueuePoint {
+	out := MeasureQueuePoint(pending)
+	for i := 1; i < n; i++ {
+		m := MeasureQueuePoint(pending)
+		if m.Heap.NsPerEvent < out.Heap.NsPerEvent {
+			out.Heap = m.Heap
+		}
+		if m.Calendar.NsPerEvent < out.Calendar.NsPerEvent {
+			out.Calendar = m.Calendar
+		}
+	}
+	return out
+}

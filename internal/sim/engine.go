@@ -54,7 +54,10 @@ type event struct {
 	ev   Eventer
 }
 
-// before orders events by (time, scheduling order).
+// before orders events by (time, scheduling order). The pair is unique
+// per event — seq is a strictly increasing per-engine counter — so the
+// order is total, and every queue implementation that pops by it yields
+// the identical schedule.
 func (a *event) before(b *event) bool {
 	if a.when != b.when {
 		return a.when < b.when
@@ -62,35 +65,107 @@ func (a *event) before(b *event) bool {
 	return a.seq < b.seq
 }
 
+// evqueue is the engine's pending-event store: the contract both the
+// binary heap and the calendar queue implement. pop returns the
+// (when, seq)-minimal entry; peek returns its timestamp without
+// removing it (implementations may reorganize internally — peek must
+// not change the pop sequence). The engine owns seq assignment and
+// past-time clamping, so implementations only ever order and store.
+type evqueue interface {
+	push(ev event)
+	pop() event
+	peek() (when Tick, ok bool)
+	size() int
+}
+
+// QueueKind selects an Engine's event-queue discipline.
+type QueueKind int
+
+const (
+	// Heap is the hand-specialized binary min-heap: O(log n) per
+	// operation, the reference implementation every other queue must
+	// match pop-for-pop.
+	Heap QueueKind = iota
+	// Calendar is the calendar/ladder queue (calendar.go): O(1)
+	// amortized enqueue/dequeue under bounded-horizon scheduling, built
+	// for engines holding 100k+ pending events. Pop order is identical
+	// to Heap by construction and by test (calendar_test.go).
+	Calendar
+)
+
+// String names the queue kind as BENCH.json and pardbench spell it.
+func (k QueueKind) String() string {
+	switch k {
+	case Heap:
+		return "heap"
+	case Calendar:
+		return "calendar"
+	}
+	return fmt.Sprintf("QueueKind(%d)", int(k))
+}
+
+// EngineOption configures an Engine at construction time.
+type EngineOption func(*Engine)
+
+// WithQueue selects the engine's event-queue implementation, e.g.
+// NewEngine(WithQueue(Calendar)). The default is Heap.
+func WithQueue(k QueueKind) EngineOption {
+	return func(e *Engine) {
+		switch k {
+		case Heap:
+			e.q = &binHeap{}
+		case Calendar:
+			e.q = newCalQueue()
+		default:
+			panic(fmt.Sprintf("sim: unknown queue kind %d", int(k)))
+		}
+		e.kind = k
+	}
+}
+
 // Engine is a discrete-event scheduler. The zero value is not usable;
 // construct with NewEngine.
 //
-// The queue is a hand-specialized binary min-heap over []event rather
-// than container/heap: the interface-based API boxes every Push/Pop
-// through interface{} (one allocation per scheduled event) and calls
-// Less/Swap through method tables. Inlining the sift operations makes
-// steady-state scheduling allocation-free and roughly halves ns/event
-// (see BenchmarkEngineThroughput and BENCH.json).
+// The default queue is a hand-specialized binary min-heap over []event
+// rather than container/heap: the interface-based API boxes every
+// Push/Pop through interface{} (one allocation per scheduled event) and
+// calls Less/Swap through method tables. Inlining the sift operations
+// makes steady-state scheduling allocation-free and roughly halves
+// ns/event (see BenchmarkEngineThroughput and BENCH.json). For engines
+// holding hundreds of thousands of pending events, WithQueue(Calendar)
+// swaps in the calendar queue's O(1)-amortized discipline with the
+// exact same (time, scheduling order) pop sequence.
 type Engine struct {
-	now    Tick
-	seq    uint64
-	events []event
-	run    uint64 // events executed
+	now  Tick
+	seq  uint64
+	q    evqueue
+	kind QueueKind
+	run  uint64 // events executed
 }
 
 // NewEngine returns an engine at time zero with an empty event queue.
-func NewEngine() *Engine {
-	return &Engine{}
+func NewEngine(opts ...EngineOption) *Engine {
+	e := &Engine{}
+	for _, o := range opts {
+		o(e)
+	}
+	if e.q == nil {
+		e.q = &binHeap{}
+	}
+	return e
 }
 
 // Now returns the current simulation time.
 func (e *Engine) Now() Tick { return e.now }
 
+// Queue reports which event-queue discipline the engine was built with.
+func (e *Engine) Queue() QueueKind { return e.kind }
+
 // Executed reports how many events have run so far.
 func (e *Engine) Executed() uint64 { return e.run }
 
 // Pending reports how many events are queued.
-func (e *Engine) Pending() int { return len(e.events) }
+func (e *Engine) Pending() int { return e.q.size() }
 
 // Schedule queues fn to run delay ticks from now.
 func (e *Engine) Schedule(delay Tick, fn func()) {
@@ -121,56 +196,15 @@ func (e *Engine) AtEventer(when Tick, ev Eventer) {
 	e.push(event{when: when, ev: ev})
 }
 
-// push inserts an entry, assigning its scheduling sequence and sifting
-// it to its heap position.
+// push clamps, assigns the entry's scheduling sequence and hands it to
+// the queue.
 func (e *Engine) push(ev event) {
 	if ev.when < e.now {
 		ev.when = e.now
 	}
 	e.seq++
 	ev.seq = e.seq
-	e.events = append(e.events, ev)
-	// Sift up.
-	h := e.events
-	i := len(h) - 1
-	for i > 0 {
-		parent := (i - 1) / 2
-		if !h[i].before(&h[parent]) {
-			break
-		}
-		h[i], h[parent] = h[parent], h[i]
-		i = parent
-	}
-}
-
-// pop removes and returns the earliest entry. The caller must know the
-// queue is non-empty.
-func (e *Engine) pop() event {
-	h := e.events
-	top := h[0]
-	n := len(h) - 1
-	h[0] = h[n]
-	h[n] = event{} // release fn/ev for GC
-	h = h[:n]
-	e.events = h
-	// Sift down.
-	i := 0
-	for {
-		l := 2*i + 1
-		if l >= n {
-			break
-		}
-		min := l
-		if r := l + 1; r < n && h[r].before(&h[l]) {
-			min = r
-		}
-		if !h[min].before(&h[i]) {
-			break
-		}
-		h[i], h[min] = h[min], h[i]
-		i = min
-	}
-	return top
+	e.q.push(ev)
 }
 
 // Step executes the single earliest event, advancing time to it.
@@ -178,10 +212,10 @@ func (e *Engine) pop() event {
 //
 //pardlint:hotpath engine dispatch: every simulated event funnels through here
 func (e *Engine) Step() bool {
-	if len(e.events) == 0 {
+	if e.q.size() == 0 {
 		return false
 	}
-	ev := e.pop()
+	ev := e.q.pop()
 	e.now = ev.when
 	e.run++
 	if ev.fn != nil {
@@ -196,7 +230,11 @@ func (e *Engine) Step() bool {
 // clock to until. Events scheduled during the run are honored if they
 // fall within the horizon.
 func (e *Engine) Run(until Tick) {
-	for len(e.events) > 0 && e.events[0].when <= until {
+	for {
+		when, ok := e.q.peek()
+		if !ok || when > until {
+			break
+		}
 		e.Step()
 	}
 	if e.now < until {
@@ -211,7 +249,11 @@ func (e *Engine) Run(until Tick) {
 // stamped `when == boundary` is always injected before any event at
 // that tick has run on the destination shard.
 func (e *Engine) RunBefore(until Tick) {
-	for len(e.events) > 0 && e.events[0].when < until {
+	for {
+		when, ok := e.q.peek()
+		if !ok || when >= until {
+			break
+		}
 		e.Step()
 	}
 	if e.now < until {
@@ -219,13 +261,19 @@ func (e *Engine) RunBefore(until Tick) {
 	}
 }
 
+// advanceTo moves the clock forward to t without executing anything:
+// the shard coordinator's inactive fast path, valid only when the
+// caller knows no event is pending below t.
+func (e *Engine) advanceTo(t Tick) {
+	if e.now < t {
+		e.now = t
+	}
+}
+
 // NextEventTime returns the timestamp of the earliest queued event.
 // ok is false when the queue is empty.
 func (e *Engine) NextEventTime() (when Tick, ok bool) {
-	if len(e.events) == 0 {
-		return 0, false
-	}
-	return e.events[0].when, true
+	return e.q.peek()
 }
 
 // StepUntil executes events until cond returns true or the queue
@@ -245,7 +293,7 @@ func (e *Engine) StepUntil(cond func() bool) bool {
 // A limit of 0 means no limit. It returns the number of events executed.
 func (e *Engine) Drain(limit uint64) uint64 {
 	var n uint64
-	for len(e.events) > 0 {
+	for e.q.size() > 0 {
 		if limit > 0 && n >= limit {
 			break
 		}
@@ -253,4 +301,65 @@ func (e *Engine) Drain(limit uint64) uint64 {
 		n++
 	}
 	return n
+}
+
+// binHeap is the default queue: a binary min-heap ordered by
+// event.before, with the sift loops inlined so steady-state push/pop
+// never allocates (the backing array is amortized by reuse).
+type binHeap struct {
+	h []event
+}
+
+func (q *binHeap) size() int { return len(q.h) }
+
+func (q *binHeap) peek() (Tick, bool) {
+	if len(q.h) == 0 {
+		return 0, false
+	}
+	return q.h[0].when, true
+}
+
+// push appends the entry and sifts it to its heap position.
+func (q *binHeap) push(ev event) {
+	q.h = append(q.h, ev)
+	h := q.h
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h[i].before(&h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+// pop removes and returns the earliest entry. The caller must know the
+// queue is non-empty.
+func (q *binHeap) pop() event {
+	h := q.h
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = event{} // release fn/ev for GC
+	h = h[:n]
+	q.h = h
+	// Sift down.
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		min := l
+		if r := l + 1; r < n && h[r].before(&h[l]) {
+			min = r
+		}
+		if !h[min].before(&h[i]) {
+			break
+		}
+		h[i], h[min] = h[min], h[i]
+		i = min
+	}
+	return top
 }

@@ -5,28 +5,45 @@ package sim
 // point-to-point NIC link, whose fixed wire latency L is exactly the
 // lookahead a conservative scheme needs (the Chandy–Misra insight).
 // Because every link's latency is known up front, the general
-// null-message protocol degenerates into a cheap barrier-window scheme:
+// null-message protocol degenerates into a cheap barrier/round scheme:
 //
-//   1. The coordinator picks a window [T, end) with end <= first + W,
-//      where first is the earliest pending event across all shards and
-//      W = min over links of their latency.
-//   2. Every shard runs its own Engine independently to the window end
-//      (exclusive). An event at tick t < end can only produce messages
-//      arriving at t + L >= first + W >= end, so nothing a shard does
-//      inside the window can affect another shard within it.
+//   1. At each barrier the coordinator computes, for every shard d, a
+//      safe horizon H_d: a tick such that no message can reach d before
+//      H_d. Under the default AdaptiveWindows policy this uses per-pair
+//      channel lookaheads (SetLookahead) and the shards' committed
+//      clocks — the earliest-input-time fixpoint
+//
+//        EIT[d] = min over channels j->d of (min(F[j], EIT[j]) + look[j][d])
+//
+//      where F[j] is shard j's earliest pending event. The inner min is
+//      what makes the bound transitive-safe: a currently quiet shard j
+//      can itself be woken by one of its senders, so j's earliest
+//      possible output is min(F[j], EIT[j]) + look[j][d], not
+//      F[j] + look[j][d]. Because every lookahead is >= the group
+//      window W, EIT[d] >= first + W for all d — adaptive horizons are
+//      never tighter than the legacy lockstep window, and the
+//      globally-earliest shard always makes progress. Under
+//      LockstepWindows every shard instead shares end = first + W.
+//   2. Every shard runs its own Engine independently to its horizon
+//      (exclusive). An event at tick t < H_src on the source can only
+//      produce messages arriving at t + look >= EIT[dst] >= H_dst, so
+//      nothing a shard does inside a round can affect another shard
+//      within it. Shards with no events below their horizon skip worker
+//      dispatch entirely (IdleSkips); their clock advances for free.
 //   3. Cross-shard sends land in per-(src,dst) single-producer /
 //      single-consumer mailboxes — written only by the source shard's
-//      worker during the window, drained only by the coordinator at the
+//      worker during the round, drained only by the coordinator at the
 //      barrier (the barrier's happens-before edge is the only
 //      synchronization the mailboxes need).
 //   4. At the barrier the coordinator merges each destination's inbound
 //      messages in (when, sent, srcShard, seq) order and injects them
 //      into the destination engine, so the merged schedule is byte-for-
-//      byte reproducible and independent of worker count and shard
-//      placement. The pard equivalence suite asserts that an N-shard
-//      run produces output identical to the sequential single-engine
-//      run; see DESIGN.md §11 for the window protocol and the residual
-//      same-tick tie rule.
+//      byte reproducible and independent of worker count, shard
+//      placement, and window policy. The pard equivalence suite asserts
+//      that an N-shard run produces output identical to the sequential
+//      single-engine run; see DESIGN.md §11 for the window protocol and
+//      the residual same-tick tie rule, and §16 for the adaptive-window
+//      safety argument.
 //
 // Shards run on a fixed pool of worker goroutines. This file is the
 // sanctioned home of goroutines in sim-clocked code: pardlint's
@@ -106,11 +123,12 @@ func (s *Shard) Index() int { return s.index }
 // (setup) or from event code executing on this shard; the message is
 // buffered in the outbound mailbox and injected at the next barrier.
 //
-// Send panics when the delivery time falls inside the currently
-// executing window: that is a conservative-lookahead violation, meaning
-// the link's latency is smaller than the window the group was built
-// with, and the destination shard may already have run past the
-// delivery tick.
+// Send panics when the delivery time falls inside the destination's
+// currently executing window: that is a conservative-lookahead
+// violation, meaning the channel's real latency is smaller than the
+// lookahead the horizon was computed with (the group window, or the
+// pair's registered SetLookahead value), and the destination shard may
+// already have run past the delivery tick.
 func (s *Shard) Send(dst int, delay Tick, fn func()) {
 	if dst < 0 || dst >= len(s.out) {
 		panic(fmt.Sprintf("sim: cross-shard send to shard %d of %d", dst, len(s.out)))
@@ -120,10 +138,12 @@ func (s *Shard) Send(dst int, delay Tick, fn func()) {
 	}
 	now := s.eng.Now()
 	when := now + delay
-	if when < s.limit {
+	// The coordinator publishes every shard's limit before dispatching
+	// workers, so reading the destination's limit here is race-free.
+	if when < s.group.shards[dst].limit {
 		panic(fmt.Sprintf(
-			"sim: cross-shard send from shard %d into the current window: delivery at %v < window end %v (link latency below the group's lookahead window %v)",
-			s.index, when, s.limit, s.group.window))
+			"sim: cross-shard send from shard %d into shard %d's current window: delivery at %v < window end %v (channel latency below its registered lookahead; group window %v)",
+			s.index, dst, when, s.group.shards[dst].limit, s.group.window))
 	}
 	s.seq++
 	s.out[dst] = append(s.out[dst], xmsg{when: when, sent: now, src: s.index, seq: s.seq, fn: fn})
@@ -156,27 +176,81 @@ func (s *Shard) runWindow() {
 	}
 }
 
+// WindowPolicy selects how the coordinator computes per-round shard
+// horizons.
+type WindowPolicy int
+
+const (
+	// AdaptiveWindows (the default) gives each shard its own safe
+	// horizon from the per-pair lookahead fixpoint; quiet links no
+	// longer throttle the whole group, and shards with nothing to run
+	// skip dispatch.
+	AdaptiveWindows WindowPolicy = iota
+	// LockstepWindows is the legacy scheme: every round, all shards
+	// share the global window [first, first+W). Kept selectable so the
+	// equivalence suite can prove the two policies byte-identical.
+	LockstepWindows
+)
+
+// String names the policy as pardbench spells it.
+func (p WindowPolicy) String() string {
+	switch p {
+	case AdaptiveWindows:
+		return "adaptive"
+	case LockstepWindows:
+		return "lockstep"
+	}
+	return fmt.Sprintf("WindowPolicy(%d)", int(p))
+}
+
+// infTick marks "no event / no bound" in horizon arithmetic.
+const infTick = ^Tick(0)
+
+// satAdd is saturating Tick addition, so far-future events cannot wrap
+// horizon bounds.
+func satAdd(a, b Tick) Tick {
+	if s := a + b; s >= a {
+		return s
+	}
+	return infTick
+}
+
 // ShardGroup coordinates a set of shards through barrier-synchronized
 // lookahead windows. Construct with NewShardGroup, wire cross-shard
-// links through Shard.Send, then drive with Run.
+// links through Shard.Send (registering per-pair latencies with
+// SetLookahead), then drive with Run.
 type ShardGroup struct {
 	shards  []*Shard
 	window  Tick
 	workers int
 	now     Tick
+	policy  WindowPolicy
 
-	// merge is the coordinator's scratch buffer for barrier injection.
-	merge []xmsg
+	// look[src][dst] is the minimum delivery latency of the src->dst
+	// channel, 0 meaning "no channel". nil means no pair was registered:
+	// every pair is then assumed connected at the group window — the
+	// conservative floor that keeps raw Shard.Send users safe.
+	look [][]Tick
 
-	// WindowsRun counts barrier windows executed; CrossSends counts
-	// messages carried through mailboxes. Both are deterministic for a
-	// given simulation and exposed for tests and BENCH.json.
+	// merge is the coordinator's scratch buffer for barrier injection;
+	// fnext/eit/active are the per-round horizon scratch.
+	merge  []xmsg
+	fnext  []Tick
+	eit    []Tick
+	active []bool
+
+	// WindowsRun counts barrier rounds executed; CrossSends counts
+	// messages carried through mailboxes; IdleSkips counts shard-rounds
+	// resolved by the inactive fast path without touching the worker
+	// pool. All are deterministic for a given simulation and exposed for
+	// tests and BENCH.json.
 	WindowsRun uint64
 	CrossSends uint64
+	IdleSkips  uint64
 
-	// SpannedTicks accumulates each window's [first, end) span, so
+	// SpannedTicks accumulates each round's [first, maxEnd) span, so
 	// SpannedTicks / elapsed is the horizon utilization: the fraction of
-	// the advanced timeline that actually needed lockstep execution.
+	// the advanced timeline that actually carried execution rounds.
 	SpannedTicks Tick
 
 	// prof[i] is shard i's runtime profile. Workers write only their own
@@ -186,12 +260,13 @@ type ShardGroup struct {
 }
 
 // NewShardGroup builds n shards synchronized on windows of the given
-// length (the group's lookahead; every cross-shard link must have
+// length (the group's lookahead floor; every cross-shard link must have
 // latency >= window). workers bounds the goroutine pool; 0 means
 // GOMAXPROCS, and a pool of 1 runs every window inline on the calling
 // goroutine — the degenerate sequential mode the equivalence tests
-// compare against.
-func NewShardGroup(n int, window Tick, workers int) *ShardGroup {
+// compare against. Engine options (e.g. WithQueue(Calendar)) are
+// applied to every shard's private engine.
+func NewShardGroup(n int, window Tick, workers int, opts ...EngineOption) *ShardGroup {
 	if n <= 0 {
 		panic("sim: shard group needs at least one shard")
 	}
@@ -204,16 +279,63 @@ func NewShardGroup(n int, window Tick, workers int) *ShardGroup {
 	if workers > n {
 		workers = n
 	}
-	g := &ShardGroup{window: window, workers: workers, prof: make([]ShardProfile, n)}
+	g := &ShardGroup{
+		window:  window,
+		workers: workers,
+		prof:    make([]ShardProfile, n),
+		fnext:   make([]Tick, n),
+		eit:     make([]Tick, n),
+		active:  make([]bool, n),
+	}
 	for i := 0; i < n; i++ {
 		g.shards = append(g.shards, &Shard{
 			group: g,
 			index: i,
-			eng:   NewEngine(),
+			eng:   NewEngine(opts...),
 			out:   make([][]xmsg, n),
 		})
 	}
 	return g
+}
+
+// SetWindowPolicy selects the horizon scheme. Call before Run; the
+// policy never reaches simulation state, so either choice yields
+// byte-identical digests (proven by TestShardGroupPolicyEquivalence and
+// the pard rack suite).
+func (g *ShardGroup) SetWindowPolicy(p WindowPolicy) { g.policy = p }
+
+// Policy reports the group's window policy.
+func (g *ShardGroup) Policy() WindowPolicy { return g.policy }
+
+// SetLookahead registers the src->dst channel's minimum delivery
+// latency, the per-pair lookahead the adaptive policy builds horizons
+// from. Repeated registrations keep the minimum (a pair with several
+// physical links is bounded by its fastest). The latency must be at
+// least the group window — the window is defined as the global minimum
+// link latency, so anything smaller is a wiring bug.
+//
+// Once any pair is registered, unregistered pairs are treated as
+// unconnected (no channel, no horizon constraint): callers wiring
+// explicit topologies must register every channel they Send on, or
+// Send's lookahead assertion will eventually fire.
+func (g *ShardGroup) SetLookahead(src, dst int, latency Tick) {
+	n := len(g.shards)
+	if src < 0 || src >= n || dst < 0 || dst >= n || src == dst {
+		panic(fmt.Sprintf("sim: SetLookahead(%d, %d) on a %d-shard group", src, dst, n))
+	}
+	if latency < g.window {
+		panic(fmt.Sprintf("sim: SetLookahead(%d, %d): latency %v below the group window %v", src, dst, latency, g.window))
+	}
+	if g.look == nil {
+		g.look = make([][]Tick, n)
+		rows := make([]Tick, n*n)
+		for i := range g.look {
+			g.look[i] = rows[i*n : (i+1)*n]
+		}
+	}
+	if cur := g.look[src][dst]; cur == 0 || latency < cur {
+		g.look[src][dst] = latency
+	}
 }
 
 // Shard returns shard i.
@@ -296,50 +418,103 @@ func (g *ShardGroup) Run(d Tick) {
 			g.advance(target)
 			return
 		}
-		// Conservative window: nothing runs before first, so any message
-		// produced inside the window arrives at >= first + latency >=
-		// first + window >= end. Empty stretches are skipped for free —
-		// the window starts at the first event, not at g.now.
-		end := first + g.window
-		inclusive := false
-		if end >= target {
-			end = target
-			inclusive = true
+		// Publish each shard's round bounds. Under lockstep every shard
+		// shares end = first + W: nothing runs before first, so any
+		// message produced inside the window arrives at >= first +
+		// latency >= first + window >= end. Under adaptive each shard
+		// gets its own earliest-input-time horizon (computeHorizons),
+		// which is >= first + W for every shard — empty stretches are
+		// skipped for free either way, since windows start at the first
+		// event, not at g.now.
+		var maxEnd Tick
+		dispatched := 0
+		if g.policy == LockstepWindows {
+			end := first + g.window
+			inclusive := false
+			if end >= target {
+				end = target
+				inclusive = true
+			}
+			for i, s := range g.shards {
+				s.limit = end
+				s.inclusive = inclusive
+				g.active[i] = true
+			}
+			maxEnd = end
+			dispatched = len(g.shards)
+		} else {
+			g.computeHorizons()
+			for i, s := range g.shards {
+				end := g.eit[i]
+				inclusive := false
+				if end >= target {
+					end = target
+					inclusive = true
+				}
+				s.limit = end
+				s.inclusive = inclusive
+				f := g.fnext[i]
+				if f < end || (inclusive && f == end) {
+					g.active[i] = true
+					dispatched++
+				} else {
+					// Inactive fast path: nothing to execute below the
+					// horizon, so skip worker dispatch and advance the
+					// shard clock for free.
+					g.active[i] = false
+					s.eng.advanceTo(end)
+					g.IdleSkips++
+				}
+				if end > maxEnd {
+					maxEnd = end
+				}
+			}
 		}
-		for _, s := range g.shards {
-			s.limit = end
-			s.inclusive = inclusive
-		}
-		if parallel {
+		if parallel && dispatched > 1 {
 			var t0 time.Time
 			if g.timed {
 				//pardlint:ignore determinism wall-clock profiling feeds telemetry series only, never simulation state
 				t0 = time.Now()
 			}
-			wg.Add(len(g.shards))
-			for _, s := range g.shards {
-				jobs <- s
+			wg.Add(dispatched)
+			for i, s := range g.shards {
+				if g.active[i] {
+					jobs <- s
+				}
 			}
 			wg.Wait()
 			if g.timed {
-				// A shard's barrier wait is the window's wall time minus
+				// A shard's barrier wait is the round's wall time minus
 				// its own run time: how long it idled for the slowest peer.
 				//pardlint:ignore determinism wall-clock profiling feeds telemetry series only, never simulation state
 				wall := time.Since(t0).Nanoseconds()
 				for i, s := range g.shards {
+					if !g.active[i] {
+						continue
+					}
 					if wait := wall - s.lastRunNs; wait > 0 {
 						g.prof[i].WaitNs += wait
 					}
 				}
 			}
 		} else {
-			for _, s := range g.shards {
-				s.runWindow()
+			for i, s := range g.shards {
+				if g.active[i] {
+					s.runWindow()
+				}
 			}
 		}
-		g.now = end
+		// The committed global frontier is the slowest shard's limit:
+		// everything below it is final on every shard.
+		gnow := g.shards[0].limit
+		for _, s := range g.shards[1:] {
+			if s.limit < gnow {
+				gnow = s.limit
+			}
+		}
+		g.now = gnow
 		g.WindowsRun++
-		g.SpannedTicks += end - first
+		g.SpannedTicks += maxEnd - first
 		g.mergeMailboxes()
 		// An inclusive pass may have injected messages landing exactly
 		// on the horizon; the loop keeps running passes at target until
@@ -347,18 +522,79 @@ func (g *ShardGroup) Run(d Tick) {
 	}
 }
 
-// nextEvent returns the earliest pending event tick across all shards.
+// nextEvent refreshes the per-shard earliest-pending-event table
+// (fnext, infTick when a shard is empty) and returns the global
+// earliest tick.
 func (g *ShardGroup) nextEvent() (Tick, bool) {
 	var (
 		min Tick
 		any bool
 	)
-	for _, s := range g.shards {
-		if when, ok := s.eng.NextEventTime(); ok && (!any || when < min) {
+	for i, s := range g.shards {
+		when, ok := s.eng.NextEventTime()
+		if !ok {
+			g.fnext[i] = infTick
+			continue
+		}
+		g.fnext[i] = when
+		if !any || when < min {
 			min, any = when, true
 		}
 	}
 	return min, any
+}
+
+// computeHorizons fills eit[d] with the earliest tick at which any
+// message could still reach shard d, given the committed clocks in
+// fnext and the per-pair lookahead table: the Bellman-Ford-style
+// fixpoint of
+//
+//	EIT[d] = min over channels j->d of (min(F[j], EIT[j]) + look[j][d])
+//
+// Positive lookaheads make the relaxation converge in at most n rounds.
+// A shard may safely execute every event strictly below its EIT; a
+// shard with no inbound channels (or a 1-shard group) gets infTick and
+// runs to the target unconstrained.
+func (g *ShardGroup) computeHorizons() {
+	n := len(g.shards)
+	for d := 0; d < n; d++ {
+		g.eit[d] = infTick
+	}
+	for iter := 0; iter < n; iter++ {
+		changed := false
+		for d := 0; d < n; d++ {
+			best := g.eit[d]
+			for j := 0; j < n; j++ {
+				if j == d {
+					continue
+				}
+				look := g.window
+				if g.look != nil {
+					look = g.look[j][d]
+					if look == 0 {
+						continue // no j->d channel
+					}
+				}
+				base := g.fnext[j]
+				if g.eit[j] < base {
+					base = g.eit[j]
+				}
+				if base == infTick {
+					continue
+				}
+				if v := satAdd(base, look); v < best {
+					best = v
+				}
+			}
+			if best < g.eit[d] {
+				g.eit[d] = best
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
 }
 
 // advance moves every shard engine (and the group clock) to t without

@@ -307,3 +307,125 @@ func mustPanic(t *testing.T, name string, fn func()) {
 	}()
 	fn()
 }
+
+// runPingPongAt is runPingPong with explicit window policy, optional
+// per-pair (ring-edge) lookahead registration, and engine options.
+func runPingPongAt(shards, workers int, window, latency Tick, policy WindowPolicy, registerLook bool, opts ...EngineOption) (string, *ShardGroup) {
+	g := NewShardGroup(shards, window, workers, opts...)
+	g.SetWindowPolicy(policy)
+	if registerLook && shards > 1 {
+		for i := 0; i < shards; i++ {
+			g.SetLookahead(i, (i+1)%shards, latency)
+		}
+	}
+	logs := pingPongWorkload(g, latency)
+	g.Run(2 * Microsecond)
+	return journalDigest(logs), g
+}
+
+// TestShardGroupPolicyEquivalence: the adaptive per-shard horizons must
+// produce journals byte-identical to the legacy lockstep windows, for
+// tight and slack link latencies, with and without registered per-pair
+// lookaheads, across worker counts.
+func TestShardGroupPolicyEquivalence(t *testing.T) {
+	const window = 5 * Nanosecond
+	for _, shards := range []int{2, 3, 4} {
+		for _, latency := range []Tick{window, 3 * window} {
+			ref, _ := runPingPongAt(shards, 1, window, latency, LockstepWindows, false)
+			for _, workers := range []int{1, shards} {
+				for _, look := range []bool{false, true} {
+					got, g := runPingPongAt(shards, workers, window, latency, AdaptiveWindows, look)
+					if got != ref {
+						t.Errorf("shards=%d latency=%v workers=%d look=%v: adaptive journal differs from lockstep:\n--- lockstep\n%s--- adaptive\n%s",
+							shards, latency, workers, look, ref, got)
+					}
+					if g.Policy() != AdaptiveWindows {
+						t.Fatalf("Policy() = %v, want adaptive", g.Policy())
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestShardGroupAdaptiveFewerRounds: with slack links (latency = 3W)
+// and registered lookaheads, adaptive horizons must advance in strictly
+// fewer barrier rounds than lockstep — the whole point of replacing the
+// global min-latency window.
+func TestShardGroupAdaptiveFewerRounds(t *testing.T) {
+	const window = 5 * Nanosecond
+	_, lock := runPingPongAt(4, 1, window, 3*window, LockstepWindows, false)
+	_, adpt := runPingPongAt(4, 1, window, 3*window, AdaptiveWindows, true)
+	if adpt.WindowsRun >= lock.WindowsRun {
+		t.Fatalf("adaptive ran %d rounds, lockstep %d — expected strictly fewer", adpt.WindowsRun, lock.WindowsRun)
+	}
+	if lock.IdleSkips != 0 {
+		t.Fatalf("lockstep counted %d idle skips, want 0", lock.IdleSkips)
+	}
+}
+
+// TestShardGroupIdleSkips: a shard with no pending work must be skipped
+// by the dispatcher (IdleSkips counted) without perturbing the busy
+// shards' schedule or the final clocks.
+func TestShardGroupIdleSkips(t *testing.T) {
+	g := NewShardGroup(3, 5*Nanosecond, 1)
+	var ticks []Tick
+	e := g.Shard(0).Engine()
+	var pump func()
+	n := 0
+	pump = func() {
+		ticks = append(ticks, e.Now())
+		if n++; n < 10 {
+			e.Schedule(7*Nanosecond, pump)
+		}
+	}
+	e.At(1, pump)
+	// Shards 1 and 2 stay empty the whole run.
+	g.Run(Microsecond)
+	if len(ticks) != 10 {
+		t.Fatalf("busy shard ran %d events, want 10", len(ticks))
+	}
+	if g.IdleSkips == 0 {
+		t.Fatal("empty shards were dispatched: IdleSkips = 0")
+	}
+	for i := 0; i < 3; i++ {
+		if now := g.Shard(i).Engine().Now(); now != Microsecond {
+			t.Fatalf("shard %d clock = %v, want 1us", i, now)
+		}
+	}
+	if g.Now() != Microsecond {
+		t.Fatalf("group clock = %v, want 1us", g.Now())
+	}
+}
+
+// TestShardGroupCalendarQueueEquivalence: shard engines built on the
+// calendar queue must replay the exact journal of the heap-backed run.
+func TestShardGroupCalendarQueueEquivalence(t *testing.T) {
+	const window = 5 * Nanosecond
+	ref, _ := runPingPongAt(4, 1, window, window, AdaptiveWindows, true)
+	got, g := runPingPongAt(4, 2, window, window, AdaptiveWindows, true, WithQueue(Calendar))
+	if got != ref {
+		t.Fatalf("calendar-queue journal differs from heap journal:\n--- heap\n%s--- calendar\n%s", ref, got)
+	}
+	if k := g.Shard(0).Engine().Queue(); k != Calendar {
+		t.Fatalf("shard engine queue = %v, want calendar", k)
+	}
+}
+
+func TestSetLookaheadValidation(t *testing.T) {
+	g := NewShardGroup(2, 5*Nanosecond, 1)
+	mustPanic(t, "src out of range", func() { g.SetLookahead(-1, 0, 10*Nanosecond) })
+	mustPanic(t, "dst out of range", func() { g.SetLookahead(0, 2, 10*Nanosecond) })
+	mustPanic(t, "self pair", func() { g.SetLookahead(1, 1, 10*Nanosecond) })
+	mustPanic(t, "below window", func() { g.SetLookahead(0, 1, 4*Nanosecond) })
+	// Repeated registration keeps the minimum.
+	g.SetLookahead(0, 1, 20*Nanosecond)
+	g.SetLookahead(0, 1, 8*Nanosecond)
+	g.SetLookahead(0, 1, 30*Nanosecond)
+	if g.look[0][1] != 8*Nanosecond {
+		t.Fatalf("look[0][1] = %v, want 8ns (minimum of registrations)", g.look[0][1])
+	}
+	if WindowPolicy(9).String() == "" || AdaptiveWindows.String() != "adaptive" || LockstepWindows.String() != "lockstep" {
+		t.Fatal("WindowPolicy String names wrong")
+	}
+}
